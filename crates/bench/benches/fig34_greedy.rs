@@ -1,0 +1,35 @@
+//! Bench E4/E5 — regenerates the **Figure 3–4** greedy-speedup experiment
+//! and scales the greedy engine over cluster size and round count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::{speedup, Params};
+use hetero_experiments::fig34;
+use std::hint::black_box;
+
+fn bench_fig34(c: &mut Criterion) {
+    c.bench_function("fig34/full_reproduction", |b| {
+        b.iter(|| {
+            let f = fig34::run_paper();
+            assert_eq!(f.phase1.len(), 16);
+            assert_eq!(f.phase2.len(), 4);
+            black_box(f.phase2.last().unwrap().step.x)
+        })
+    });
+
+    // Engine scaling: one greedy round is n candidate X evaluations.
+    let p = Params::fig34();
+    let mut group = c.benchmark_group("fig34/greedy_rounds");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    speedup::greedy_multiplicative(&p, &vec![1.0; n], 0.5, 8).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig34);
+criterion_main!(benches);

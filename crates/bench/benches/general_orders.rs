@@ -1,0 +1,41 @@
+//! Bench E9b — the general (Σ, Φ) allocation solver (hetero-linalg LU)
+//! against the FIFO closed form, and the LIFO plan construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_bench::{battery_profile, params};
+use hetero_protocol::{alloc, general};
+use std::hint::black_box;
+
+fn bench_general(c: &mut Criterion) {
+    let p = params();
+    let lifespan = 1000.0;
+
+    let mut group = c.benchmark_group("general/solver_vs_closed_form");
+    for n in [4usize, 16, 64] {
+        let profile = battery_profile(n);
+        let order: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &profile, |b, prof| {
+            b.iter(|| black_box(alloc::fifo_plan(&p, prof, lifespan).unwrap().total_work()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("linear_system", n),
+            &(profile.clone(), order),
+            |b, (prof, ord)| {
+                b.iter(|| {
+                    black_box(
+                        general::general_plan(&p, prof, ord, ord, lifespan)
+                            .unwrap()
+                            .total_work(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("lifo", n), &profile, |b, prof| {
+            b.iter(|| black_box(general::lifo_plan(&p, prof, lifespan).unwrap().total_work()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_general);
+criterion_main!(benches);

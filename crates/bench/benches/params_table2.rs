@@ -1,0 +1,20 @@
+//! Bench E1 — Tables 1–2: derived-constant evaluation and the Theorem 4
+//! threshold. Trivially cheap; kept so every paper artifact has a bench
+//! target, and as a floor reference for the other benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_core::Params;
+use std::hint::black_box;
+
+fn bench_params(c: &mut Criterion) {
+    c.bench_function("params/derived_constants", |b| {
+        let p = Params::paper_table1();
+        b.iter(|| black_box((p.a(), p.b(), p.tau_delta(), p.theorem4_threshold())))
+    });
+    c.bench_function("params/construction_validated", |b| {
+        b.iter(|| black_box(Params::new(1e-6, 1e-5, 1.0).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_params);
+criterion_main!(benches);

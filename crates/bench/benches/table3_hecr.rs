@@ -1,0 +1,34 @@
+//! Bench E2 — regenerates **Table 3** and races the two HECR
+//! implementations (Proposition 1 closed form vs bisection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_bench::params;
+use hetero_core::{hecr, Profile};
+use hetero_experiments::table3;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3/full_reproduction", |b| {
+        b.iter(|| {
+            let t = table3::run_paper();
+            assert_eq!(t.rows.len(), 3);
+            black_box(t.rows.last().unwrap().advantage)
+        })
+    });
+
+    let p = params();
+    let mut group = c.benchmark_group("table3/hecr_ablation");
+    for n in [8usize, 32, 128, 1024] {
+        let c1 = Profile::uniform_spread(n);
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &c1, |b, prof| {
+            b.iter(|| black_box(hecr::hecr(&p, prof).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("bisection", n), &c1, |b, prof| {
+            b.iter(|| black_box(hecr::hecr_bisect(&p, prof, 1e-12)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

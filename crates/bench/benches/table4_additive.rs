@@ -1,0 +1,34 @@
+//! Bench E3 — regenerates **Table 4** (additive-speedup work ratios) and
+//! measures the cost of a single best-upgrade decision at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_bench::{battery_profile, params};
+use hetero_core::speedup;
+use hetero_experiments::table4;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4/full_reproduction", |b| {
+        b.iter(|| {
+            let t = table4::run_paper();
+            assert_eq!(t.rows.len(), 4);
+            black_box(t.rows.last().unwrap().ratio)
+        })
+    });
+
+    // Decision cost: pick the best additive upgrade on an n-computer
+    // cluster (n candidate evaluations of an O(n) measure → O(n²)).
+    let p = params();
+    let mut group = c.benchmark_group("table4/best_upgrade_decision");
+    for n in [4usize, 16, 64, 256] {
+        let profile = battery_profile(n);
+        let phi = profile.fastest() / 2.0;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, prof| {
+            b.iter(|| black_box(speedup::best_additive_index(&p, prof, phi)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

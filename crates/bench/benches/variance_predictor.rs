@@ -1,0 +1,51 @@
+//! Bench E6 — the §4.3 variance-predictor sweep, including the DESIGN.md
+//! §8 ablation of serial vs parallel execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::Params;
+use hetero_experiments::variance::{self, PairGenerator, VarianceConfig};
+use std::hint::black_box;
+
+fn bench_variance(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    // Cost of a single trial across cluster sizes.
+    let mut group = c.benchmark_group("variance/one_trial");
+    for n in [16usize, 128, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut s = 0u64;
+            b.iter(|| {
+                s = s.wrapping_add(1);
+                black_box(variance::one_trial(
+                    &params,
+                    n,
+                    PairGenerator::DiverseShapes,
+                    s,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Serial vs parallel sweep (fixed small workload so the bench stays
+    // quick; the speedup ratio is what matters).
+    let mut group = c.benchmark_group("variance/sweep_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 8] {
+        let cfg = VarianceConfig {
+            sizes: vec![64, 256],
+            trials: 200,
+            seed: 99,
+            threads,
+            generator: PairGenerator::DiverseShapes,
+            ..VarianceConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+            b.iter(|| black_box(variance::run(cfg).rows.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variance);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench E7 — the §4.3 threshold-θ search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_experiments::threshold::{self, ThresholdConfig};
+use std::hint::black_box;
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold");
+    group.sample_size(10);
+    group.bench_function("search_small", |b| {
+        let cfg = ThresholdConfig {
+            sizes: vec![8, 64],
+            trials_per_combo: 100,
+            seed: 3,
+            ..ThresholdConfig::default()
+        };
+        b.iter(|| {
+            let e = threshold::run(&cfg);
+            black_box(e.theta)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

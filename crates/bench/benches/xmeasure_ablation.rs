@@ -1,0 +1,68 @@
+//! DESIGN.md §8 ablations on the measurement core:
+//!
+//! * compensated (Neumaier) vs naive X-measure summation;
+//! * f64 vs exact-rational X evaluation;
+//! * symmetric functions by dynamic programming vs divide-and-conquer
+//!   (f64 and exact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_bench::{battery_profile, params};
+use hetero_core::xmeasure;
+use hetero_exact::Ratio;
+use hetero_symfunc::elementary::{elementary_all, elementary_all_dc};
+use hetero_symfunc::exact_model::{exact_rhos, x_exact, ExactParams};
+use std::hint::black_box;
+
+fn bench_x(c: &mut Criterion) {
+    let p = params();
+
+    let mut group = c.benchmark_group("x/kahan_vs_naive");
+    for n in [16usize, 256, 4096, 65_536] {
+        let profile = battery_profile(n);
+        group.bench_with_input(BenchmarkId::new("compensated", n), &profile, |b, prof| {
+            b.iter(|| black_box(xmeasure::x_measure(&p, prof)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &profile, |b, prof| {
+            b.iter(|| black_box(xmeasure::x_measure_naive(&p, prof.rhos())))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("x/f64_vs_exact");
+    group.sample_size(10);
+    let ep = ExactParams::from_params(&p);
+    for n in [4usize, 8, 16] {
+        let profile = battery_profile(n);
+        let rhos = exact_rhos(&profile);
+        group.bench_with_input(BenchmarkId::new("f64", n), &profile, |b, prof| {
+            b.iter(|| black_box(xmeasure::x_measure(&p, prof)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &rhos, |b, rhos| {
+            b.iter(|| black_box(x_exact(&ep, rhos)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("symfunc/dp_vs_dc");
+    for n in [32usize, 256] {
+        let f64_vals: Vec<f64> = battery_profile(n).rhos().to_vec();
+        group.bench_with_input(BenchmarkId::new("dp_f64", n), &f64_vals, |b, v| {
+            b.iter(|| black_box(elementary_all(v)))
+        });
+        group.bench_with_input(BenchmarkId::new("dc_f64", n), &f64_vals, |b, v| {
+            b.iter(|| black_box(elementary_all_dc(v)))
+        });
+    }
+    group.sample_size(10);
+    let ratio_vals: Vec<Ratio> = (1..=24).map(|i| Ratio::from_frac(1, i)).collect();
+    group.bench_function("dp_exact_24", |b| {
+        b.iter(|| black_box(elementary_all(&ratio_vals)))
+    });
+    group.bench_function("dc_exact_24", |b| {
+        b.iter(|| black_box(elementary_all_dc(&ratio_vals)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_x);
+criterion_main!(benches);

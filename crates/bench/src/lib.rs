@@ -1,0 +1,29 @@
+//! Shared helpers for the criterion benchmarks.
+//!
+//! Each bench target regenerates one paper artifact (DESIGN.md §3 maps
+//! them) and, where DESIGN.md §8 calls for it, races the design
+//! alternatives (closed form vs bisection, compensated vs naive
+//! summation, DP vs divide-and-conquer, serial vs parallel).
+
+use hetero_core::{Params, Profile};
+
+/// The standard profile battery used across benches, keyed by size.
+pub fn battery_profile(n: usize) -> Profile {
+    Profile::harmonic(n)
+}
+
+/// The paper's default parameters for benches.
+pub fn params() -> Params {
+    Params::paper_table1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_valid_inputs() {
+        assert_eq!(battery_profile(8).n(), 8);
+        assert!(params().satisfies_standing_assumption());
+    }
+}

@@ -1,0 +1,311 @@
+//! `hetero-cli` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! hetero-cli <command> [options]
+//!
+//! commands:
+//!   params                  Tables 1–2: model parameters and A/B values
+//!   table3                  Table 3: HECRs of the C1/C2 families
+//!   table4                  Table 4: additive-speedup work ratios
+//!   fig3                    Figure 3: greedy speedup phase 1 snapshots
+//!   fig4                    Figure 4: greedy speedup phase 2 snapshots
+//!   variance [--trials N] [--max-n N] [--seed S] [--hard]
+//!                           §4.3: variance-predictor bad-pair rates
+//!   threshold [--trials N] [--seed S]
+//!                           §4.3: the 100%-correct variance-gap θ
+//!   minorize                §4 examples: mean misleads, Corollary 1
+//!   protocol                Theorems 1–2 on the discrete-event simulator
+//!   gantt                   Figures 1–2: action/time diagrams
+//!   moments [--trials N]    extension: scoring moment + index predictors
+//!   lifo                    Theorem 1 quantified: FIFO vs LIFO vs heuristics
+//!   sensitivity             extension: τ sweep across the three regimes
+//!   scaling                 extension: §2.5 families up to n = 2¹⁶
+//!   majorize-ext [--trials N] [--seed S]
+//!                           extension: majorization explains the bad pairs
+//!   granularity             extension: integral-task quantization cost
+//!   robustness [--trials N] extension: planning under estimation error
+//!   fleet                   extension: fleet sizing vs X saturation
+//!   all                     everything above with default settings
+//! ```
+//!
+//! Add `--csv` to any table-producing command to print CSV instead of the
+//! aligned ASCII table.
+
+use std::process::ExitCode;
+
+use hetero_core::Params;
+use hetero_experiments::{
+    examples42, fifo_lifo, fig34, fleet, gantt, granularity, majorization_ext, moments_ext,
+    protocol_check, robustness, scaling, sensitivity, table3, table4, threshold, variance,
+};
+
+/// Parsed command-line options.
+struct Opts {
+    csv: bool,
+    trials: Option<usize>,
+    max_n: Option<usize>,
+    seed: Option<u64>,
+    hard: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        csv: false,
+        trials: None,
+        max_n: None,
+        seed: None,
+        hard: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => opts.csv = true,
+            "--hard" => opts.hard = true,
+            "--trials" => {
+                let v = it.next().ok_or("--trials needs a value")?;
+                opts.trials = Some(v.parse().map_err(|_| format!("bad --trials {v}"))?);
+            }
+            "--max-n" => {
+                let v = it.next().ok_or("--max-n needs a value")?;
+                opts.max_n = Some(v.parse().map_err(|_| format!("bad --max-n {v}"))?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse().map_err(|_| format!("bad --seed {v}"))?);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_table(t: &hetero_experiments::render::Table, csv: bool) {
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.to_ascii());
+    }
+}
+
+fn cmd_params(opts: &Opts) {
+    let mut t = hetero_experiments::render::Table::new(
+        "Tables 1–2 — model parameters",
+        &["configuration", "τ", "π", "δ", "A = π+τ", "B = 1+(1+δ)π", "Aτδ/B²"],
+    );
+    for (name, p) in [
+        ("coarse tasks (1 s)", Params::paper_table1()),
+        ("fine tasks (0.1 s)", Params::paper_table1_fine()),
+        ("figures 3–4", Params::fig34()),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:e}", p.tau()),
+            format!("{:e}", p.pi()),
+            format!("{}", p.delta()),
+            format!("{:e}", p.a()),
+            format!("{:.6}", p.b()),
+            format!("{:.3e}", p.theorem4_threshold()),
+        ]);
+    }
+    print_table(&t, opts.csv);
+}
+
+fn variance_sizes(max_n: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = 4;
+    while n <= max_n {
+        sizes.push(n);
+        n *= 2;
+    }
+    sizes
+}
+
+fn cmd_variance(opts: &Opts) {
+    let cfg = variance::VarianceConfig {
+        sizes: variance_sizes(opts.max_n.unwrap_or(1024)),
+        trials: opts.trials.unwrap_or(2000),
+        seed: opts.seed.unwrap_or(0xC0FFEE),
+        generator: if opts.hard {
+            variance::PairGenerator::SameUniform
+        } else {
+            variance::PairGenerator::DiverseShapes
+        },
+        ..variance::VarianceConfig::default()
+    };
+    print_table(&variance::run(&cfg).table(), opts.csv);
+    println!("(paper: ~23% bad plateau with its own generator; ours brackets it — see EXPERIMENTS.md)");
+}
+
+fn cmd_threshold(opts: &Opts) {
+    let cfg = threshold::ThresholdConfig {
+        trials_per_combo: opts.trials.unwrap_or(1500),
+        seed: opts.seed.unwrap_or(0xBEEF),
+        ..threshold::ThresholdConfig::default()
+    };
+    let e = threshold::run(&cfg);
+    print_table(&e.table(), opts.csv);
+    println!(
+        "overall accuracy {:.1}%  |  empirical θ = {:.3} (paper: 0.167)",
+        100.0 * e.overall_accuracy(),
+        e.theta
+    );
+}
+
+fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
+    match cmd {
+        "params" => cmd_params(opts),
+        "table3" => print_table(&table3::run_paper().table(), opts.csv),
+        "table4" => print_table(&table4::run_paper().table(), opts.csv),
+        "fig3" => {
+            let f = fig34::run_paper();
+            print!("{}", f.render_phase(&f.phase1, 1.0));
+        }
+        "fig4" => {
+            let f = fig34::run_paper();
+            print!("{}", f.render_phase(&f.phase2, 1.0 / 16.0));
+        }
+        "variance" => cmd_variance(opts),
+        "threshold" => cmd_threshold(opts),
+        "minorize" => print_table(&examples42::run_paper().table(), opts.csv),
+        "protocol" => {
+            let c = protocol_check::run_paper();
+            print_table(&c.table(), opts.csv);
+            println!(
+                "startup-order totals (Theorem 1.2, must agree): {:?}",
+                c.order_totals
+            );
+            println!("protocol-invariant violations: {}", c.violations);
+        }
+        "gantt" => {
+            let p = Params::paper_table1();
+            print!("{}", gantt::render_fig1(&p, 0.5, 100.0));
+            println!();
+            let profile =
+                hetero_core::Profile::new(vec![1.0, 0.5, 1.0 / 3.0]).expect("valid");
+            print!("{}", gantt::render_fig2(&p, &profile, 100.0, 72));
+        }
+        "lifo" => print_table(&fifo_lifo::run_paper().table(), opts.csv),
+        "granularity" => print_table(&granularity::run_paper().table(), opts.csv),
+        "fleet" => print_table(&fleet::run_paper().table(), opts.csv),
+        "robustness" => {
+            let cfg = robustness::RobustnessConfig {
+                trials: opts.trials.unwrap_or(200),
+                seed: opts.seed.unwrap_or(0xEB0B),
+                ..robustness::RobustnessConfig::default()
+            };
+            print_table(&robustness::run(&cfg).table(), opts.csv);
+        }
+        "sensitivity" => print_table(&sensitivity::run_paper().table(), opts.csv),
+        "scaling" => print_table(&scaling::run_paper().table(), opts.csv),
+        "majorize-ext" => {
+            let cfg = majorization_ext::MajorizationConfig {
+                trials: opts.trials.unwrap_or(2000),
+                seed: opts.seed.unwrap_or(0x5EED),
+                ..majorization_ext::MajorizationConfig::default()
+            };
+            print_table(&majorization_ext::run(&cfg).table(), opts.csv);
+        }
+        "moments" => {
+            let cfg = moments_ext::MomentsConfig {
+                trials: opts.trials.unwrap_or(2000),
+                seed: opts.seed.unwrap_or(0xA11CE),
+                ..moments_ext::MomentsConfig::default()
+            };
+            print_table(&moments_ext::run(&cfg).table(), opts.csv);
+        }
+        "all" => {
+            for c in [
+                "params", "table3", "table4", "fig3", "fig4", "variance", "threshold",
+                "minorize", "protocol", "gantt", "moments", "lifo", "sensitivity",
+                "scaling", "majorize-ext", "granularity", "robustness", "fleet",
+            ] {
+                println!("──────────────────────────────────────── {c}");
+                run_command(c, opts)?;
+                println!();
+            }
+        }
+        other => return Err(format!("unknown command {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: hetero-cli <command> [options]; see `hetero-cli help`");
+        return ExitCode::FAILURE;
+    };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        println!(
+            "commands: params table3 table4 fig3 fig4 variance threshold minorize \
+             protocol gantt moments lifo sensitivity scaling majorize-ext \
+             granularity robustness fleet all"
+        );
+        println!("options:  --csv --trials N --max-n N --seed S --hard");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(cmd, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_opts_defaults() {
+        let o = parse_opts(&[]).unwrap();
+        assert!(!o.csv && !o.hard);
+        assert!(o.trials.is_none() && o.max_n.is_none() && o.seed.is_none());
+    }
+
+    #[test]
+    fn parse_opts_all_flags() {
+        let args: Vec<String> = ["--csv", "--hard", "--trials", "42", "--max-n", "128", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_opts(&args).unwrap();
+        assert!(o.csv && o.hard);
+        assert_eq!(o.trials, Some(42));
+        assert_eq!(o.max_n, Some(128));
+        assert_eq!(o.seed, Some(7));
+    }
+
+    #[test]
+    fn parse_opts_rejects_bad_input() {
+        assert!(parse_opts(&["--bogus".into()]).is_err());
+        assert!(parse_opts(&["--trials".into()]).is_err());
+        assert!(parse_opts(&["--trials".into(), "abc".into()]).is_err());
+    }
+
+    #[test]
+    fn variance_sizes_are_powers_of_two() {
+        assert_eq!(variance_sizes(64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(variance_sizes(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn every_quick_command_runs() {
+        let opts = Opts { csv: false, trials: Some(50), max_n: Some(8), seed: Some(1), hard: false };
+        for c in [
+            "params", "table3", "table4", "fig3", "fig4", "minorize", "protocol", "gantt",
+            "lifo", "sensitivity",
+        ] {
+            run_command(c, &opts).unwrap_or_else(|e| panic!("{c}: {e}"));
+        }
+        assert!(run_command("nope", &opts).is_err());
+    }
+}

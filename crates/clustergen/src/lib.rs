@@ -1,0 +1,322 @@
+//! # hetero-clustergen — constrained random heterogeneity profiles
+//!
+//! The Section 4.3 experiments need *pairs* of random `n`-computer
+//! clusters that share the same mean speed while differing in variance.
+//! The paper only sketches its generator (the details are in the
+//! unavailable companion paper), so this crate defines a documented,
+//! reproducible one (DESIGN.md substitution S3):
+//!
+//! 1. draw raw speeds in `[lo, 1]` from a configurable [`Shape`]
+//!    (uniform, bimodal, or mean-concentrated — the shapes produce small,
+//!    large, and tiny variances respectively, giving the threshold
+//!    experiment its range of variance gaps);
+//! 2. project the second profile onto the first's mean by iterative
+//!    shift-and-clamp, finishing with an exact residual distribution
+//!    ([`adjust_to_mean`]);
+//! 3. reject and retry if the projection cannot land inside `[lo, 1]ⁿ`.
+//!
+//! Everything is driven by explicit [`rand::rngs::StdRng`] seeds; combined
+//! with `hetero_par::seed::derive`, parallel sweeps are reproducible
+//! independent of thread count.
+//!
+//! ```
+//! use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, Shape};
+//!
+//! let mut rng = rng_from_seed(7);
+//! let gen = EqualMeanPairGen::new(GenConfig::new(16), Shape::Uniform, Shape::Bimodal);
+//! let pair = gen.sample(&mut rng).expect("projection feasible");
+//! assert!((pair.p1.mean() - pair.p2.mean()).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hetero_core::Profile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the crate's standard RNG from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Size and speed-range of generated clusters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenConfig {
+    /// Number of computers.
+    pub n: usize,
+    /// Smallest permitted ρ (fastest speed). Must satisfy `0 < lo < 1`.
+    pub lo: f64,
+}
+
+impl GenConfig {
+    /// Config with the default speed floor `lo = 0.01` (a 100× speed range,
+    /// comfortably covering the paper's examples).
+    pub fn new(n: usize) -> Self {
+        GenConfig { n, lo: 0.01 }
+    }
+
+    /// Overrides the speed floor.
+    pub fn with_lo(mut self, lo: f64) -> Self {
+        assert!(lo > 0.0 && lo < 1.0, "lo must lie in (0, 1)");
+        self.lo = lo;
+        self
+    }
+}
+
+/// Distribution family for raw speed draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// i.i.d. uniform on `[lo, 1]` — moderate variance.
+    Uniform,
+    /// Each speed near `lo` or near `1` (±10 % of the range) with equal
+    /// probability — variance close to its maximum for the range.
+    Bimodal,
+    /// Speeds within ±10 % of the range's midpoint — variance near zero.
+    Concentrated,
+}
+
+/// Draws one vector of raw speeds (unsorted, not mean-adjusted).
+pub fn sample_speeds(rng: &mut StdRng, cfg: GenConfig, shape: Shape) -> Vec<f64> {
+    assert!(cfg.n >= 1, "cluster must have at least one computer");
+    let width = 1.0 - cfg.lo;
+    (0..cfg.n)
+        .map(|_| match shape {
+            Shape::Uniform => rng.random_range(cfg.lo..=1.0),
+            Shape::Bimodal => {
+                let jitter = rng.random_range(0.0..=0.1) * width;
+                if rng.random_bool(0.5) {
+                    cfg.lo + jitter
+                } else {
+                    1.0 - jitter
+                }
+            }
+            Shape::Concentrated => {
+                let mid = cfg.lo + 0.5 * width;
+                mid + rng.random_range(-0.1..=0.1) * width
+            }
+        })
+        .collect()
+}
+
+/// Draws one random [`Profile`] (sorted slowest-first).
+pub fn random_profile(rng: &mut StdRng, cfg: GenConfig, shape: Shape) -> Profile {
+    Profile::from_unsorted(sample_speeds(rng, cfg, shape))
+        .expect("sampled speeds are positive and finite")
+}
+
+/// Projects `speeds` to have exactly the `target` mean while staying in
+/// `[lo, 1]`, by iterative shift-and-clamp plus an exact residual pass.
+/// Returns `None` when the target is outside `[lo, 1]` (unreachable).
+pub fn adjust_to_mean(mut speeds: Vec<f64>, target: f64, lo: f64) -> Option<Vec<f64>> {
+    let n = speeds.len() as f64;
+    if speeds.is_empty() || !(lo..=1.0).contains(&target) {
+        return None;
+    }
+    // Phase 1: shift everything by the mean error, clamping to the box.
+    // Each iteration strictly reduces |error| unless all entries are
+    // pinned at the same bound, which cannot happen for a reachable target.
+    for _ in 0..64 {
+        let mean = speeds.iter().sum::<f64>() / n;
+        let err = target - mean;
+        if err.abs() < 1e-12 {
+            break;
+        }
+        for s in &mut speeds {
+            *s = (*s + err).clamp(lo, 1.0);
+        }
+    }
+    // Phase 2: distribute the (tiny) remaining residual over entries with
+    // slack, making the mean exact to f64 working precision.
+    let mut residual = target * n - speeds.iter().sum::<f64>();
+    for s in &mut speeds {
+        if residual.abs() < 1e-15 {
+            break;
+        }
+        let room = if residual > 0.0 { 1.0 - *s } else { lo - *s };
+        let step = residual.clamp(room.min(0.0), room.max(0.0));
+        *s += step;
+        residual -= step;
+    }
+    if residual.abs() > 1e-9 {
+        return None; // pathological box; caller should resample
+    }
+    Some(speeds)
+}
+
+/// A pair of equal-mean profiles plus their measured statistics.
+#[derive(Debug, Clone)]
+pub struct EqualMeanPair {
+    /// First profile.
+    pub p1: Profile,
+    /// Second profile (mean-matched to the first).
+    pub p2: Profile,
+    /// The shared mean speed.
+    pub mean: f64,
+    /// `VAR(p1)`.
+    pub var1: f64,
+    /// `VAR(p2)`.
+    pub var2: f64,
+}
+
+impl EqualMeanPair {
+    /// Absolute variance gap `|VAR(p1) − VAR(p2)|`.
+    pub fn variance_gap(&self) -> f64 {
+        (self.var1 - self.var2).abs()
+    }
+}
+
+/// Generator of equal-mean profile pairs with chosen shapes for each side.
+///
+/// Drawing `p1` from one shape and `p2` from another controls the typical
+/// variance gap: `(Concentrated, Bimodal)` produces the large gaps probed
+/// by the threshold experiment, `(Uniform, Uniform)` the small ones where
+/// the variance predictor starts to fail.
+#[derive(Debug, Clone, Copy)]
+pub struct EqualMeanPairGen {
+    cfg: GenConfig,
+    shape1: Shape,
+    shape2: Shape,
+}
+
+impl EqualMeanPairGen {
+    /// New generator.
+    pub fn new(cfg: GenConfig, shape1: Shape, shape2: Shape) -> Self {
+        EqualMeanPairGen { cfg, shape1, shape2 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> GenConfig {
+        self.cfg
+    }
+
+    /// Draws one pair; `None` when 32 successive projections failed
+    /// (practically unreachable for sane configs).
+    pub fn sample(&self, rng: &mut StdRng) -> Option<EqualMeanPair> {
+        for _ in 0..32 {
+            let raw1 = sample_speeds(rng, self.cfg, self.shape1);
+            let mean = raw1.iter().sum::<f64>() / raw1.len() as f64;
+            let raw2 = sample_speeds(rng, self.cfg, self.shape2);
+            let Some(adj2) = adjust_to_mean(raw2, mean, self.cfg.lo) else {
+                continue;
+            };
+            let p1 = Profile::from_unsorted(raw1).expect("valid speeds");
+            let p2 = Profile::from_unsorted(adj2).expect("valid speeds");
+            let (var1, var2) = (p1.variance(), p2.variance());
+            return Some(EqualMeanPair { p1, p2, mean, var1, var2 });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let cfg = GenConfig::new(8);
+        let a = sample_speeds(&mut rng_from_seed(99), cfg, Shape::Uniform);
+        let b = sample_speeds(&mut rng_from_seed(99), cfg, Shape::Uniform);
+        assert_eq!(a, b);
+        let c = sample_speeds(&mut rng_from_seed(100), cfg, Shape::Uniform);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_respect_the_box() {
+        let cfg = GenConfig::new(200).with_lo(0.05);
+        let mut rng = rng_from_seed(1);
+        for shape in [Shape::Uniform, Shape::Bimodal, Shape::Concentrated] {
+            for s in sample_speeds(&mut rng, cfg, shape) {
+                assert!((0.05..=1.0).contains(&s), "{shape:?} produced {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_order_variances() {
+        let cfg = GenConfig::new(500);
+        let mut rng = rng_from_seed(2);
+        let mut var = |shape| {
+            Profile::from_unsorted(sample_speeds(&mut rng, cfg, shape))
+                .unwrap()
+                .variance()
+        };
+        let (vc, vu, vb) = (var(Shape::Concentrated), var(Shape::Uniform), var(Shape::Bimodal));
+        assert!(vc < vu && vu < vb, "{vc} < {vu} < {vb} violated");
+    }
+
+    #[test]
+    fn adjust_to_mean_hits_target_exactly() {
+        let speeds = vec![0.2, 0.9, 0.5, 0.7];
+        let out = adjust_to_mean(speeds, 0.4, 0.01).unwrap();
+        let mean = out.iter().sum::<f64>() / 4.0;
+        assert!((mean - 0.4).abs() < 1e-12);
+        for s in out {
+            assert!((0.01..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn adjust_to_mean_rejects_unreachable_targets() {
+        assert!(adjust_to_mean(vec![0.5, 0.5], 1.5, 0.01).is_none());
+        assert!(adjust_to_mean(vec![0.5, 0.5], 0.001, 0.01).is_none());
+        assert!(adjust_to_mean(vec![], 0.5, 0.01).is_none());
+    }
+
+    #[test]
+    fn adjust_to_mean_handles_extreme_targets_in_range() {
+        // Target at the very top of the box pins everything at 1.
+        let out = adjust_to_mean(vec![0.3, 0.8], 1.0, 0.01).unwrap();
+        assert_eq!(out, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn equal_mean_pairs_share_mean() {
+        let gen = EqualMeanPairGen::new(GenConfig::new(32), Shape::Uniform, Shape::Bimodal);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..50 {
+            let pair = gen.sample(&mut rng).expect("feasible");
+            assert!((pair.p1.mean() - pair.p2.mean()).abs() < 1e-11);
+            assert!((pair.p1.mean() - pair.mean).abs() < 1e-11);
+            assert_eq!(pair.p1.n(), 32);
+            assert_eq!(pair.p2.n(), 32);
+        }
+    }
+
+    #[test]
+    fn shape_pairing_controls_variance_gap() {
+        let mut rng = rng_from_seed(4);
+        let big = EqualMeanPairGen::new(GenConfig::new(64), Shape::Concentrated, Shape::Bimodal);
+        let small = EqualMeanPairGen::new(GenConfig::new(64), Shape::Uniform, Shape::Uniform);
+        let mut big_gaps = 0.0;
+        let mut small_gaps = 0.0;
+        for _ in 0..20 {
+            big_gaps += big.sample(&mut rng).unwrap().variance_gap();
+            small_gaps += small.sample(&mut rng).unwrap().variance_gap();
+        }
+        assert!(
+            big_gaps > 4.0 * small_gaps,
+            "Concentrated/Bimodal should give much larger gaps: {big_gaps} vs {small_gaps}"
+        );
+    }
+
+    #[test]
+    fn variance_gap_is_symmetric() {
+        let pair = EqualMeanPair {
+            p1: Profile::homogeneous(2, 0.5).unwrap(),
+            p2: Profile::new(vec![0.9, 0.1]).unwrap(),
+            mean: 0.5,
+            var1: 0.0,
+            var2: 0.16,
+        };
+        assert!((pair.variance_gap() - 0.16).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must lie")]
+    fn bad_lo_panics() {
+        let _ = GenConfig::new(4).with_lo(1.5);
+    }
+}

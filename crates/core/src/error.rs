@@ -1,0 +1,84 @@
+//! Error types for model construction.
+
+use std::fmt;
+
+/// Why a [`Params`](crate::Params) or [`Profile`](crate::Profile) could not
+/// be built, or why a derived quantity is undefined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A profile must contain at least one computer.
+    EmptyProfile,
+    /// Every ρ-value must be finite and strictly positive.
+    InvalidRho {
+        /// Position of the offending value (0-based).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Profiles index computers in nonincreasing ρ order (slowest first).
+    NotSorted {
+        /// First position where `ρ[index] < ρ[index + 1]`.
+        index: usize,
+    },
+    /// A model parameter (τ, π, or δ) is out of range.
+    InvalidParam {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A speedup argument (φ or ψ) is out of its legal open interval.
+    InvalidSpeedup {
+        /// Which argument.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An index referred to a computer the profile does not have.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The profile size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyProfile => write!(f, "profile must contain at least one computer"),
+            ModelError::InvalidRho { index, value } => {
+                write!(f, "ρ[{index}] = {value} is not finite and strictly positive")
+            }
+            ModelError::NotSorted { index } => write!(
+                f,
+                "profile must be nonincreasing (slowest first); violated at index {index}"
+            ),
+            ModelError::InvalidParam { name, value } => {
+                write!(f, "parameter {name} = {value} is out of range")
+            }
+            ModelError::InvalidSpeedup { name, value } => {
+                write!(f, "speedup argument {name} = {value} is out of range")
+            }
+            ModelError::IndexOutOfRange { index, n } => {
+                write!(f, "computer index {index} out of range for an {n}-computer cluster")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = ModelError::InvalidRho { index: 3, value: -0.5 };
+        assert!(e.to_string().contains("ρ[3]"));
+        let e = ModelError::IndexOutOfRange { index: 9, n: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+}

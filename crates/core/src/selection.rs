@@ -1,0 +1,182 @@
+//! Cluster composition: which computers are worth keeping?
+//!
+//! The paper asks *what determines a cluster's power*; the operator's
+//! version is *which `k` of my `n` computers should I actually rent?*
+//! Proposition 2 settles it: any subset is pointwise dominated by the
+//! `k` fastest computers (sort both subsets — each rank of the fastest-`k`
+//! subset is at least as fast), so by minorization the **`k` fastest are
+//! always an optimal `k`-subset**. [`best_k_subset`] verifies that claim
+//! empirically by exhaustive search (for testing); [`marginal_gains`]
+//! quantifies the diminishing returns that the X-measure's saturation at
+//! `1/(A−τδ)` imposes; [`smallest_fleet_for`] inverts the curve.
+
+use crate::xmeasure::{x_measure_of_rhos, x_supremum};
+use crate::{ModelError, Params, Profile};
+
+/// The `k` fastest computers of the profile, as a new profile. By
+/// Proposition 2 this is an optimal `k`-subset (a fact the tests verify
+/// exhaustively against [`best_k_subset`]).
+pub fn fastest_k(profile: &Profile, k: usize) -> Result<Profile, ModelError> {
+    if k == 0 || k > profile.n() {
+        return Err(ModelError::IndexOutOfRange { index: k, n: profile.n() });
+    }
+    // Profiles are sorted slowest-first, so the k fastest are the suffix.
+    Profile::new(profile.rhos()[profile.n() - k..].to_vec())
+}
+
+/// Exhaustively finds a `k`-subset maximizing X (first-found among ties).
+/// Exponential — for tests and small clusters only.
+pub fn best_k_subset(params: &Params, profile: &Profile, k: usize) -> Result<Profile, ModelError> {
+    if k == 0 || k > profile.n() {
+        return Err(ModelError::IndexOutOfRange { index: k, n: profile.n() });
+    }
+    let n = profile.n();
+    assert!(n <= 20, "exhaustive subset search is for small clusters");
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        let rhos: Vec<f64> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| profile.rho(i))
+            .collect();
+        let x = x_measure_of_rhos(params, &rhos);
+        match &best {
+            Some((bx, _)) if x <= *bx => {}
+            _ => best = Some((x, rhos)),
+        }
+    }
+    let (_, rhos) = best.expect("k ≥ 1 guarantees a subset");
+    Profile::from_unsorted(rhos)
+}
+
+/// The X-measure of the `k`-fastest sub-cluster, for `k = 1…n` (index
+/// `k − 1`), plus the marginal gain of each additional (slower) computer.
+pub fn marginal_gains(params: &Params, profile: &Profile) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(profile.n());
+    let mut prev = 0.0;
+    for k in 1..=profile.n() {
+        let x = x_measure_of_rhos(params, &profile.rhos()[profile.n() - k..]);
+        out.push((x, x - prev));
+        prev = x;
+    }
+    out
+}
+
+/// The smallest `k` such that the `k` fastest computers reach `fraction`
+/// of the *full* cluster's X-measure. `fraction` must be in `(0, 1]`.
+pub fn smallest_fleet_for(
+    params: &Params,
+    profile: &Profile,
+    fraction: f64,
+) -> Result<usize, ModelError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(ModelError::InvalidParam { name: "fraction", value: fraction });
+    }
+    let full = x_measure_of_rhos(params, profile.rhos());
+    let target = fraction * full;
+    for k in 1..=profile.n() {
+        if x_measure_of_rhos(params, &profile.rhos()[profile.n() - k..]) >= target {
+            return Ok(k);
+        }
+    }
+    Ok(profile.n())
+}
+
+/// How close the full cluster sits to the server's feeding limit
+/// `1/(A−τδ)`, in `[0, 1)` — the saturation headroom that makes late
+/// marginal gains small.
+pub fn saturation(params: &Params, profile: &Profile) -> f64 {
+    x_measure_of_rhos(params, profile.rhos()) / x_supremum(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    #[test]
+    fn fastest_k_is_the_suffix() {
+        let p = Profile::new(vec![1.0, 0.5, 0.25, 0.125]).unwrap();
+        assert_eq!(fastest_k(&p, 2).unwrap().rhos(), &[0.25, 0.125]);
+        assert_eq!(fastest_k(&p, 4).unwrap().rhos(), p.rhos());
+        assert!(fastest_k(&p, 0).is_err());
+        assert!(fastest_k(&p, 5).is_err());
+    }
+
+    #[test]
+    fn fastest_k_is_an_optimal_subset() {
+        // Proposition 2's consequence, verified exhaustively.
+        let pr = params();
+        for profile in [
+            Profile::new(vec![1.0, 0.5, 0.25, 0.125]).unwrap(),
+            Profile::harmonic(7),
+            Profile::new(vec![1.0, 0.9, 0.9, 0.2, 0.1]).unwrap(),
+        ] {
+            for k in 1..=profile.n() {
+                let exhaustive = best_k_subset(&pr, &profile, k).unwrap();
+                let greedy = fastest_k(&profile, k).unwrap();
+                let xe = x_measure_of_rhos(&pr, exhaustive.rhos());
+                let xg = x_measure_of_rhos(&pr, greedy.rhos());
+                assert!(
+                    (xe - xg).abs() / xe < 1e-12,
+                    "k = {k} on {:?}",
+                    profile.rhos()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_gains_are_positive_and_x_monotone() {
+        let pr = params();
+        let p = Profile::harmonic(10);
+        let gains = marginal_gains(&pr, &p);
+        assert_eq!(gains.len(), 10);
+        for (x, gain) in &gains {
+            assert!(*x > 0.0 && *gain > 0.0);
+        }
+        for w in gains.windows(2) {
+            assert!(w[1].0 > w[0].0, "X grows with fleet size");
+        }
+    }
+
+    #[test]
+    fn gains_diminish_for_the_harmonic_family() {
+        // Adding the slowest computer to a harmonic fleet is worth far
+        // less than the first computer was.
+        let pr = params();
+        let p = Profile::harmonic(16);
+        let gains = marginal_gains(&pr, &p);
+        assert!(gains.last().unwrap().1 < 0.1 * gains.first().unwrap().1);
+    }
+
+    #[test]
+    fn smallest_fleet_inverts_the_curve() {
+        let pr = params();
+        let p = Profile::harmonic(12);
+        let k95 = smallest_fleet_for(&pr, &p, 0.95).unwrap();
+        let k100 = smallest_fleet_for(&pr, &p, 1.0).unwrap();
+        assert!(k95 < k100, "95 % needs fewer computers than 100 %");
+        assert_eq!(k100, 12);
+        // The returned k really achieves the target; k − 1 does not.
+        let full = x_measure_of_rhos(&pr, p.rhos());
+        let at_k = x_measure_of_rhos(&pr, &p.rhos()[p.n() - k95..]);
+        assert!(at_k >= 0.95 * full);
+        let below = x_measure_of_rhos(&pr, &p.rhos()[p.n() - (k95 - 1)..]);
+        assert!(below < 0.95 * full);
+        assert!(smallest_fleet_for(&pr, &p, 0.0).is_err());
+        assert!(smallest_fleet_for(&pr, &p, 1.5).is_err());
+    }
+
+    #[test]
+    fn saturation_reflects_scale() {
+        let pr = params();
+        assert!(saturation(&pr, &Profile::harmonic(4)) < 0.001);
+        assert!(saturation(&pr, &Profile::harmonic(4096)) > 0.9);
+    }
+}

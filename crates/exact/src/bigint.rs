@@ -1,0 +1,378 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::BigUint;
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Zero`], so every value
+/// has exactly one representation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Plus,
+}
+
+impl Sign {
+    /// Multiplicative composition of signs.
+    fn mul(self, other: Sign) -> Sign {
+        match (self, other) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (Sign::Plus, Sign::Plus) | (Sign::Minus, Sign::Minus) => Sign::Plus,
+            _ => Sign::Minus,
+        }
+    }
+
+    /// The opposite sign.
+    fn neg(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Zero => Sign::Zero,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// ```
+/// use hetero_exact::BigInt;
+/// let a = BigInt::from(-7i64);
+/// let b = BigInt::from(3i64);
+/// assert_eq!((&a * &b).to_string(), "-21");
+/// assert_eq!((&a + &b).to_string(), "-4");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Builds from a sign and magnitude, normalizing zero.
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            Self::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude with Sign::Zero");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Plus
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt::from_sign_mag(
+            if self.is_zero() { Sign::Zero } else { Sign::Plus },
+            self.mag.clone(),
+        )
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Minus => -m,
+            _ => m,
+        }
+    }
+
+    /// `self` raised to `exp`.
+    pub fn pow(&self, exp: u32) -> Self {
+        let sign = if self.is_zero() && exp > 0 {
+            Sign::Zero
+        } else if self.sign == Sign::Minus && exp % 2 == 1 {
+            Sign::Minus
+        } else if exp == 0 {
+            Sign::Plus
+        } else if self.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Plus
+        };
+        BigInt::from_sign_mag(sign, self.mag.pow(exp))
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        let sign = if mag.is_zero() { Sign::Zero } else { Sign::Plus };
+        BigInt { sign, mag }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(Sign::Plus, BigUint::from(v as u64)),
+            Ordering::Less => BigInt::from_sign_mag(Sign::Minus, BigUint::from(v.unsigned_abs())),
+        }
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(Sign::Plus, BigUint::from(v as u128)),
+            Ordering::Less => BigInt::from_sign_mag(Sign::Minus, BigUint::from(v.unsigned_abs())),
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from(BigUint::from(v))
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.neg(),
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: self.sign.neg(),
+            mag: self.mag,
+        }
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, &self.mag + &rhs.mag),
+            _ => {
+                // Opposite signs: subtract the smaller magnitude.
+                match self.mag.cmp(&rhs.mag) {
+                    Ordering::Equal => BigInt::zero(),
+                    Ordering::Greater => {
+                        BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag)
+                    }
+                    Ordering::Less => BigInt::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+                }
+            }
+        }
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        BigInt::from_sign_mag(self.sign.mul(rhs.sign), &self.mag * &rhs.mag)
+    }
+}
+
+macro_rules! forward_signed_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+forward_signed_binop!(Add, add);
+forward_signed_binop!(Sub, sub);
+forward_signed_binop!(Mul, mul);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, rhs: &BigInt) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, rhs: &BigInt) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, rhs: &BigInt) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+            (Sign::Minus, _) => Ordering::Less,
+            (Sign::Zero, Sign::Minus) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Plus, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert_eq!(int(0).sign(), Sign::Zero);
+        assert_eq!(int(5) - int(5), BigInt::zero());
+        assert_eq!((int(5) - int(5)).sign(), Sign::Zero);
+        assert_eq!(-BigInt::zero(), BigInt::zero());
+    }
+
+    #[test]
+    fn signed_addition_cases() {
+        let cases: [(i128, i128); 8] = [
+            (5, 3),
+            (-5, 3),
+            (5, -3),
+            (-5, -3),
+            (3, -5),
+            (-3, 5),
+            (0, -7),
+            (7, 0),
+        ];
+        for (a, b) in cases {
+            assert_eq!(int(a) + int(b), int(a + b), "{a} + {b}");
+            assert_eq!(int(a) - int(b), int(a - b), "{a} - {b}");
+            assert_eq!(int(a) * int(b), int(a * b), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn ordering_spans_signs() {
+        let mut vals = vec![int(3), int(-10), int(0), int(7), int(-2)];
+        vals.sort();
+        let shown: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+        assert_eq!(shown, ["-10", "-2", "0", "3", "7"]);
+    }
+
+    #[test]
+    fn pow_sign_rules() {
+        assert_eq!(int(-2).pow(3), int(-8));
+        assert_eq!(int(-2).pow(4), int(16));
+        assert_eq!(int(0).pow(5), int(0));
+        assert_eq!(int(0).pow(0), int(1));
+        assert_eq!(int(-7).pow(0), int(1));
+    }
+
+    #[test]
+    fn display_includes_sign() {
+        assert_eq!(int(-12345).to_string(), "-12345");
+        assert_eq!(int(12345).to_string(), "12345");
+        assert_eq!(int(0).to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_signed() {
+        assert_eq!(int(-1 << 30).to_f64(), -(1i64 << 30) as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero magnitude")]
+    fn from_sign_mag_rejects_zero_sign_nonzero_mag() {
+        let _ = BigInt::from_sign_mag(Sign::Zero, BigUint::from(3u64));
+    }
+}

@@ -1,0 +1,764 @@
+//! Unsigned arbitrary-precision integers.
+//!
+//! Representation: little-endian `u64` limbs with the invariant that the
+//! highest limb is nonzero (so zero is the empty limb vector). All
+//! arithmetic is exact; operations that could go negative (`-`) panic, with
+//! [`BigUint::checked_sub`] as the non-panicking alternative.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+
+/// Limb count above which multiplication switches from schoolbook to
+/// Karatsuba. Tuned coarsely; correctness does not depend on the value.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// ```
+/// use hetero_exact::BigUint;
+/// let a = BigUint::from(u64::MAX);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Read-only view of the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` iff the lowest bit is zero (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => (self.limbs.len() as u64) * 64 - u64::from(hi.leading_zeros()),
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u128::from(self.limbs[0])),
+            2 => Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` (round-to-nearest; huge values become
+    /// `f64::INFINITY`).
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        if bits <= 64 {
+            return self.to_u64().unwrap_or(0) as f64;
+        }
+        // Take the top 64 bits as the significand and scale by the exponent.
+        let shift = bits - 64;
+        let top = (self >> shift).to_u64().expect("top 64 bits fit");
+        (top as f64) * (shift as f64).exp2()
+    }
+
+    /// `self + other`.
+    fn add_impl(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let s = u128::from(long[i])
+                + u128::from(*short.get(i).unwrap_or(&0))
+                + u128::from(carry);
+            out.push(s as u64);
+            carry = (s >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `self - other`, or `None` when `other > self`.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let rhs = u128::from(*other.limbs.get(i).unwrap_or(&0)) + u128::from(borrow);
+            let lhs = u128::from(self.limbs[i]);
+            if lhs >= rhs {
+                out.push((lhs - rhs) as u64);
+                borrow = 0;
+            } else {
+                out.push((lhs + (1u128 << 64) - rhs) as u64);
+                borrow = 1;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Schoolbook O(n·m) product.
+    fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let t = u128::from(ai) * u128::from(bj) + u128::from(out[i + j]) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = u128::from(out[k]) + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Karatsuba product on limb slices; falls back to schoolbook below the
+    /// threshold. Returns unnormalized limbs.
+    fn mul_karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+            return Self::mul_schoolbook(a, b);
+        }
+        let half = a.len().max(b.len()) / 2;
+        let (a0, a1) = a.split_at(half.min(a.len()));
+        let (b0, b1) = b.split_at(half.min(b.len()));
+        let a0 = BigUint::from_limbs(a0.to_vec());
+        let a1 = BigUint::from_limbs(a1.to_vec());
+        let b0 = BigUint::from_limbs(b0.to_vec());
+        let b1 = BigUint::from_limbs(b1.to_vec());
+
+        let z0 = BigUint::from_limbs(Self::mul_karatsuba(a0.limbs(), b0.limbs()));
+        let z2 = BigUint::from_limbs(Self::mul_karatsuba(a1.limbs(), b1.limbs()));
+        let sa = &a0 + &a1;
+        let sb = &b0 + &b1;
+        let z1 = BigUint::from_limbs(Self::mul_karatsuba(sa.limbs(), sb.limbs()));
+        let z1 = z1
+            .checked_sub(&z0)
+            .and_then(|v| v.checked_sub(&z2))
+            .expect("karatsuba middle term is nonnegative");
+
+        // z2·2^(128·half) + z1·2^(64·half) + z0
+        let mut acc = z0;
+        acc += &z1.shl_limbs(half);
+        acc += &z2.shl_limbs(2 * half);
+        acc.limbs
+    }
+
+    /// Shift left by whole limbs (multiply by 2^(64·k)).
+    fn shl_limbs(&self, k: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let mut limbs = vec![0u64; k];
+        limbs.extend_from_slice(&self.limbs);
+        BigUint { limbs }
+    }
+
+    /// Quotient and remainder: `(self / div, self % div)`.
+    ///
+    /// # Panics
+    /// Panics when `div` is zero.
+    pub fn divrem(&self, div: &Self) -> (Self, Self) {
+        assert!(!div.is_zero(), "division by zero BigUint");
+        match self.cmp(div) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        if div.limbs.len() == 1 {
+            let (q, r) = self.divrem_limb(div.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.divrem_knuth(div)
+    }
+
+    /// Divide by a single nonzero limb.
+    fn divrem_limb(&self, d: u64) -> (Self, u64) {
+        debug_assert!(d != 0);
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(d)) as u64;
+            rem = cur % u128::from(d);
+        }
+        (BigUint::from_limbs(out), rem as u64)
+    }
+
+    /// Knuth TAOCP vol. 2 Algorithm D (multi-limb division).
+    fn divrem_knuth(&self, div: &Self) -> (Self, Self) {
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = div.limbs.last().unwrap().leading_zeros();
+        let u = self << u64::from(shift); // dividend
+        let v = div << u64::from(shift); // divisor
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // u has m+n+1 limbs
+        let vn = &v.limbs;
+        let v_hi = vn[n - 1];
+        let v_lo = vn[n - 2];
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Trial quotient from the top two dividend limbs.
+            let num = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+            let mut qhat = num / u128::from(v_hi);
+            let mut rhat = num % u128::from(v_hi);
+            // Refine so qhat is at most one too large.
+            while qhat >> 64 != 0
+                || qhat * u128::from(v_lo) > ((rhat << 64) | u128::from(un[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += u128::from(v_hi);
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-subtract qhat·v from u[j..j+n].
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * u128::from(vn[i]) + carry;
+                carry = p >> 64;
+                let sub = i128::from(un[j + i]) - i128::from(p as u64) + borrow;
+                un[j + i] = sub as u64; // wrapping two's-complement keep
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = i128::from(un[j + n]) - i128::from(carry as u64) + borrow;
+            un[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            q[j] = qhat as u64;
+            if borrow != 0 {
+                // qhat was one too large: add v back.
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let t = u128::from(un[j + i]) + u128::from(vn[i]) + carry;
+                    un[j + i] = t as u64;
+                    carry = t >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+        }
+
+        let quot = BigUint::from_limbs(q);
+        let rem = BigUint::from_limbs(un[..n].to_vec()) >> u64::from(shift);
+        (quot, rem)
+    }
+
+    /// Greatest common divisor (binary GCD / Stein's algorithm).
+    pub fn gcd(&self, other: &Self) -> Self {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let common = az.min(bz);
+        a = &a >> az;
+        b = &b >> bz;
+        loop {
+            debug_assert!(!a.is_even() && !b.is_even());
+            if a < b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            a = a.checked_sub(&b).expect("a >= b after swap");
+            if a.is_zero() {
+                return &b << common;
+            }
+            let tz = a.trailing_zeros();
+            a = &a >> tz;
+        }
+    }
+
+    /// Number of trailing zero bits.
+    ///
+    /// # Panics
+    /// Panics on zero (which has no finite answer).
+    pub fn trailing_zeros(&self) -> u64 {
+        assert!(!self.is_zero(), "trailing_zeros of zero BigUint");
+        let mut total = 0u64;
+        for &l in &self.limbs {
+            if l == 0 {
+                total += 64;
+            } else {
+                return total + u64::from(l.trailing_zeros());
+            }
+        }
+        unreachable!("normalized BigUint has a nonzero limb")
+    }
+
+    /// `self` raised to `exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = Self::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Parses a decimal string (ASCII digits only, no sign).
+    pub fn parse_decimal(s: &str) -> Option<Self> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let mut acc = Self::zero();
+        // Consume 19 digits at a time (10^19 < 2^64).
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(19);
+            let chunk = std::str::from_utf8(&bytes[i..i + take]).ok()?;
+            let val: u64 = chunk.parse().ok()?;
+            acc = &acc * &BigUint::from(10u64.pow(take as u32)) + &BigUint::from(val);
+            i += take;
+        }
+        Some(acc)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_impl(rhs)
+    }
+}
+forward_binop!(Add, add);
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_impl(rhs);
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+forward_binop!(Sub, sub);
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        BigUint::from_limbs(BigUint::mul_karatsuba(&self.limbs, &rhs.limbs))
+    }
+}
+forward_binop!(Mul, mul);
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.divrem(rhs).1
+    }
+}
+forward_binop!(Rem, rem);
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<u64> for BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: u64) -> BigUint {
+        &self << bits
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return BigUint::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shr<u64> for BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: u64) -> BigUint {
+        &self >> bits
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time.
+        let chunk = BigUint::from(10u64.pow(19));
+        let mut rest = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !rest.is_zero() {
+            let (q, r) = rest.divrem(&chunk);
+            parts.push(r.to_u64().expect("remainder < 10^19"));
+            rest = q;
+        }
+        let mut s = parts.pop().unwrap().to_string();
+        for p in parts.into_iter().rev() {
+            s.push_str(&format!("{p:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        let z = BigUint::zero();
+        let o = BigUint::one();
+        assert!(z.is_zero());
+        assert!(o.is_one());
+        assert_eq!(&z + &o, o);
+        assert_eq!(&o * &z, z);
+        assert_eq!(o.bits(), 1);
+        assert_eq!(z.bits(), 0);
+    }
+
+    #[test]
+    fn addition_carries_across_limbs() {
+        let a = big(u128::from(u64::MAX));
+        let b = BigUint::one();
+        let s = &a + &b;
+        assert_eq!(s.to_u128(), Some(1u128 << 64));
+        assert_eq!(s.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn subtraction_borrows_across_limbs() {
+        let a = big(1u128 << 64);
+        let b = BigUint::one();
+        assert_eq!((&a - &b).to_u128(), Some(u128::from(u64::MAX)));
+        assert!(b.checked_sub(&a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = BigUint::one() - big(2);
+    }
+
+    #[test]
+    fn multiplication_matches_u128() {
+        let cases = [
+            (0u128, 0u128),
+            (1, u64::MAX as u128),
+            (u64::MAX as u128, u64::MAX as u128),
+            (123_456_789_012_345, 987_654_321_098_765),
+        ];
+        for (x, y) in cases {
+            assert_eq!((big(x) * big(y)).to_u128(), x.checked_mul(y));
+        }
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Operands well above the threshold.
+        let a_limbs: Vec<u64> = (0..80).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect();
+        let b_limbs: Vec<u64> = (0..75).map(|i| 0xBF58_476D_1CE4_E5B9u64.wrapping_mul(i + 3)).collect();
+        let a = BigUint::from_limbs(a_limbs.clone());
+        let b = BigUint::from_limbs(b_limbs.clone());
+        let fast = &a * &b;
+        let slow = BigUint::from_limbs(BigUint::mul_schoolbook(&a_limbs, &b_limbs));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn division_small() {
+        let (q, r) = big(1000).divrem(&big(7));
+        assert_eq!(q, big(142));
+        assert_eq!(r, big(6));
+    }
+
+    #[test]
+    fn division_multi_limb_roundtrip() {
+        let a = BigUint::from_limbs(vec![0xdead_beef, 0xcafe_babe, 0x1234_5678, 0x9abc]);
+        let d = BigUint::from_limbs(vec![0xffff_ffff_0000_0001, 0x7]);
+        let (q, r) = a.divrem(&d);
+        assert!(r < d);
+        assert_eq!(&q * &d + &r, a);
+    }
+
+    #[test]
+    fn division_by_larger_is_zero() {
+        let (q, r) = big(5).divrem(&big(100));
+        assert!(q.is_zero());
+        assert_eq!(r, big(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = big(5).divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = BigUint::parse_decimal("123456789123456789123456789").unwrap();
+        for bits in [0u64, 1, 63, 64, 65, 127, 200] {
+            assert_eq!(&(&a << bits) >> bits, a);
+        }
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(31)), big(1));
+        assert_eq!(BigUint::zero().gcd(&big(9)), big(9));
+        assert_eq!(big(9).gcd(&BigUint::zero()), big(9));
+        let a = big(2u128.pow(40) * 3 * 49);
+        let b = big(2u128.pow(35) * 7 * 11);
+        assert_eq!(a.gcd(&b), big(2u128.pow(35) * 7));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let mut acc = BigUint::one();
+        let base = big(1_000_003);
+        for e in 0..12u32 {
+            assert_eq!(base.pow(e), acc);
+            acc = &acc * &base;
+        }
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+            "99999999999999999999999999999999999999999999999999",
+        ] {
+            let v = BigUint::parse_decimal(s).unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!(BigUint::parse_decimal("").is_none());
+        assert!(BigUint::parse_decimal("12a").is_none());
+        assert!(BigUint::parse_decimal("-5").is_none());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(big(2) < big(10));
+        assert!(big(1u128 << 64) > big(u64::MAX as u128));
+        assert_eq!(big(42).cmp(&big(42)), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(big(0).to_f64(), 0.0);
+        assert_eq!(big(1 << 20).to_f64(), (1u64 << 20) as f64);
+        let huge = BigUint::from(u64::MAX) * BigUint::from(u64::MAX);
+        let expect = (u64::MAX as f64) * (u64::MAX as f64);
+        assert!((huge.to_f64() - expect).abs() / expect < 1e-15);
+    }
+
+    #[test]
+    fn trailing_zeros_counts_across_limbs() {
+        assert_eq!(big(1).trailing_zeros(), 0);
+        assert_eq!(big(8).trailing_zeros(), 3);
+        assert_eq!((BigUint::one() << 130u64).trailing_zeros(), 130);
+    }
+}

@@ -1,0 +1,168 @@
+//! Decimal rendering of exact rationals.
+//!
+//! Certified results (HECR brackets, exact X comparisons) need to be
+//! *reported* at a chosen precision without silently passing through
+//! f64. [`Ratio::to_decimal_string`] renders a correctly rounded
+//! (half-to-even) fixed-point decimal of any width, exactly.
+
+use crate::{BigInt, BigUint, Ratio, Sign};
+
+impl Ratio {
+    /// Renders the value as a decimal string with exactly `digits`
+    /// fractional digits, rounded half-to-even. The result is exact
+    /// arithmetic throughout — no float conversion.
+    ///
+    /// ```
+    /// use hetero_exact::Ratio;
+    /// assert_eq!(Ratio::from_frac(1, 3).to_decimal_string(6), "0.333333");
+    /// assert_eq!(Ratio::from_frac(-1, 8).to_decimal_string(2), "-0.12");
+    /// assert_eq!(Ratio::from_frac(5, 2).to_decimal_string(0), "2");
+    /// ```
+    pub fn to_decimal_string(&self, digits: usize) -> String {
+        // Scale to an integer: round(self · 10^digits), half-to-even.
+        let pow10 = BigUint::from(10u64).pow(
+            u32::try_from(digits).expect("precision fits in u32"),
+        );
+        let scaled_num = self.numer().magnitude() * &pow10;
+        let (mut q, r) = scaled_num.divrem(self.denom());
+        let twice_r = &r + &r;
+        let round_up = match twice_r.cmp(self.denom()) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Equal => !(&q % &BigUint::from(2u64)).is_zero(),
+            std::cmp::Ordering::Less => false,
+        };
+        if round_up {
+            q = &q + &BigUint::one();
+        }
+
+        let all = q.to_string();
+        let (int_part, frac_part) = if digits == 0 {
+            (all.as_str().to_string(), String::new())
+        } else if all.len() > digits {
+            let split = all.len() - digits;
+            (all[..split].to_string(), all[split..].to_string())
+        } else {
+            ("0".to_string(), format!("{all:0>digits$}"))
+        };
+
+        let sign = if self.is_negative() && !(q.is_zero()) { "-" } else { "" };
+        if digits == 0 {
+            format!("{sign}{int_part}")
+        } else {
+            format!("{sign}{int_part}.{frac_part}")
+        }
+    }
+
+    /// Parses a plain decimal literal like `"-12.0345"` into the exact
+    /// rational it denotes. Returns `None` on malformed input.
+    pub fn from_decimal_str(s: &str) -> Option<Ratio> {
+        let (sign, rest) = match s.strip_prefix('-') {
+            Some(r) => (Sign::Minus, r),
+            None => (Sign::Plus, s),
+        };
+        let (int_s, frac_s) = match rest.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (rest, ""),
+        };
+        if int_s.is_empty() && frac_s.is_empty() {
+            return None;
+        }
+        let int_part = if int_s.is_empty() {
+            BigUint::zero()
+        } else {
+            BigUint::parse_decimal(int_s)?
+        };
+        let frac_part = if frac_s.is_empty() {
+            BigUint::zero()
+        } else {
+            BigUint::parse_decimal(frac_s)?
+        };
+        let denom = BigUint::from(10u64).pow(u32::try_from(frac_s.len()).ok()?);
+        let num = &int_part * &denom + &frac_part;
+        let sign = if num.is_zero() { Sign::Zero } else { sign };
+        Some(Ratio::new(BigInt::from_sign_mag(sign, num), denom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> Ratio {
+        Ratio::from_frac(n, d)
+    }
+
+    #[test]
+    fn exact_terminating_decimals() {
+        assert_eq!(r(1, 4).to_decimal_string(4), "0.2500");
+        assert_eq!(r(7, 1).to_decimal_string(2), "7.00");
+        assert_eq!(r(12345, 100).to_decimal_string(2), "123.45");
+        assert_eq!(Ratio::zero().to_decimal_string(3), "0.000");
+    }
+
+    #[test]
+    fn repeating_decimals_truncate_with_rounding() {
+        assert_eq!(r(2, 3).to_decimal_string(4), "0.6667");
+        assert_eq!(r(1, 7).to_decimal_string(6), "0.142857");
+        assert_eq!(r(1, 6).to_decimal_string(3), "0.167");
+    }
+
+    #[test]
+    fn half_to_even_rounding() {
+        // 0.125 at 2 digits: 12.5 → even → 12.
+        assert_eq!(r(1, 8).to_decimal_string(2), "0.12");
+        // 0.375 at 2 digits: 37.5 → even → 38.
+        assert_eq!(r(3, 8).to_decimal_string(2), "0.38");
+    }
+
+    #[test]
+    fn negatives_and_signs() {
+        assert_eq!(r(-2, 3).to_decimal_string(3), "-0.667");
+        assert_eq!(r(-1, 1).to_decimal_string(0), "-1");
+        // A negative that rounds to zero prints without a stray sign.
+        assert_eq!(r(-1, 10_000).to_decimal_string(2), "0.00");
+    }
+
+    #[test]
+    fn zero_digit_rendering_rounds_to_integer() {
+        assert_eq!(r(5, 2).to_decimal_string(0), "2", "2.5 → even 2");
+        assert_eq!(r(7, 2).to_decimal_string(0), "4", "3.5 → even 4");
+        assert_eq!(r(49, 10).to_decimal_string(0), "5");
+    }
+
+    #[test]
+    fn decimal_parse_roundtrip() {
+        for s in ["0.25", "-3.125", "17", "-0.0001", "123.450"] {
+            let v = Ratio::from_decimal_str(s).unwrap();
+            let digits = s.split_once('.').map_or(0, |(_, f)| f.len());
+            assert_eq!(v.to_decimal_string(digits), normalize(s), "{s}");
+        }
+        assert!(Ratio::from_decimal_str("").is_none());
+        assert!(Ratio::from_decimal_str(".").is_none());
+        assert!(Ratio::from_decimal_str("1.2.3").is_none());
+        assert!(Ratio::from_decimal_str("x").is_none());
+        assert_eq!(Ratio::from_decimal_str("-0.0").unwrap(), Ratio::zero());
+        assert_eq!(Ratio::from_decimal_str(".5").unwrap(), r(1, 2));
+    }
+
+    fn normalize(s: &str) -> String {
+        // "-0.0001" style strings are already canonical for the test set.
+        s.to_string()
+    }
+
+    #[test]
+    fn agrees_with_f64_formatting_on_dyadics() {
+        let v = Ratio::from_f64(0.308_593_75).unwrap(); // 79/256
+        assert_eq!(v.to_decimal_string(8), "0.30859375");
+    }
+
+    #[test]
+    fn hecr_bracket_style_usage() {
+        // Report a certified bracket to 9 decimal places.
+        let lo = r(2_159_827, 10_000_000);
+        let hi = &lo + &r(1, 1_000_000_000);
+        let (slo, shi) = (lo.to_decimal_string(9), hi.to_decimal_string(9));
+        assert_eq!(slo, "0.215982700");
+        assert_eq!(shi, "0.215982701");
+    }
+}

@@ -1,0 +1,49 @@
+//! # hetero-exact — exact arbitrary-precision arithmetic
+//!
+//! A from-scratch implementation of unsigned/signed big integers and exact
+//! rational numbers, built for *verifying* the algebraic claims of
+//! Rosenberg & Chiang's heterogeneity theory rather than for raw throughput.
+//!
+//! The X-measure of a heterogeneity profile,
+//!
+//! ```text
+//! X(P) = Σ_i  1/(Bρ_i + A) · Π_{j<i} (Bρ_j + τδ)/(Bρ_j + A),
+//! ```
+//!
+//! is a sum of products of `n` near-unity fractions. Comparing two X-values,
+//! or evaluating the sign of the Theorem 4 discriminant
+//! `(B²ψρ_iρ_j − Aτδ)·B·(1−ψ)(ρ_i−ρ_j)`, is a *sign decision on a tiny
+//! difference of large products* — exactly the regime where f64 cancellation
+//! produces wrong answers. Everything in this crate is exact: the only
+//! rounding happens in the explicit [`Ratio::to_f64`] conversion.
+//!
+//! ## Layout
+//!
+//! * [`BigUint`] — magnitude, little-endian `u64` limbs, schoolbook +
+//!   Karatsuba multiplication, Knuth Algorithm D division.
+//! * [`BigInt`] — sign-magnitude wrapper.
+//! * [`Ratio`] — always-reduced `BigInt / BigUint` rational with total order.
+//!
+//! ## Example
+//!
+//! ```
+//! use hetero_exact::Ratio;
+//!
+//! let a = Ratio::from_frac(1, 3);
+//! let b = Ratio::from_frac(1, 6);
+//! assert_eq!(&a + &b, Ratio::from_frac(1, 2));
+//! assert!(a > b);
+//! assert_eq!((&a * &b).to_string(), "1/18");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod biguint;
+mod decimal;
+mod ratio;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use ratio::{ParseRatioError, Ratio};

@@ -1,0 +1,537 @@
+//! Exact rational numbers.
+//!
+//! A [`Ratio`] is a fully reduced fraction `num / den` with `num: BigInt`,
+//! `den: BigUint`, `den > 0`, and `gcd(|num|, den) = 1`. Every constructor
+//! and operation maintains this canonical form, so equality is structural.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+use crate::{BigInt, BigUint, Sign};
+
+/// An exact rational number.
+///
+/// ```
+/// use hetero_exact::Ratio;
+/// let tau = Ratio::from_frac(1, 1_000_000);   // 1 µs in seconds
+/// let pi = Ratio::from_frac(1, 100_000);      // 10 µs
+/// let a = &tau + &pi;
+/// assert_eq!(a.to_string(), "11/1000000");
+/// assert!(a.to_f64() > 0.0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigUint, // > 0, coprime with |num|
+}
+
+/// Error returned when parsing a [`Ratio`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatioError {
+    what: &'static str,
+}
+
+impl fmt::Display for ParseRatioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParseRatioError {}
+
+impl Ratio {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Ratio {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Ratio {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Builds `num / den` from machine integers.
+    ///
+    /// # Panics
+    /// Panics when `den == 0`.
+    pub fn from_frac(num: i64, den: u64) -> Self {
+        Self::new(BigInt::from(num), BigUint::from(den))
+    }
+
+    /// Builds and reduces `num / den`.
+    ///
+    /// # Panics
+    /// Panics when `den` is zero.
+    pub fn new(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "Ratio with zero denominator");
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        let (rnum, _) = num.magnitude().divrem(&g);
+        let (rden, _) = den.divrem(&g);
+        Ratio {
+            num: BigInt::from_sign_mag(num.sign(), rnum),
+            den: rden,
+        }
+    }
+
+    /// Builds the integer `v`.
+    pub fn from_int(v: i64) -> Self {
+        Ratio {
+            num: BigInt::from(v),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Exact conversion from a finite `f64` (every finite double is a
+    /// dyadic rational). Returns `None` for NaN or infinity.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Self::zero());
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { Sign::Minus } else { Sign::Plus };
+        let exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Significand and unbiased power-of-two exponent.
+        let (mantissa, exp2) = if exp == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), exp - 1075)
+        };
+        let m = BigUint::from(mantissa);
+        Some(if exp2 >= 0 {
+            Ratio::new(
+                BigInt::from_sign_mag(sign, &m << exp2 as u64),
+                BigUint::one(),
+            )
+        } else {
+            Ratio::new(
+                BigInt::from_sign_mag(sign, m),
+                BigUint::one() << (-exp2) as u64,
+            )
+        })
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// `true` iff the value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn recip(&self) -> Self {
+        assert!(!self.is_zero(), "reciprocal of zero Ratio");
+        Ratio {
+            num: BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// `self` raised to an integer power (negative exponents invert).
+    ///
+    /// # Panics
+    /// Panics on `0^negative`.
+    pub fn powi(&self, exp: i32) -> Self {
+        if exp >= 0 {
+            Ratio {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
+        } else {
+            self.recip().powi(-exp)
+        }
+    }
+
+    /// Rounds to the nearest `f64` (round-half-even, correctly rounded).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let num = self.num.magnitude();
+        let num_bits = num.bits() as i64;
+        let den_bits = self.den.bits() as i64;
+        // The value lies in [2^(e-1), 2^(e+1)) for e = num_bits - den_bits.
+        let exp_est = num_bits - den_bits;
+
+        let mag = if exp_est <= -1022 {
+            // (Possibly) subnormal result: evaluate in fixed point at
+            // 2^-1074 with manual round-half-even. The rounded integer is
+            // < 2^53, so the final conversion and scaling are both exact —
+            // a single rounding overall.
+            let scaled = num << 1074u64;
+            let (q, r) = scaled.divrem(&self.den);
+            let q = q.to_u64().expect("subnormal mantissa fits in u64");
+            let twice_r = &r + &r;
+            let round_up = match twice_r.cmp(&self.den) {
+                Ordering::Greater => true,
+                Ordering::Equal => q & 1 == 1,
+                Ordering::Less => false,
+            };
+            (q + u64::from(round_up)) as f64 * (-1074f64).exp2()
+        } else {
+            // Normal result: produce a 63–64-bit truncated quotient, fold
+            // the remainder into the low bit (round-to-odd sticky), then
+            // let the u64→f64 conversion perform the one real rounding.
+            // Round-to-odd at ≥ 55 bits followed by round-to-nearest at 53
+            // bits is correctly rounded.
+            let shift = den_bits + 63 - num_bits;
+            let scaled = if shift >= 0 {
+                num << shift as u64
+            } else {
+                num >> (-shift) as u64
+            };
+            let (q, r) = scaled.divrem(&self.den);
+            let mut q = q.to_u64().expect("63-64 bit quotient fits in u64");
+            let inexact = !r.is_zero() || (shift < 0 && {
+                // Bits shifted out before the division also count as sticky.
+                let back = &scaled << (-shift) as u64;
+                &back != num
+            });
+            if inexact {
+                q |= 1;
+            }
+            // Scale by 2^(-shift) in two exact halves: a single exp2 can
+            // under/overflow even when the final value is representable
+            // (e.g. q·2^-1075 with q ≈ 2^63).
+            let e = -shift;
+            let (h1, h2) = (e / 2, e - e / 2);
+            q as f64 * (h1 as f64).exp2() * (h2 as f64).exp2()
+        };
+        if self.num.is_negative() {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Compares `self` with zero more cheaply than constructing a zero.
+    pub fn cmp_zero(&self) -> Ordering {
+        match self.num.sign() {
+            Sign::Minus => Ordering::Less,
+            Sign::Zero => Ordering::Equal,
+            Sign::Plus => Ordering::Greater,
+        }
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Self {
+        Self::from_int(v)
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = ParseRatioError;
+
+    /// Parses `"-3/4"`, `"3/4"`, `"7"`, or `"-7"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (sign, rest) = match s.strip_prefix('-') {
+            Some(r) => (Sign::Minus, r),
+            None => (Sign::Plus, s),
+        };
+        let (num_s, den_s) = match rest.split_once('/') {
+            Some((n, d)) => (n, d),
+            None => (rest, "1"),
+        };
+        let num = BigUint::parse_decimal(num_s).ok_or(ParseRatioError { what: "numerator" })?;
+        let den =
+            BigUint::parse_decimal(den_s).ok_or(ParseRatioError { what: "denominator" })?;
+        if den.is_zero() {
+            return Err(ParseRatioError { what: "zero denominator" });
+        }
+        let sign = if num.is_zero() { Sign::Zero } else { sign };
+        Ok(Ratio::new(BigInt::from_sign_mag(sign, num), den))
+    }
+}
+
+impl Neg for &Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Add<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: &Ratio) -> Ratio {
+        // a/b + c/d = (a·d + c·b) / (b·d), reduced by the constructor.
+        let num = &self.num * &BigInt::from(rhs.den.clone())
+            + &rhs.num * &BigInt::from(self.den.clone());
+        Ratio::new(num, &self.den * &rhs.den)
+    }
+}
+
+impl Sub<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: &Ratio) -> Ratio {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: &Ratio) -> Ratio {
+        Ratio::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div<&Ratio> for &Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: &Ratio) -> Ratio {
+        self * &rhs.recip()
+    }
+}
+
+macro_rules! forward_ratio_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: &Ratio) -> Ratio {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Ratio> for &Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+forward_ratio_binop!(Add, add);
+forward_ratio_binop!(Sub, sub);
+forward_ratio_binop!(Mul, mul);
+forward_ratio_binop!(Div, div);
+
+impl AddAssign<&Ratio> for Ratio {
+    fn add_assign(&mut self, rhs: &Ratio) {
+        *self = &*self + rhs;
+    }
+}
+impl SubAssign<&Ratio> for Ratio {
+    fn sub_assign(&mut self, rhs: &Ratio) {
+        *self = &*self - rhs;
+    }
+}
+impl MulAssign<&Ratio> for Ratio {
+    fn mul_assign(&mut self, rhs: &Ratio) {
+        *self = &*self * rhs;
+    }
+}
+impl DivAssign<&Ratio> for Ratio {
+    fn div_assign(&mut self, rhs: &Ratio) {
+        *self = &*self / rhs;
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ⇔  a·d vs c·b  (b, d > 0).
+        let lhs = &self.num * &BigInt::from(other.den.clone());
+        let rhs = &other.num * &BigInt::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: u64) -> Ratio {
+        Ratio::from_frac(n, d)
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-6, 9).to_string(), "-2/3");
+        assert_eq!(r(0, 7), Ratio::zero());
+        assert_eq!(r(0, 7).denom(), &BigUint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn field_arithmetic() {
+        assert_eq!(r(1, 3) + r(1, 6), r(1, 2));
+        assert_eq!(r(1, 3) - r(1, 2), r(-1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(3, 5), r(-3, 5));
+    }
+
+    #[test]
+    fn ordering_matches_real_numbers() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < Ratio::zero());
+        assert!(r(7, 1) > r(20, 3));
+        assert_eq!(r(4, 6).cmp(&r(2, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn recip_and_powi() {
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+        assert_eq!(r(-3, 4).recip(), r(-4, 3));
+        assert_eq!(r(2, 3).powi(3), r(8, 27));
+        assert_eq!(r(2, 3).powi(-2), r(9, 4));
+        assert_eq!(r(5, 7).powi(0), Ratio::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Ratio::zero().recip();
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        for v in [0.0, 1.0, -1.0, 0.5, -0.75, 3.5, 1e-300, 123456.789, 2.0f64.powi(-1074)] {
+            let exact = Ratio::from_f64(v).unwrap();
+            assert_eq!(exact.to_f64(), v, "roundtrip {v}");
+        }
+        assert!(Ratio::from_f64(f64::NAN).is_none());
+        assert!(Ratio::from_f64(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn from_f64_gives_exact_dyadic() {
+        assert_eq!(Ratio::from_f64(0.25).unwrap(), r(1, 4));
+        assert_eq!(Ratio::from_f64(-1.5).unwrap(), r(-3, 2));
+    }
+
+    #[test]
+    fn to_f64_handles_tiny_differences() {
+        // (1/3 + 1/5) - 8/15 must be exactly zero.
+        let d = r(1, 3) + r(1, 5) - r(8, 15);
+        assert!(d.is_zero());
+        // to_f64 of very small magnitudes is still correct.
+        let tiny = r(1, 1_000_000_007).powi(3);
+        assert!((tiny.to_f64() - (1.0f64 / 1_000_000_007.0).powi(3)).abs() < 1e-40);
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!("3/4".parse::<Ratio>().unwrap(), r(3, 4));
+        assert_eq!("-3/4".parse::<Ratio>().unwrap(), r(-3, 4));
+        assert_eq!("17".parse::<Ratio>().unwrap(), r(17, 1));
+        assert_eq!("-0".parse::<Ratio>().unwrap(), Ratio::zero());
+        assert!("1/0".parse::<Ratio>().is_err());
+        assert!("x/2".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn display_canonical_forms() {
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!(r(-9, 6).to_string(), "-3/2");
+        assert_eq!(Ratio::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn sign_queries() {
+        assert!(r(1, 2).is_positive());
+        assert!(r(-1, 2).is_negative());
+        assert!(Ratio::zero().is_zero());
+        assert_eq!(r(-5, 3).abs(), r(5, 3));
+        assert_eq!(r(-1, 9).cmp_zero(), Ordering::Less);
+    }
+}

@@ -1,0 +1,107 @@
+//! Targeted stress tests for Knuth Algorithm D, whose rare branches
+//! (trial-quotient refinement, the add-back correction) fire with
+//! probability ~2/2⁶⁴ on random inputs and therefore need *crafted*
+//! operands. Every case is verified through the reconstruction identity
+//! `q·d + r = a` with `r < d`, which is sound regardless of which branch
+//! executed.
+
+use hetero_exact::BigUint;
+use proptest::prelude::*;
+
+fn check_divrem(a: &BigUint, d: &BigUint) {
+    let (q, r) = a.divrem(d);
+    assert!(r < *d, "remainder bound: {r:?} !< {d:?}");
+    assert_eq!(&(&q * d) + &r, *a, "reconstruction for {a:?} / {d:?}");
+}
+
+#[test]
+fn classic_add_back_triggers() {
+    // The canonical Algorithm D stress family (Knuth TAOCP 4.3.1,
+    // exercise 21 style): dividends of the form (b^k − 1)-ish against
+    // divisors with a maximal high limb and adversarial low limbs.
+    let max = u64::MAX;
+    let half = 1u64 << 63;
+    let cases: Vec<(Vec<u64>, Vec<u64>)> = vec![
+        // u = [0, 0, high], v = [low, high-ish]: forces q̂ refinement.
+        (vec![0, 0, half], vec![max, half]),
+        (vec![0, 0, half], vec![1, half]),
+        (vec![max, max, max - 1], vec![max, max]),
+        (vec![0, max - 1, max], vec![max, max]),
+        // Three-limb over two-limb with carry-heavy patterns.
+        (vec![max, 0, half], vec![max, half | 1]),
+        (vec![1, 0, 0, half], vec![max, max, half]),
+        (vec![0, 0, 0, 1], vec![max, max, max]),
+        // Dividend just below a multiple of the divisor.
+        (vec![max - 1, max, max], vec![max, 1, 1]),
+    ];
+    for (u, v) in cases {
+        let a = BigUint::from_limbs(u);
+        let d = BigUint::from_limbs(v);
+        check_divrem(&a, &d);
+        // And the transposed magnitude case.
+        check_divrem(&d, &a);
+    }
+}
+
+#[test]
+fn divisor_high_bit_boundaries() {
+    // Normalization shifts depend on the divisor's leading zeros; probe
+    // every leading-zero count at the top limb.
+    let a = BigUint::from_limbs(vec![0x0123_4567_89ab_cdef, u64::MAX, 0xfedc_ba98_7654_3210, 7]);
+    for shift in 0..64u64 {
+        let d = BigUint::from_limbs(vec![u64::MAX, 1u64 << shift]);
+        check_divrem(&a, &d);
+    }
+}
+
+#[test]
+fn quotient_one_and_zero_boundaries() {
+    // a = d, a = d ± 1: quotient exactly 1 or 0 with extreme remainders.
+    let d = BigUint::from_limbs(vec![u64::MAX, u64::MAX, 3]);
+    let one = BigUint::one();
+    check_divrem(&d, &d);
+    check_divrem(&(&d + &one), &d);
+    check_divrem(&(&d - &one), &d);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn adversarial_limb_patterns(
+        u_pattern in prop::collection::vec(
+            prop_oneof![Just(0u64), Just(1), Just(u64::MAX), Just(u64::MAX - 1),
+                        Just(1u64 << 63), any::<u64>()],
+            1..7),
+        v_pattern in prop::collection::vec(
+            prop_oneof![Just(0u64), Just(1), Just(u64::MAX), Just(u64::MAX - 1),
+                        Just(1u64 << 63), any::<u64>()],
+            1..5),
+    ) {
+        // Saturated limbs (0, MAX, 2⁶³) are exactly where q̂ over- and
+        // under-estimates concentrate.
+        let a = BigUint::from_limbs(u_pattern);
+        let d = BigUint::from_limbs(v_pattern);
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.divrem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(&(&q * &d) + &r, a);
+    }
+
+    #[test]
+    fn multiply_then_divide_roundtrips(
+        q in prop::collection::vec(any::<u64>(), 1..5),
+        d in prop::collection::vec(any::<u64>(), 1..5),
+        r_seed in any::<u64>(),
+    ) {
+        let q = BigUint::from_limbs(q);
+        let d = BigUint::from_limbs(d);
+        prop_assume!(!d.is_zero());
+        // r strictly below d: reduce a seed value mod d.
+        let r = BigUint::from(r_seed).divrem(&d).1;
+        let a = &(&q * &d) + &r;
+        let (q2, r2) = a.divrem(&d);
+        prop_assert_eq!(q2, q);
+        prop_assert_eq!(r2, r);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for hetero-exact, cross-checked against native
+//! 128-bit arithmetic and against algebraic identities that must hold for
+//! any correct implementation.
+
+use hetero_exact::{BigInt, BigUint, Ratio};
+use proptest::prelude::*;
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..8).prop_map(BigUint::from_limbs)
+}
+
+fn ratio_strategy() -> impl Strategy<Value = Ratio> {
+    (any::<i64>(), 1u64..=u64::MAX).prop_map(|(n, d)| Ratio::from_frac(n, d))
+}
+
+proptest! {
+    // ---- BigUint vs u128 oracle ----
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let s = BigUint::from(a) + BigUint::from(b);
+        prop_assert_eq!(s.to_u128(), Some(u128::from(a) + u128::from(b)));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = BigUint::from(a) * BigUint::from(b);
+        prop_assert_eq!(p.to_u128(), Some(u128::from(a) * u128::from(b)));
+    }
+
+    #[test]
+    fn divrem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = BigUint::from(a).divrem(&BigUint::from(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    // ---- BigUint algebraic laws on arbitrary-size operands ----
+
+    #[test]
+    fn add_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!((&a + &b).checked_sub(&b), Some(a));
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&q * &b + &r, a);
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in biguint_strategy(), s in 0u64..300) {
+        let two_pow = BigUint::one() << s;
+        prop_assert_eq!(&a << s, &a * &two_pow);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+        // And matches the Euclidean definition on a second path.
+        prop_assert_eq!(b.gcd(&a), g);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in biguint_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigUint::parse_decimal(&s), Some(a));
+    }
+
+    // ---- BigInt vs i128 oracle ----
+
+    #[test]
+    fn signed_ops_match_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(&ba + &bb, BigInt::from(i128::from(a) + i128::from(b)));
+        prop_assert_eq!(&ba - &bb, BigInt::from(i128::from(a) - i128::from(b)));
+        prop_assert_eq!(&ba * &bb, BigInt::from(i128::from(a) * i128::from(b)));
+    }
+
+    #[test]
+    fn signed_order_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), a.cmp(&b));
+    }
+
+    // ---- Ratio field laws ----
+
+    #[test]
+    fn ratio_add_commutes(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn ratio_add_associates(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn ratio_mul_distributes(a in ratio_strategy(), b in ratio_strategy(), c in ratio_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn ratio_sub_is_add_neg(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assert_eq!(&a - &b, &a + &(-&b));
+        prop_assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn ratio_div_undoes_mul(a in ratio_strategy(), b in ratio_strategy()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(&(&a * &b) / &b, a);
+    }
+
+    #[test]
+    fn ratio_is_canonical(a in ratio_strategy()) {
+        if a.is_zero() {
+            prop_assert!(a.denom().is_one());
+        } else {
+            prop_assert!(a.numer().magnitude().gcd(a.denom()).is_one());
+        }
+    }
+
+    #[test]
+    fn ratio_order_matches_f64(n1 in -10_000i64..10_000, d1 in 1u64..10_000,
+                               n2 in -10_000i64..10_000, d2 in 1u64..10_000) {
+        // On small fractions f64 comparison is exact enough to be an oracle
+        // unless the two values are equal as rationals.
+        let (a, b) = (Ratio::from_frac(n1, d1), Ratio::from_frac(n2, d2));
+        let fa = n1 as f64 / d1 as f64;
+        let fb = n2 as f64 / d2 as f64;
+        if a == b {
+            prop_assert_eq!(i128::from(n1) * i128::from(d2), i128::from(n2) * i128::from(d1));
+        } else {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn ratio_f64_roundtrip(v in any::<f64>()) {
+        prop_assume!(v.is_finite());
+        let r = Ratio::from_f64(v).unwrap();
+        prop_assert_eq!(r.to_f64(), v);
+    }
+
+    #[test]
+    fn ratio_parse_display_roundtrip(a in ratio_strategy()) {
+        let shown = a.to_string();
+        prop_assert_eq!(shown.parse::<Ratio>().unwrap(), a);
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment E8 — §4's worked examples: mean speed misleads, minorization
+//! is sufficient but not necessary, and heterogeneity lends power
+//! (Corollary 1).
+
+use hetero_core::xmeasure::x_measure;
+use hetero_core::{hecr, Params, Profile};
+
+use crate::render::{fmt_f, Table};
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Display name of the comparison.
+    pub label: &'static str,
+    /// First profile.
+    pub p1: Profile,
+    /// Second profile.
+    pub p2: Profile,
+    /// X-measures.
+    pub x: (f64, f64),
+    /// HECRs.
+    pub hecr: (f64, f64),
+    /// Means.
+    pub mean: (f64, f64),
+    /// Variances.
+    pub var: (f64, f64),
+}
+
+/// The §4 demonstration set.
+#[derive(Debug, Clone)]
+pub struct Section4Examples {
+    /// All comparisons.
+    pub rows: Vec<ComparisonRow>,
+}
+
+fn compare(label: &'static str, params: &Params, p1: Profile, p2: Profile) -> ComparisonRow {
+    let x = (x_measure(params, &p1), x_measure(params, &p2));
+    let h = (
+        hecr::hecr(params, &p1).expect("valid"),
+        hecr::hecr(params, &p2).expect("valid"),
+    );
+    ComparisonRow {
+        label,
+        mean: (p1.mean(), p2.mean()),
+        var: (p1.variance(), p2.variance()),
+        p1,
+        p2,
+        x,
+        hecr: h,
+    }
+}
+
+/// Builds the three §4 demonstrations under the given parameters.
+pub fn run(params: &Params) -> Section4Examples {
+    let rows = vec![
+        // §4 opening example: worse mean, more power.
+        compare(
+            "mean misleads: ⟨0.99, 0.02⟩ vs ⟨0.5, 0.5⟩",
+            params,
+            Profile::new(vec![0.99, 0.02]).expect("valid"),
+            Profile::new(vec![0.5, 0.5]).expect("valid"),
+        ),
+        // Corollary 1: equal mean, hetero beats homo (n = 2).
+        compare(
+            "Corollary 1: ⟨1, 1/2⟩ vs ⟨3/4, 3/4⟩ (equal mean)",
+            params,
+            Profile::new(vec![1.0, 0.5]).expect("valid"),
+            Profile::homogeneous(2, 0.75).expect("valid"),
+        ),
+        // Minorization: strictly faster everywhere.
+        compare(
+            "minorization: ⟨0.9, 0.4⟩ vs ⟨1, 1/2⟩",
+            params,
+            Profile::new(vec![0.9, 0.4]).expect("valid"),
+            Profile::new(vec![1.0, 0.5]).expect("valid"),
+        ),
+    ];
+    Section4Examples { rows }
+}
+
+/// The paper's parameterization.
+pub fn run_paper() -> Section4Examples {
+    run(&Params::paper_table1())
+}
+
+impl Section4Examples {
+    /// ASCII rendering.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "§4 examples — profile statistics vs actual power",
+            &["comparison", "mean1", "mean2", "var1", "var2", "X1", "X2", "winner"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.label.to_string(),
+                fmt_f(r.mean.0, 3),
+                fmt_f(r.mean.1, 3),
+                fmt_f(r.var.0, 4),
+                fmt_f(r.var.1, 4),
+                fmt_f(r.x.0, 3),
+                fmt_f(r.x.1, 3),
+                if r.x.0 > r.x.1 { "P1" } else { "P2" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_example_shows_inversion() {
+        let e = run_paper();
+        let r = &e.rows[0];
+        assert!(r.mean.0 > r.mean.1, "P1 has the worse mean");
+        assert!(r.x.0 > r.x.1, "yet P1 has the greater power");
+        assert!(r.hecr.0 < r.hecr.1, "and the smaller HECR");
+    }
+
+    #[test]
+    fn corollary1_heterogeneity_lends_power() {
+        let e = run_paper();
+        let r = &e.rows[1];
+        assert!((r.mean.0 - r.mean.1).abs() < 1e-12, "equal means");
+        assert!(r.var.0 > r.var.1, "P1 is the heterogeneous one");
+        assert!(r.x.0 > r.x.1, "heterogeneity wins");
+    }
+
+    #[test]
+    fn minorization_example_dominates() {
+        let e = run_paper();
+        let r = &e.rows[2];
+        assert!(r.p1.minorizes(&r.p2));
+        assert!(r.x.0 > r.x.1);
+    }
+
+    #[test]
+    fn render_names_the_winner() {
+        let s = run_paper().table().to_ascii();
+        assert!(s.contains("winner"));
+        assert!(s.contains("P1"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Experiment E18 (extension) — **fleet sizing**: how many computers are
+//! actually worth renting?
+//!
+//! The `k` fastest computers are always the optimal `k`-subset
+//! (Proposition 2 via minorization; verified exhaustively in
+//! `hetero_core::selection`). The interesting quantity is the marginal
+//! value curve: the X-measure saturates at `1/(A−τδ)`, so late additions
+//! to a big fleet buy almost nothing. The table reports, for each §2.5
+//! family, the fleet fractions needed for 50/90/99 % of full power.
+
+use hetero_core::{selection, Params, Profile};
+
+use crate::render::{fmt_f, Table};
+
+/// One cluster's sizing summary.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Display name.
+    pub name: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Smallest k reaching 50 / 90 / 99 % of full power.
+    pub k50: usize,
+    /// See `k50`.
+    pub k90: usize,
+    /// See `k50`.
+    pub k99: usize,
+    /// Saturation of the full cluster (fraction of the server limit).
+    pub saturation: f64,
+}
+
+/// The experiment results.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// One row per cluster.
+    pub rows: Vec<FleetRow>,
+}
+
+/// Runs the sizing study on a battery of named profiles.
+pub fn run(params: &Params, battery: Vec<(String, Profile)>) -> Fleet {
+    let rows = battery
+        .into_iter()
+        .map(|(name, profile)| FleetRow {
+            name,
+            n: profile.n(),
+            k50: selection::smallest_fleet_for(params, &profile, 0.50).expect("valid"),
+            k90: selection::smallest_fleet_for(params, &profile, 0.90).expect("valid"),
+            k99: selection::smallest_fleet_for(params, &profile, 0.99).expect("valid"),
+            saturation: selection::saturation(params, &profile),
+        })
+        .collect();
+    Fleet { rows }
+}
+
+/// Default battery: §2.5 families at a few sizes plus a homogeneous
+/// control, under Table 1 parameters.
+pub fn run_paper() -> Fleet {
+    let battery = vec![
+        ("harmonic n=32".to_string(), Profile::harmonic(32)),
+        ("harmonic n=1024".to_string(), Profile::harmonic(1024)),
+        ("uniform spread n=32".to_string(), Profile::uniform_spread(32)),
+        ("uniform spread n=1024".to_string(), Profile::uniform_spread(1024)),
+        (
+            "homogeneous n=32".to_string(),
+            Profile::homogeneous(32, 1.0).expect("valid"),
+        ),
+    ];
+    run(&Params::paper_table1(), battery)
+}
+
+impl Fleet {
+    /// ASCII rendering.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fleet sizing — smallest k-fastest sub-cluster reaching a power target",
+            &["cluster", "n", "k @50%", "k @90%", "k @99%", "saturation %"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                r.n.to_string(),
+                r.k50.to_string(),
+                r.k90.to_string(),
+                r.k99.to_string(),
+                fmt_f(100.0 * r.saturation, 1),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_ordered() {
+        for r in run_paper().rows {
+            assert!(r.k50 <= r.k90 && r.k90 <= r.k99, "{}", r.name);
+            assert!(r.k99 <= r.n);
+        }
+    }
+
+    #[test]
+    fn harmonic_fleets_concentrate_power_in_few_computers() {
+        // In a harmonic fleet the fast minority carries the load: half
+        // the power comes from a small fraction of the fleet.
+        let f = run_paper();
+        let h1024 = f.rows.iter().find(|r| r.name == "harmonic n=1024").unwrap();
+        assert!(
+            h1024.k50 < h1024.n / 4,
+            "50 % of power from under a quarter of the fleet (k50 = {})",
+            h1024.k50
+        );
+    }
+
+    #[test]
+    fn homogeneous_fleets_need_proportional_counts() {
+        // With identical computers, reaching x % of power needs ~x % of
+        // the fleet (X is near-linear in n far from saturation).
+        let f = run_paper();
+        let h = f.rows.iter().find(|r| r.name == "homogeneous n=32").unwrap();
+        assert!((h.k50 as f64 - 16.0).abs() <= 1.0);
+        assert!(h.k99 >= 31);
+    }
+
+    #[test]
+    fn render_contains_every_cluster() {
+        let s = run_paper().table().to_ascii();
+        assert!(s.contains("harmonic n=1024"));
+        assert!(s.contains("k @99%"));
+    }
+}

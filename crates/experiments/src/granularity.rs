@@ -1,0 +1,139 @@
+//! Experiment E16 (extension) — **task granularity**: what the divisible
+//! idealization costs.
+//!
+//! The paper's Table 2 contrasts coarse (1 s) and fine (0.1 s) tasks but
+//! the analysis treats work as continuous. Quantizing the optimal FIFO
+//! allocation to whole tasks (see `hetero_protocol::integral`) makes the
+//! idealization's cost measurable: the table reports the work forfeited
+//! as granularity coarsens across four orders of magnitude.
+
+use hetero_core::{Params, Profile};
+use hetero_protocol::integral::integral_fifo_plan;
+
+use crate::render::{fmt_f, Table};
+
+/// One granularity sample.
+#[derive(Debug, Clone)]
+pub struct GranularityRow {
+    /// Work units per task.
+    pub granularity: f64,
+    /// Whole tasks assigned.
+    pub tasks: u64,
+    /// Work completed by the integral plan.
+    pub integral_work: f64,
+    /// The divisible-load optimum.
+    pub divisible_work: f64,
+    /// Loss fraction.
+    pub loss: f64,
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Granularity {
+    /// The profile used.
+    pub profile: Profile,
+    /// Lifespan used.
+    pub lifespan: f64,
+    /// One row per granularity.
+    pub rows: Vec<GranularityRow>,
+}
+
+/// Sweeps task granularity for a profile and lifespan.
+pub fn run(params: &Params, profile: &Profile, lifespan: f64, grains: &[f64]) -> Granularity {
+    let rows = grains
+        .iter()
+        .map(|&g| {
+            let ip = integral_fifo_plan(params, profile, lifespan, g).expect("valid");
+            GranularityRow {
+                granularity: g,
+                tasks: ip.total_tasks(),
+                integral_work: ip.plan.total_work(),
+                divisible_work: ip.divisible_work,
+                loss: ip.loss_fraction(),
+            }
+        })
+        .collect();
+    Granularity {
+        profile: profile.clone(),
+        lifespan,
+        rows,
+    }
+}
+
+/// Default: the Table 4 cluster, one-hour lifespan, grains from 0.1 to
+/// 1000 work units per task.
+pub fn run_paper() -> Granularity {
+    let profile = Profile::new(vec![1.0, 0.5, 1.0 / 3.0, 0.25]).expect("valid");
+    run(
+        &Params::paper_table1(),
+        &profile,
+        3600.0,
+        &[0.1, 1.0, 10.0, 100.0, 1000.0],
+    )
+}
+
+impl Granularity {
+    /// ASCII rendering.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Task granularity — cost of quantizing the divisible optimum (L = {})",
+                self.lifespan
+            ),
+            &["units/task", "tasks", "integral W", "divisible W", "loss %"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                format!("{}", r.granularity),
+                r.tasks.to_string(),
+                fmt_f(r.integral_work, 1),
+                fmt_f(r.divisible_work, 1),
+                fmt_f(100.0 * r.loss, 3),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_grows_with_granularity() {
+        let g = run_paper();
+        for w in g.rows.windows(2) {
+            assert!(w[1].loss >= w[0].loss - 1e-12);
+        }
+    }
+
+    #[test]
+    fn fine_tasks_are_nearly_free() {
+        let g = run_paper();
+        assert!(g.rows.first().unwrap().loss < 1e-4);
+    }
+
+    #[test]
+    fn coarse_tasks_cost_real_work() {
+        let g = run_paper();
+        let coarsest = g.rows.last().unwrap();
+        assert!(coarsest.loss > 1e-4, "1000-unit tasks visibly hurt");
+        assert!(coarsest.loss < 0.5, "but not catastrophically at L = 1 h");
+    }
+
+    #[test]
+    fn integral_work_is_task_multiple() {
+        let g = run_paper();
+        for r in &g.rows {
+            let per_task = r.integral_work / r.granularity;
+            assert!((per_task - per_task.round()).abs() < 1e-6, "g = {}", r.granularity);
+        }
+    }
+
+    #[test]
+    fn render_has_loss_column() {
+        let s = run_paper().table().to_ascii();
+        assert!(s.contains("loss %"));
+        assert!(s.contains("1000"));
+    }
+}

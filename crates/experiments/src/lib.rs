@@ -1,0 +1,49 @@
+//! # hetero-experiments — regenerating every table and figure
+//!
+//! One module per artifact of the paper's evaluation (see DESIGN.md §3 for
+//! the full experiment index):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table3`] | Table 3 — HECRs of the C1/C2 families |
+//! | [`table4`] | Table 4 — additive-speedup work ratios |
+//! | [`fig34`] | Figures 3–4 — iterated multiplicative speedup snapshots |
+//! | [`variance`] | §4.3 — variance as a power predictor (bad-pair rates) |
+//! | [`threshold`] | §4.3 — the 100 %-correct variance-gap threshold θ |
+//! | [`examples42`] | §4 opening example + Corollary 1 demonstrations |
+//! | [`protocol_check`] | Theorems 1–2 validated behaviourally on the DES |
+//! | [`gantt`] | Figures 1–2 — action/time diagrams |
+//! | [`moments_ext`] | companion-paper extension: scoring moment predictors |
+//! | [`fifo_lifo`] | Theorem 1 quantified: FIFO vs LIFO vs heuristics |
+//! | [`sensitivity`] | extension: τ sweep across the three regimes |
+//! | [`scaling`] | extension: §2.5 families up to n = 2¹⁶, X saturation |
+//! | [`majorization_ext`] | extension: majorization explains the bad pairs |
+//! | [`granularity`] | extension: integral-task quantization cost |
+//! | [`robustness`] | extension: planning under speed-estimation error |
+//! | [`fleet`] | extension: fleet sizing against X-measure saturation |
+//!
+//! Every experiment is a pure function of its configuration (including RNG
+//! seeds), returns a typed result struct, and renders through [`render`]'s
+//! ASCII/CSV backends. Parallel sweeps run on `hetero-par` with per-trial
+//! seed derivation, so results are identical at any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod examples42;
+pub mod fifo_lifo;
+pub mod fleet;
+pub mod fig34;
+pub mod gantt;
+pub mod granularity;
+pub mod majorization_ext;
+pub mod moments_ext;
+pub mod protocol_check;
+pub mod render;
+pub mod robustness;
+pub mod scaling;
+pub mod sensitivity;
+pub mod table3;
+pub mod table4;
+pub mod threshold;
+pub mod variance;

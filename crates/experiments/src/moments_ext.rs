@@ -1,0 +1,236 @@
+//! Experiment E12 (extension) — scoring statistical-moment predictors,
+//! following the companion paper's direction (Chiang, Maciejewski,
+//! Rosenberg & Siegel, "Statistical predictors of computing power in
+//! heterogeneous clusters").
+//!
+//! On random equal-mean pairs we score three predictors of the more
+//! powerful cluster: variance (Theorem 5's candidate), skewness, and the
+//! *combined* rule "variance, then skewness on near-ties". The paper's
+//! finding — variance is strong but imperfect — extends: skewness alone is
+//! weaker, but breaks a useful fraction of variance's near-ties.
+
+use std::cmp::Ordering;
+
+use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, Shape};
+use hetero_core::xmeasure::x_measure;
+use hetero_core::Params;
+use hetero_par::{seed, Executor};
+use hetero_symfunc::{indices, predictors};
+use rand::Rng;
+
+use crate::render::{fmt_f, Table};
+
+/// Which predictors got one trial right.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrialScore {
+    /// Trial was decided (X-values distinguishable).
+    pub decided: bool,
+    /// Variance predictor correct.
+    pub variance: bool,
+    /// Skewness predictor correct.
+    pub skewness: bool,
+    /// Variance-then-skewness combination correct.
+    pub combined: bool,
+    /// Gini-index predictor correct (more unequal ⇒ more powerful).
+    pub gini: bool,
+    /// Entropy-deficit predictor correct.
+    pub entropy: bool,
+}
+
+/// Aggregate scores for one cluster size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentRow {
+    /// Cluster size.
+    pub n: usize,
+    /// Decided trials.
+    pub decided: usize,
+    /// Correct counts (variance, skewness, combined, gini, entropy).
+    pub correct: (usize, usize, usize, usize, usize),
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct MomentsConfig {
+    /// Model parameters.
+    pub params: Params,
+    /// Cluster sizes.
+    pub sizes: Vec<usize>,
+    /// Trials per size.
+    pub trials: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for MomentsConfig {
+    fn default() -> Self {
+        MomentsConfig {
+            params: Params::paper_table1(),
+            sizes: vec![8, 32, 128, 512],
+            trials: 2000,
+            seed: 0xA11CE,
+            threads: hetero_par::default_threads(),
+        }
+    }
+}
+
+/// Results.
+#[derive(Debug, Clone)]
+pub struct MomentsExperiment {
+    /// Configuration used.
+    pub config: MomentsConfig,
+    /// One row per size.
+    pub rows: Vec<MomentRow>,
+}
+
+/// Variance gap below which the combined predictor defers to skewness.
+const NEAR_TIE: f64 = 1e-3;
+
+/// Runs one trial.
+pub fn one_trial(params: &Params, n: usize, trial_seed: u64) -> TrialScore {
+    let mut rng = rng_from_seed(trial_seed);
+    // Same diverse-shape pair family as the E6 default (variance module).
+    const SHAPES: [Shape; 3] = [Shape::Uniform, Shape::Bimodal, Shape::Concentrated];
+    let s1 = SHAPES[rng.random_range(0..SHAPES.len())];
+    let s2 = SHAPES[rng.random_range(0..SHAPES.len())];
+    let gen = EqualMeanPairGen::new(GenConfig::new(n), s1, s2);
+    let Some(pair) = gen.sample(&mut rng) else {
+        return TrialScore::default();
+    };
+    let x1 = x_measure(params, &pair.p1);
+    let x2 = x_measure(params, &pair.p2);
+    if (x1 - x2).abs() / x1.max(x2) < 1e-13 {
+        return TrialScore::default();
+    }
+    let truth = if x1 > x2 { Ordering::Greater } else { Ordering::Less };
+
+    let var_pred = predictors::predict_by_variance(pair.p1.rhos(), pair.p2.rhos());
+    let skew_pred = predictors::predict_by_skewness(pair.p1.rhos(), pair.p2.rhos());
+    let combined_pred = if pair.variance_gap() < NEAR_TIE && skew_pred != Ordering::Equal {
+        skew_pred
+    } else {
+        var_pred
+    };
+    // Scalar heterogeneity indices as predictors: the more heterogeneous
+    // cluster is predicted more powerful (the Corollary 1 intuition).
+    let by_index = |f: fn(&[f64]) -> f64| -> Ordering {
+        f(pair.p1.rhos())
+            .partial_cmp(&f(pair.p2.rhos()))
+            .unwrap_or(Ordering::Equal)
+    };
+    TrialScore {
+        decided: true,
+        variance: var_pred == truth,
+        skewness: skew_pred == truth,
+        combined: combined_pred == truth,
+        gini: by_index(indices::gini) == truth,
+        entropy: by_index(indices::shannon_entropy_deficit) == truth,
+    }
+}
+
+/// Runs the sweep.
+pub fn run(config: &MomentsConfig) -> MomentsExperiment {
+    let exec = Executor::new(config.threads);
+    let trial_ids: Vec<u64> = (0..config.trials as u64).collect();
+    let rows = config
+        .sizes
+        .iter()
+        .map(|&n| {
+            let size_seed = seed::derive(config.seed, n as u64);
+            let scores = exec.map(&trial_ids, |_, &t| {
+                one_trial(&config.params, n, seed::derive(size_seed, t))
+            });
+            let decided = scores.iter().filter(|s| s.decided).count();
+            let correct = (
+                scores.iter().filter(|s| s.decided && s.variance).count(),
+                scores.iter().filter(|s| s.decided && s.skewness).count(),
+                scores.iter().filter(|s| s.decided && s.combined).count(),
+                scores.iter().filter(|s| s.decided && s.gini).count(),
+                scores.iter().filter(|s| s.decided && s.entropy).count(),
+            );
+            MomentRow { n, decided, correct }
+        })
+        .collect();
+    MomentsExperiment {
+        config: config.clone(),
+        rows,
+    }
+}
+
+impl MomentsExperiment {
+    /// ASCII rendering.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Extension — moment predictors on equal-mean pairs (accuracy %)",
+            &["n", "decided", "variance", "skewness", "var+skew", "gini", "entropy"],
+        );
+        for r in &self.rows {
+            let pct = |c: usize| fmt_f(100.0 * c as f64 / r.decided.max(1) as f64, 1);
+            t.row(vec![
+                r.n.to_string(),
+                r.decided.to_string(),
+                pct(r.correct.0),
+                pct(r.correct.1),
+                pct(r.correct.2),
+                pct(r.correct.3),
+                pct(r.correct.4),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> MomentsConfig {
+        MomentsConfig {
+            sizes: vec![8, 64],
+            trials: 400,
+            seed: 5,
+            threads: 2,
+            ..MomentsConfig::default()
+        }
+    }
+
+    #[test]
+    fn variance_beats_skewness_alone() {
+        let e = run(&quick());
+        for r in &e.rows {
+            assert!(
+                r.correct.0 > r.correct.1,
+                "n = {}: variance {} vs skewness {}",
+                r.n,
+                r.correct.0,
+                r.correct.1
+            );
+        }
+    }
+
+    #[test]
+    fn variance_is_well_above_chance() {
+        let e = run(&quick());
+        for r in &e.rows {
+            let acc = r.correct.0 as f64 / r.decided as f64;
+            assert!(acc > 0.6, "n = {n}: {acc}", n = r.n);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_threads() {
+        let mut cfg = quick();
+        cfg.threads = 1;
+        let a = run(&cfg);
+        cfg.threads = 8;
+        let b = run(&cfg);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn render_includes_all_predictors() {
+        let s = run(&quick()).table().to_ascii();
+        assert!(s.contains("variance") && s.contains("skewness") && s.contains("var+skew"));
+    }
+}

@@ -1,0 +1,192 @@
+//! ASCII table / CSV / bar-chart rendering.
+//!
+//! Small, dependency-free output backends shared by every experiment: the
+//! CLI prints the ASCII forms; the CSV form exists for downstream
+//! plotting.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned ASCII form.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {cell:>w$} |", w = w);
+            }
+            s
+        };
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let _ = writeln!(out, "{sep}");
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        let _ = writeln!(out, "{sep}");
+        out
+    }
+
+    /// Renders the CSV form (headers first; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Renders one snapshot of speeds as a horizontal ASCII bar chart (the
+/// shape of the paper's Figures 3–4 panels). Bars are proportional to ρ
+/// relative to `max_rho`, so phase-2 snapshots can rescale like the paper.
+pub fn bar_chart(title: &str, speeds: &[f64], max_rho: f64, width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (i, &s) in speeds.iter().enumerate() {
+        let frac = (s / max_rho).clamp(0.0, 1.0);
+        let filled = (frac * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  C{idx} |{bar:<width$}| {s:.6}",
+            idx = i + 1,
+            bar = "#".repeat(filled),
+        );
+    }
+    out
+}
+
+/// Formats a float with `digits` fractional digits.
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["n", "value"]);
+        t.row(vec!["8".into(), "0.366".into()]);
+        t.row(vec!["16".into(), "0.298".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_contains_all_cells_aligned() {
+        let s = sample().to_ascii();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("0.366"));
+        assert!(s.contains("0.298"));
+        // Every data line has the same width.
+        let widths: Vec<usize> = s.lines().skip(1).map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn csv_round_trips_commas() {
+        let mut t = Table::new("", &["profile", "x"]);
+        t.row(vec!["⟨1, 1/2⟩".into(), "1.23".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("profile,x"));
+        assert!(csv.contains("\"⟨1, 1/2⟩\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart("t", &[1.0, 0.5], 1.0, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("##########"));
+        assert!(lines[2].contains("#####"));
+        assert!(!lines[2].contains("######"));
+    }
+
+    #[test]
+    fn table_len() {
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+        assert!(Table::new("x", &["a"]).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Experiment E13 (extension) — **parameter sensitivity**: how the
+//! communication constants reshape the conclusions.
+//!
+//! Sweeping the transit rate τ across six orders of magnitude for a fixed
+//! cluster shows the three regimes the model contains:
+//!
+//! 1. *compute-dominated* (the paper's Table 1 corner): X ≈ Σ1/(Bρ),
+//!    upgrades follow Theorem 3/4 condition (1);
+//! 2. *transitional*: the Theorem 4 threshold `Aτδ/B²` climbs into the
+//!    `ψρᵢρⱼ` range — the Figures 3–4 phase structure appears;
+//! 3. *communication-bound*: `A·X(P) > 1`, the gap-free FIFO schedule no
+//!    longer exists (our simulator-derived feasibility bound).
+
+use hetero_core::xmeasure;
+use hetero_core::{Params, Profile};
+use hetero_protocol::alloc;
+
+use crate::render::{fmt_f, Table};
+
+/// One τ sample.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Transit rate τ.
+    pub tau: f64,
+    /// `X(P)`.
+    pub x: f64,
+    /// Work rate `W/L`.
+    pub work_rate: f64,
+    /// The Theorem 4 threshold `Aτδ/B²`.
+    pub threshold: f64,
+    /// `A·X(P)` — feasibility margin (> 1 �is infeasible).
+    pub a_times_x: f64,
+    /// Whether the gap-free FIFO schedule exists.
+    pub feasible: bool,
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// Profile swept.
+    pub profile: Profile,
+    /// π/τ ratio held fixed during the sweep.
+    pub pi_over_tau: f64,
+    /// One row per τ.
+    pub rows: Vec<SensitivityRow>,
+}
+
+/// Sweeps τ over `taus`, holding `π = pi_over_tau · τ` and δ = 1.
+pub fn run(profile: &Profile, taus: &[f64], pi_over_tau: f64) -> Sensitivity {
+    let rows = taus
+        .iter()
+        .map(|&tau| {
+            let params = Params::new(tau, pi_over_tau * tau, 1.0).expect("valid");
+            let x = xmeasure::x_measure(&params, profile);
+            SensitivityRow {
+                tau,
+                x,
+                work_rate: xmeasure::work_rate(&params, profile),
+                threshold: params.theorem4_threshold(),
+                a_times_x: params.a() * x,
+                feasible: alloc::fifo_feasible(&params, profile),
+            }
+        })
+        .collect();
+    Sensitivity {
+        profile: profile.clone(),
+        pi_over_tau,
+        rows,
+    }
+}
+
+/// The default sweep: the Table 4 cluster, τ from 10⁻⁶ to 10⁻¹
+/// (π = 10τ as in Table 1).
+pub fn run_paper() -> Sensitivity {
+    let profile = Profile::new(vec![1.0, 0.5, 1.0 / 3.0, 0.25]).expect("valid");
+    run(
+        &profile,
+        &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.2],
+        10.0,
+    )
+}
+
+impl Sensitivity {
+    /// ASCII rendering.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Sensitivity — the three communication regimes (π = 10τ, δ = 1)",
+            &["τ", "X(P)", "W/L", "Aτδ/B²", "A·X", "gap-free FIFO"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                format!("{:.0e}", r.tau),
+                fmt_f(r.x, 4),
+                fmt_f(r.work_rate, 4),
+                format!("{:.2e}", r.threshold),
+                fmt_f(r.a_times_x, 4),
+                if r.feasible { "yes" } else { "NO" }.into(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_rate_degrades_monotonically_with_tau() {
+        let s = run_paper();
+        for w in s.rows.windows(2) {
+            assert!(w[1].work_rate < w[0].work_rate);
+        }
+    }
+
+    #[test]
+    fn threshold_climbs_seven_orders_of_magnitude() {
+        // From the Table 1 corner (~10⁻¹¹, condition (1) everywhere) the
+        // Theorem 4 threshold rises past 10⁻² — into the range of ψρᵢρⱼ
+        // products, where condition (2) and the Figure 3/4 phase change
+        // become observable.
+        let s = run_paper();
+        assert!(s.rows.first().unwrap().threshold < 1e-9, "Table 1 corner");
+        assert!(s.rows.last().unwrap().threshold > 1e-2);
+    }
+
+    #[test]
+    fn feasibility_flips_exactly_when_ax_crosses_one() {
+        let s = run_paper();
+        for r in &s.rows {
+            assert_eq!(r.feasible, r.a_times_x <= 1.0 + 1e-12, "τ = {}", r.tau);
+        }
+        // Both regimes are represented in the default sweep.
+        assert!(s.rows.iter().any(|r| r.feasible));
+        assert!(s.rows.iter().any(|r| !r.feasible));
+    }
+
+    #[test]
+    fn x_is_monotone_decreasing_in_tau() {
+        let s = run_paper();
+        for w in s.rows.windows(2) {
+            assert!(w[1].x < w[0].x);
+        }
+    }
+
+    #[test]
+    fn render_marks_infeasible_rows() {
+        let s = run_paper().table().to_ascii();
+        assert!(s.contains("NO"));
+        assert!(s.contains("yes"));
+    }
+}

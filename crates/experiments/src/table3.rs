@@ -1,0 +1,123 @@
+//! Experiment E2 — the paper's **Table 3**: HECRs of the two §2.5 cluster
+//! families at 8, 16, and 32 computers.
+//!
+//! `C1` spreads speeds evenly over `[1/n, 1]`; `C2 = ⟨1/i⟩` weights them
+//! into the fast half. The table shows (a) `C2`'s HECR beats `C1`'s at
+//! every size, and (b) the advantage grows with cluster size.
+
+use hetero_core::{hecr, Params, Profile};
+
+use crate::render::{fmt_f, Table};
+
+/// The published Table 3 cells, for side-by-side comparison.
+pub const PAPER_VALUES: [(usize, f64, f64); 3] =
+    [(8, 0.366, 0.216), (16, 0.298, 0.116), (32, 0.251, 0.060)];
+
+/// One row of the reproduced table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Cluster size.
+    pub n: usize,
+    /// HECR of `C1` (uniform spread).
+    pub hecr_c1: f64,
+    /// HECR of `C2` (harmonic).
+    pub hecr_c2: f64,
+    /// `hecr_c1 / hecr_c2` — `C2`'s advantage factor.
+    pub advantage: f64,
+}
+
+/// The reproduced table plus renderers.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Parameters used.
+    pub params: Params,
+    /// One row per cluster size.
+    pub rows: Vec<Table3Row>,
+}
+
+/// Computes Table 3 for the given cluster sizes.
+pub fn run(params: &Params, sizes: &[usize]) -> Table3 {
+    let rows = sizes
+        .iter()
+        .map(|&n| {
+            let c1 = hecr::hecr(params, &Profile::uniform_spread(n)).expect("valid family");
+            let c2 = hecr::hecr(params, &Profile::harmonic(n)).expect("valid family");
+            Table3Row {
+                n,
+                hecr_c1: c1,
+                hecr_c2: c2,
+                advantage: c1 / c2,
+            }
+        })
+        .collect();
+    Table3 {
+        params: *params,
+        rows,
+    }
+}
+
+/// Computes the paper's exact configuration (Table 1 parameters,
+/// n ∈ {8, 16, 32}).
+pub fn run_paper() -> Table3 {
+    run(&Params::paper_table1(), &[8, 16, 32])
+}
+
+impl Table3 {
+    /// ASCII rendering with paper values alongside where available.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Table 3 — HECRs for the sample heterogeneous clusters",
+            &["n", "C1 (ours)", "C1 (paper)", "C2 (ours)", "C2 (paper)", "C1/C2"],
+        );
+        for r in &self.rows {
+            let paper = PAPER_VALUES.iter().find(|(n, _, _)| *n == r.n);
+            t.row(vec![
+                r.n.to_string(),
+                fmt_f(r.hecr_c1, 3),
+                paper.map_or("-".into(), |(_, v, _)| fmt_f(*v, 3)),
+                fmt_f(r.hecr_c2, 3),
+                paper.map_or("-".into(), |(_, _, v)| fmt_f(*v, 3)),
+                fmt_f(r.advantage, 2),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_cells_within_tolerance() {
+        let t = run_paper();
+        for (row, (n, p1, p2)) in t.rows.iter().zip(PAPER_VALUES) {
+            assert_eq!(row.n, n);
+            assert!((row.hecr_c1 - p1).abs() < 7e-3, "C1 n={n}");
+            assert!((row.hecr_c2 - p2).abs() < 7e-3, "C2 n={n}");
+        }
+    }
+
+    #[test]
+    fn advantage_grows_with_size() {
+        let t = run_paper();
+        assert!(t.rows.windows(2).all(|w| w[1].advantage > w[0].advantage));
+        assert!(t.rows.last().unwrap().advantage > 4.0, "paper: 'more than 4'");
+    }
+
+    #[test]
+    fn render_includes_paper_columns() {
+        let s = run_paper().table().to_ascii();
+        assert!(s.contains("0.366"), "paper C1 n=8 shown: {s}");
+        assert!(s.contains("0.060"), "paper C2 n=32 shown");
+    }
+
+    #[test]
+    fn run_handles_other_sizes() {
+        let t = run(&Params::paper_table1(), &[4, 64]);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].hecr_c1 > t.rows[1].hecr_c1, "bigger C1 is faster");
+        let s = t.table().to_ascii();
+        assert!(s.contains(" 64 ") || s.contains("64"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: LU against algebraic identities on random
+//! well-conditioned matrices.
+
+use hetero_linalg::{lu_solve, Lu, Matrix};
+use proptest::prelude::*;
+
+/// Random diagonally dominant `n × n` matrices — guaranteed nonsingular
+/// and well-conditioned enough for tight tolerances.
+fn dd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                let v = vals[i * n + j];
+                m[(i, j)] = v;
+                row_sum += v.abs();
+            }
+            m[(i, i)] = row_sum + 1.0; // dominance
+        }
+        m
+    })
+}
+
+/// A matrix with a matching right-hand side.
+fn system() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (1usize..8).prop_flat_map(|n| (dd_matrix(n), prop::collection::vec(-5.0f64..5.0, n)))
+}
+
+/// A pair of same-size matrices.
+fn pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..6).prop_flat_map(|n| (dd_matrix(n), dd_matrix(n)))
+}
+
+proptest! {
+    #[test]
+    fn solve_then_multiply_roundtrips((a, b) in system()) {
+        let x = lu_solve(&a, &b).unwrap();
+        let back = a.mul_vec(&x);
+        for (r, e) in back.iter().zip(&b) {
+            prop_assert!((r - e).abs() < 1e-9, "{r} vs {e}");
+        }
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants((a, b) in pair()) {
+        let da = Lu::new(&a).unwrap().determinant();
+        let db = Lu::new(&b).unwrap().determinant();
+        let dab = Lu::new(&a.mul(&b).unwrap()).unwrap().determinant();
+        prop_assert!((dab - da * db).abs() <= 1e-7 * dab.abs().max(1.0),
+            "{dab} vs {da}·{db}");
+    }
+
+    #[test]
+    fn solving_identity_columns_inverts((a, _) in system()) {
+        // A·A⁻¹ = I, column by column.
+        let n = a.rows();
+        let lu = Lu::new(&a).unwrap();
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = lu.solve(&e).unwrap();
+            let back = a.mul_vec(&col);
+            for (i, v) in back.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((v - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn row_scaling_scales_determinant((a, _) in system()) {
+        // Multiply row 0 by 2 → determinant doubles.
+        let mut scaled = a.clone();
+        for j in 0..a.cols() {
+            scaled[(0, j)] *= 2.0;
+        }
+        let d = Lu::new(&a).unwrap().determinant();
+        let d2 = Lu::new(&scaled).unwrap().determinant();
+        prop_assert!((d2 - 2.0 * d).abs() <= 1e-8 * d2.abs().max(1.0));
+    }
+}

@@ -1,0 +1,83 @@
+//! Protocol-layer errors.
+
+use std::fmt;
+
+use hetero_core::ModelError;
+
+/// Why a plan could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The underlying model rejected an argument.
+    Model(ModelError),
+    /// The lifespan must be positive and finite.
+    InvalidLifespan {
+        /// The offending value.
+        lifespan: f64,
+    },
+    /// The startup order must be a permutation of `0..n`.
+    InvalidOrder,
+    /// The requested (Σ, Φ) order pair admits no gap-free schedule with
+    /// positive allocations.
+    InfeasibleOrders,
+    /// The environment is communication-bound — `A·X(P) > 1` — so the
+    /// server cannot feed the cluster and the paper's gap-free FIFO
+    /// schedule (hence Theorem 2's closed form) does not exist.
+    CommunicationBound {
+        /// The offending `A·X(P)` value.
+        a_times_x: f64,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Model(e) => write!(f, "model error: {e}"),
+            ProtocolError::InvalidLifespan { lifespan } => {
+                write!(f, "lifespan {lifespan} must be positive and finite")
+            }
+            ProtocolError::InvalidOrder => {
+                write!(f, "startup order must be a permutation of the computer indices")
+            }
+            ProtocolError::InfeasibleOrders => {
+                write!(f, "order pair admits no gap-free schedule with positive allocations")
+            }
+            ProtocolError::CommunicationBound { a_times_x } => {
+                write!(
+                    f,
+                    "communication-bound regime: A·X(P) = {a_times_x} > 1, the server cannot feed the cluster"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ProtocolError {
+    fn from(e: ModelError) -> Self {
+        ProtocolError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ProtocolError::from(ModelError::EmptyProfile);
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let e = ProtocolError::InvalidLifespan { lifespan: -3.0 };
+        assert!(e.to_string().contains("-3"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,343 @@
+//! Discrete-event execution of worksharing plans.
+//!
+//! The executor replays the paper's protocol (§2.2) literally on the
+//! `hetero-sim` engine:
+//!
+//! 1. the server packages and transmits each position's work package
+//!    seriatim — each send is a contiguous `(π+τ)w` block, matching the
+//!    `C0` row of Figure 2;
+//! 2. a worker receiving `w` units unpackages (`πρw`), computes (`ρw`),
+//!    and packages results (`πρδw`) back to back — the `Bρw` block;
+//! 3. results transit the network (`τδw`) under the *single message in
+//!    transit* constraint (one [`UnitResource`] carries every message,
+//!    work and results alike), then the server unpackages them (`πδw`).
+//!
+//! Entity layout in the produced [`Trace`]: `0` = server, `1..=n` =
+//! workers (`1 + profile index`), `n+1` = the network channel.
+//!
+//! [`UnitResource`]: hetero_sim::UnitResource
+
+use hetero_core::{Params, Profile};
+use hetero_sim::{EventQueue, SimTime, Trace, UnitResource};
+
+use crate::alloc::Plan;
+
+/// Entity id of the server in execution traces.
+pub const SERVER: usize = 0;
+
+/// Entity id of worker with profile index `i`.
+pub fn worker_entity(index: usize) -> usize {
+    index + 1
+}
+
+/// Entity id of the network channel for an `n`-computer cluster.
+pub fn channel_entity(n: usize) -> usize {
+    n + 1
+}
+
+/// The protocol's events, keyed by startup position.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Server starts packaging the work for `pos`.
+    StartSend { pos: usize },
+    /// Work for `pos` finished its network transit; worker begins.
+    WorkArrived { pos: usize },
+    /// Worker at `pos` finished packaging its results.
+    ResultsReady { pos: usize },
+    /// Results of `pos` arrived back at the server.
+    TransitDone { pos: usize },
+}
+
+struct ExecState {
+    params: Params,
+    rhos: Vec<f64>,  // by position
+    work: Vec<f64>,  // by position
+    order: Vec<usize>,
+    server: UnitResource,
+    channel: UnitResource,
+    trace: Trace,
+    arrivals: Vec<Option<SimTime>>, // result-transit end, by position
+}
+
+/// The outcome of executing a plan: the full trace plus per-position
+/// result arrival times.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Action/time record of every entity.
+    pub trace: Trace,
+    /// When each position's results finished transiting back to the
+    /// server (the paper's completion criterion), by startup position.
+    pub arrivals: Vec<SimTime>,
+    /// The executed plan.
+    pub plan: Plan,
+}
+
+impl Execution {
+    /// The latest result arrival (completion time of the whole batch).
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.arrivals.iter().copied().max()
+    }
+
+    /// Total work units whose results had arrived by time `t` (with a
+    /// relative tolerance for float round-off at the lifespan boundary).
+    pub fn work_completed_by(&self, t: f64) -> f64 {
+        let cutoff = t * (1.0 + 1e-9);
+        self.arrivals
+            .iter()
+            .zip(&self.plan.work)
+            .filter(|(arr, _)| arr.get() <= cutoff)
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// The end of the last recorded activity (including the server's final
+    /// unpackaging, which the completion criterion does not count).
+    pub fn makespan(&self) -> SimTime {
+        self.trace.makespan()
+    }
+}
+
+/// Executes `plan` on `profile` and returns the full [`Execution`].
+///
+/// # Panics
+/// Panics if the plan's order is not a permutation of the profile's
+/// indices (construct plans through [`crate::alloc`] / [`crate::baseline`]
+/// to avoid this).
+pub fn execute(params: &Params, profile: &Profile, plan: &Plan) -> Execution {
+    assert!(
+        crate::alloc::is_permutation(&plan.order, profile.n()),
+        "plan order must be a permutation of the profile indices"
+    );
+    let n = profile.n();
+    let mut state = ExecState {
+        params: *params,
+        rhos: plan.order.iter().map(|&i| profile.rho(i)).collect(),
+        work: plan.work.clone(),
+        order: plan.order.clone(),
+        server: UnitResource::new(),
+        channel: UnitResource::new(),
+        trace: Trace::new(),
+        arrivals: vec![None; n],
+    };
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    queue.schedule_at(SimTime::ZERO, Event::StartSend { pos: 0 });
+
+    hetero_sim::run(&mut state, &mut queue, |st, q, now, ev| {
+        let (pi, tau, delta) = (st.params.pi(), st.params.tau(), st.params.delta());
+        match ev {
+            Event::StartSend { pos } => {
+                let w = st.work[pos];
+                let target = st.order[pos];
+                // Server packages (πw), then the message transits (τw);
+                // the channel is claimed as soon as packaging ends.
+                let pack = st.server.acquire(now, pi * w);
+                st.trace
+                    .record(SERVER, format!("pack→C{}", target + 1), pack.start, pack.end);
+                let transit = st.channel.acquire(pack.end, tau * w);
+                st.trace.record(
+                    channel_entity(st.order.len()),
+                    format!("xmit:work:C{}", target + 1),
+                    transit.start,
+                    transit.end,
+                );
+                q.schedule_at(transit.end, Event::WorkArrived { pos });
+                if pos + 1 < st.order.len() {
+                    // "It immediately prepares and sends w₂ via the same
+                    // process": the next (π+τ)w block starts when this
+                    // transit ends, keeping the C0 row gap-free.
+                    q.schedule_at(transit.end, Event::StartSend { pos: pos + 1 });
+                }
+            }
+            Event::WorkArrived { pos } => {
+                let w = st.work[pos];
+                let rho = st.rhos[pos];
+                let target = st.order[pos];
+                let ent = worker_entity(target);
+                let unpack_end = now + pi * rho * w;
+                let compute_end = unpack_end + rho * w;
+                let pack_end = compute_end + pi * rho * delta * w;
+                st.trace.record(ent, "unpack", now, unpack_end);
+                st.trace.record(ent, "compute", unpack_end, compute_end);
+                st.trace.record(ent, "pack", compute_end, pack_end);
+                q.schedule_at(pack_end, Event::ResultsReady { pos });
+            }
+            Event::ResultsReady { pos } => {
+                let w = st.work[pos];
+                let target = st.order[pos];
+                let transit = st.channel.acquire(now, tau * delta * w);
+                // In the optimal plan the channel frees *exactly* when the
+                // worker is ready; f64 round-off can leave an ulp-scale gap
+                // that is not a real wait, so only genuine stalls are
+                // recorded.
+                let wait_threshold = 1e-9 * (1.0 + now.get().abs());
+                if transit.start - now > wait_threshold {
+                    st.trace.record(
+                        worker_entity(target),
+                        "wait:channel",
+                        now,
+                        transit.start,
+                    );
+                }
+                st.trace.record(
+                    channel_entity(st.order.len()),
+                    format!("xmit:result:C{}", target + 1),
+                    transit.start,
+                    transit.end,
+                );
+                q.schedule_at(transit.end, Event::TransitDone { pos });
+            }
+            Event::TransitDone { pos } => {
+                let w = st.work[pos];
+                let target = st.order[pos];
+                st.arrivals[pos] = Some(now);
+                let unpack = st.server.acquire(now, pi * delta * w);
+                st.trace
+                    .record(SERVER, format!("recv←C{}", target + 1), unpack.start, unpack.end);
+            }
+        }
+    });
+
+    Execution {
+        trace: state.trace,
+        arrivals: state
+            .arrivals
+            .into_iter()
+            .map(|a| a.expect("every position's results arrive"))
+            .collect(),
+        plan: plan.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{fifo_plan, fifo_plan_ordered, theorem2_work};
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    #[test]
+    fn single_worker_timeline_matches_fig1() {
+        // Figure 1: π0w | τw | πiw | ρiw | πiδw | τδw | π0δw.
+        let p = params();
+        let profile = Profile::new(vec![0.5]).unwrap();
+        let w = 10.0;
+        let plan = Plan {
+            order: vec![0],
+            work: vec![w],
+            lifespan: 1e9,
+        };
+        let run = execute(&p, &profile, &plan);
+        let rho = 0.5;
+        let expect_arrival =
+            p.pi() * w + p.tau() * w + p.b() * rho * w + p.tau() * p.delta() * w;
+        assert!((run.arrivals[0].get() - expect_arrival).abs() < 1e-9);
+        // Makespan additionally includes the server's final unpackaging.
+        let expect_makespan = expect_arrival + p.pi() * p.delta() * w;
+        assert!((run.makespan().get() - expect_makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_plan_finishes_exactly_at_lifespan() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5, 0.25]).unwrap();
+        let lifespan = 3600.0;
+        let plan = fifo_plan(&p, &profile, lifespan).unwrap();
+        let run = execute(&p, &profile, &plan);
+        let last = run.last_arrival().unwrap().get();
+        assert!(
+            (last - lifespan).abs() / lifespan < 1e-9,
+            "no-gap optimum uses the whole lifespan: {last} vs {lifespan}"
+        );
+    }
+
+    #[test]
+    fn executed_work_matches_theorem2() {
+        // Theorem 2 validated behaviourally: the event-driven execution of
+        // the closed-form plan completes exactly W(L;P) work by L.
+        let p = params();
+        for profile in [
+            Profile::harmonic(5),
+            Profile::uniform_spread(8),
+            Profile::new(vec![1.0, 0.9, 0.2, 0.01]).unwrap(),
+        ] {
+            let lifespan = 1000.0;
+            let plan = fifo_plan(&p, &profile, lifespan).unwrap();
+            let run = execute(&p, &profile, &plan);
+            let done = run.work_completed_by(lifespan);
+            let closed = theorem2_work(&p, &profile, lifespan);
+            assert!(
+                (done - closed).abs() / closed < 1e-9,
+                "n={}: {done} vs {closed}",
+                profile.n()
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_all_startup_orders_equally_productive() {
+        // Executed, not just computed: every startup order of the FIFO
+        // protocol completes the same work by L.
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5, 1.0 / 3.0, 0.25]).unwrap();
+        let lifespan = 250.0;
+        let orders: [&[usize]; 4] = [&[0, 1, 2, 3], &[3, 2, 1, 0], &[2, 0, 3, 1], &[1, 3, 0, 2]];
+        let mut totals = Vec::new();
+        for order in orders {
+            let plan = fifo_plan_ordered(&p, &profile, order, lifespan).unwrap();
+            let run = execute(&p, &profile, &plan);
+            assert!(run.last_arrival().unwrap().get() <= lifespan * (1.0 + 1e-9));
+            totals.push(run.work_completed_by(lifespan));
+        }
+        for w in &totals[1..] {
+            assert!((w - totals[0]).abs() / totals[0] < 1e-9, "{totals:?}");
+        }
+    }
+
+    #[test]
+    fn workers_never_wait_for_the_channel_in_the_optimal_plan() {
+        // The no-gap conditions mean each worker's results transmission
+        // starts the moment packaging finishes.
+        let p = params();
+        let profile = Profile::harmonic(6);
+        let plan = fifo_plan(&p, &profile, 500.0).unwrap();
+        let run = execute(&p, &profile, &plan);
+        assert!(
+            !run.trace.spans().iter().any(|s| s.label == "wait:channel"),
+            "optimal plan has no channel waits"
+        );
+    }
+
+    #[test]
+    fn work_completed_by_respects_cutoff() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let plan = fifo_plan(&p, &profile, 100.0).unwrap();
+        let run = execute(&p, &profile, &plan);
+        // Before the first arrival nothing is complete; after the last,
+        // everything is.
+        assert_eq!(run.work_completed_by(0.5), 0.0);
+        let all = run.work_completed_by(100.0);
+        assert!((all - plan.total_work()).abs() < 1e-9);
+        // Between the two arrivals exactly the first position counts.
+        let first = run.arrivals[0].get();
+        let second = run.arrivals[1].get();
+        assert!(first < second);
+        let partial = run.work_completed_by(0.5 * (first + second));
+        assert!((partial - plan.work[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn execute_rejects_malformed_plan() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let plan = Plan {
+            order: vec![0, 0],
+            work: vec![1.0, 1.0],
+            lifespan: 10.0,
+        };
+        let _ = execute(&p, &profile, &plan);
+    }
+}

@@ -1,0 +1,125 @@
+//! The simulation clock value.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulation clock.
+///
+/// `SimTime` wraps a *finite* `f64` and is totally ordered, which is what
+/// lets the event queue implement `Ord`. Construction rejects NaN and
+/// infinities, so every comparison is meaningful.
+///
+/// ```
+/// use hetero_sim::SimTime;
+/// let t = SimTime::new(1.5) + 2.5;
+/// assert_eq!(t.get(), 4.0);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the conventional start of a simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wraps a finite clock value.
+    ///
+    /// # Panics
+    /// Panics when `t` is NaN or infinite.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite(), "SimTime must be finite, got {t}");
+        SimTime(t)
+    }
+
+    /// The underlying clock value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+// Finite-only invariant makes the order total.
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::new(1.0) < SimTime::new(2.0));
+        assert_eq!(SimTime::new(3.0), SimTime::new(3.0));
+        assert_eq!(SimTime::new(5.0).max(SimTime::new(2.0)), SimTime::new(5.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.0) + 0.5;
+        assert_eq!(t.get(), 1.5);
+        assert_eq!(t - SimTime::new(1.0), 0.5);
+        let mut u = SimTime::ZERO;
+        u += 2.0;
+        assert_eq!(u.get(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn overflow_to_infinity_rejected() {
+        let _ = SimTime::new(f64::MAX) + f64::MAX;
+    }
+}

@@ -1,0 +1,177 @@
+//! Span recording for action/time diagrams.
+//!
+//! The paper presents protocols as action/time diagrams (its Figures 1–2):
+//! one row per entity, one labelled box per activity. [`Trace`] records
+//! those boxes during a simulation; `hetero-experiments` renders them as an
+//! ASCII Gantt chart.
+
+use crate::SimTime;
+
+/// One recorded activity interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Row identifier (e.g. computer index; 0 is the server).
+    pub entity: usize,
+    /// Activity label (e.g. `"send→C2"`, `"compute"`).
+    pub label: String,
+    /// Start of the activity.
+    pub start: SimTime,
+    /// End of the activity.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Duration of the span.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// `true` iff this span overlaps `other` on the open interval.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// An append-only recording of activity spans.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one activity.
+    ///
+    /// # Panics
+    /// Panics when `end < start`.
+    pub fn record(&mut self, entity: usize, label: impl Into<String>, start: SimTime, end: SimTime) {
+        assert!(end >= start, "span ends before it starts");
+        self.spans.push(Span {
+            entity,
+            label: label.into(),
+            start,
+            end,
+        });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans belonging to one entity, in recording order.
+    pub fn entity_spans(&self, entity: usize) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.entity == entity)
+    }
+
+    /// The latest end time over all spans (zero when empty).
+    pub fn makespan(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Checks that no two spans *of the same entity* overlap — an entity
+    /// does one thing at a time. Returns the first offending pair.
+    pub fn find_entity_conflict(&self) -> Option<(&Span, &Span)> {
+        // O(n²) is fine at trace scale; protocol traces have ~5n spans.
+        for (i, a) in self.spans.iter().enumerate() {
+            for b in &self.spans[i + 1..] {
+                if a.entity == b.entity && a.overlaps(b) {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks that no two spans whose labels satisfy `pred` overlap,
+    /// regardless of entity — used to verify the paper's "at most one
+    /// message in transit at a time" network constraint.
+    pub fn find_labelled_conflict<F>(&self, pred: F) -> Option<(&Span, &Span)>
+    where
+        F: Fn(&str) -> bool,
+    {
+        let matching: Vec<&Span> = self.spans.iter().filter(|s| pred(&s.label)).collect();
+        for (i, a) in matching.iter().enumerate() {
+            for b in &matching[i + 1..] {
+                if a.overlaps(b) {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> SimTime {
+        SimTime::new(v)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut tr = Trace::new();
+        tr.record(0, "send", t(0.0), t(1.0));
+        tr.record(1, "compute", t(1.0), t(4.0));
+        tr.record(0, "send", t(1.0), t(2.0));
+        assert_eq!(tr.spans().len(), 3);
+        assert_eq!(tr.entity_spans(0).count(), 2);
+        assert_eq!(tr.makespan(), t(4.0));
+    }
+
+    #[test]
+    fn overlap_semantics_are_open_interval() {
+        let a = Span { entity: 0, label: "a".into(), start: t(0.0), end: t(1.0) };
+        let b = Span { entity: 0, label: "b".into(), start: t(1.0), end: t(2.0) };
+        let c = Span { entity: 0, label: "c".into(), start: t(0.5), end: t(1.5) };
+        assert!(!a.overlaps(&b)); // touching endpoints do not overlap
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn entity_conflicts_detected() {
+        let mut tr = Trace::new();
+        tr.record(2, "x", t(0.0), t(2.0));
+        tr.record(1, "y", t(1.0), t(3.0)); // different entity: fine
+        assert!(tr.find_entity_conflict().is_none());
+        tr.record(2, "z", t(1.5), t(1.8));
+        let (a, b) = tr.find_entity_conflict().expect("conflict");
+        assert_eq!((a.label.as_str(), b.label.as_str()), ("x", "z"));
+    }
+
+    #[test]
+    fn labelled_conflicts_span_entities() {
+        let mut tr = Trace::new();
+        tr.record(0, "xmit:work", t(0.0), t(2.0));
+        tr.record(1, "xmit:result", t(1.0), t(3.0));
+        tr.record(2, "compute", t(0.0), t(9.0));
+        assert!(tr
+            .find_labelled_conflict(|l| l.starts_with("xmit"))
+            .is_some());
+        // Computation may overlap transmissions freely.
+        assert!(tr.find_labelled_conflict(|l| l == "compute").is_none());
+    }
+
+    #[test]
+    fn empty_trace_makespan_is_zero() {
+        assert_eq!(Trace::new().makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before")]
+    fn backwards_span_panics() {
+        let mut tr = Trace::new();
+        tr.record(0, "bad", t(2.0), t(1.0));
+    }
+}

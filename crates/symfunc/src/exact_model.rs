@@ -1,0 +1,201 @@
+//! Exact-rational mirror of the core model.
+//!
+//! Every `hetero-core` formula that decides an *ordering* — which cluster
+//! is more powerful, which computer to upgrade — is re-implemented here
+//! over [`hetero_exact::Ratio`], so theorem predicates can be evaluated
+//! with mathematically certain signs. The f64 and exact paths are
+//! cross-checked in the test suites of both crates.
+
+use hetero_core::{Params, Profile};
+use hetero_exact::Ratio;
+
+/// The model constants as exact rationals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactParams {
+    /// Transit rate τ.
+    pub tau: Ratio,
+    /// Packaging rate π.
+    pub pi: Ratio,
+    /// Output/input ratio δ.
+    pub delta: Ratio,
+}
+
+impl ExactParams {
+    /// Builds from rationals.
+    pub fn new(tau: Ratio, pi: Ratio, delta: Ratio) -> Self {
+        ExactParams { tau, pi, delta }
+    }
+
+    /// Converts a f64 [`Params`] exactly (every finite double is rational).
+    pub fn from_params(p: &Params) -> Self {
+        ExactParams {
+            tau: Ratio::from_f64(p.tau()).expect("params are finite"),
+            pi: Ratio::from_f64(p.pi()).expect("params are finite"),
+            delta: Ratio::from_f64(p.delta()).expect("params are finite"),
+        }
+    }
+
+    /// `A = π + τ`.
+    pub fn a(&self) -> Ratio {
+        &self.pi + &self.tau
+    }
+
+    /// `B = 1 + (1+δ)π`.
+    pub fn b(&self) -> Ratio {
+        Ratio::one() + (Ratio::one() + &self.delta) * &self.pi
+    }
+
+    /// `τδ`.
+    pub fn tau_delta(&self) -> Ratio {
+        &self.tau * &self.delta
+    }
+
+    /// The Theorem 4 threshold `Aτδ/B²`, exactly.
+    pub fn theorem4_threshold(&self) -> Ratio {
+        let b = self.b();
+        self.a() * self.tau_delta() / (&b * &b)
+    }
+}
+
+/// Converts a profile's ρ-values to exact rationals.
+pub fn exact_rhos(profile: &Profile) -> Vec<Ratio> {
+    profile
+        .rhos()
+        .iter()
+        .map(|&r| Ratio::from_f64(r).expect("profile speeds are finite"))
+        .collect()
+}
+
+/// Exact `X(P)` by the Theorem 2 formula.
+pub fn x_exact(params: &ExactParams, rhos: &[Ratio]) -> Ratio {
+    let a = params.a();
+    let b = params.b();
+    let td = params.tau_delta();
+    let mut product = Ratio::one();
+    let mut sum = Ratio::zero();
+    for rho in rhos {
+        let brho = &b * rho;
+        let denom = &brho + &a;
+        sum += &(&product / &denom);
+        product *= &(&(&brho + &td) / &denom);
+    }
+    sum
+}
+
+/// Exact asymptotic work rate `1/(τδ + 1/X)`.
+pub fn work_rate_exact(params: &ExactParams, rhos: &[Ratio]) -> Ratio {
+    (params.tau_delta() + x_exact(params, rhos).recip()).recip()
+}
+
+/// Exactly compares the power of two clusters: `Ordering::Greater` means
+/// the first completes strictly more work (larger X).
+pub fn compare_power(
+    params: &ExactParams,
+    rhos1: &[Ratio],
+    rhos2: &[Ratio],
+) -> std::cmp::Ordering {
+    x_exact(params, rhos1).cmp(&x_exact(params, rhos2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_core::xmeasure;
+
+    fn exact_paper_params() -> ExactParams {
+        ExactParams::new(
+            Ratio::from_frac(1, 1_000_000),
+            Ratio::from_frac(1, 100_000),
+            Ratio::one(),
+        )
+    }
+
+    #[test]
+    fn derived_constants_match_table2() {
+        let p = exact_paper_params();
+        assert_eq!(p.a(), Ratio::from_frac(11, 1_000_000));
+        // B = 1 + 2π = 1.00002 = 100002/100000 = 50001/50000.
+        assert_eq!(p.b(), Ratio::from_frac(50_001, 50_000));
+    }
+
+    #[test]
+    fn from_params_is_exact() {
+        let p = Params::paper_table1();
+        let e = ExactParams::from_params(&p);
+        assert_eq!(e.a().to_f64(), p.a());
+        assert!((e.b().to_f64() - p.b()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn x_exact_matches_f64_x() {
+        let fp = Params::paper_table1();
+        let ep = ExactParams::from_params(&fp);
+        for profile in [
+            Profile::uniform_spread(8),
+            Profile::harmonic(8),
+            Profile::new(vec![1.0, 0.5, 1.0 / 3.0, 0.25]).unwrap(),
+        ] {
+            let exact = x_exact(&ep, &exact_rhos(&profile)).to_f64();
+            let float = xmeasure::x_measure(&fp, &profile);
+            assert!(
+                (exact - float).abs() / exact < 1e-12,
+                "{exact} vs {float}"
+            );
+        }
+    }
+
+    #[test]
+    fn x_exact_is_exactly_permutation_invariant() {
+        let p = exact_paper_params();
+        let fwd: Vec<Ratio> = (1..=6).map(|i| Ratio::from_frac(1, i)).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let mut shuffled = fwd.clone();
+        shuffled.swap(0, 3);
+        shuffled.swap(2, 5);
+        let x = x_exact(&p, &fwd);
+        assert_eq!(x, x_exact(&p, &rev), "Theorem 1(2), exactly");
+        assert_eq!(x, x_exact(&p, &shuffled));
+    }
+
+    #[test]
+    fn compare_power_resolves_ties_f64_cannot() {
+        // Two profiles whose X-values agree to ~1e-17 relative: the f64
+        // measure cannot rank them; the exact comparison can.
+        let p = exact_paper_params();
+        let base: Vec<Ratio> = vec![Ratio::one(), Ratio::from_frac(1, 2)];
+        let eps = Ratio::from_frac(1, 1_000_000_000_000_000_000);
+        let tweaked: Vec<Ratio> = vec![Ratio::one(), Ratio::from_frac(1, 2) - &eps];
+        assert_eq!(
+            compare_power(&p, &tweaked, &base),
+            std::cmp::Ordering::Greater,
+            "the (infinitesimally) faster cluster wins"
+        );
+    }
+
+    #[test]
+    fn work_rate_exact_agrees_with_f64() {
+        let fp = Params::paper_table1();
+        let ep = ExactParams::from_params(&fp);
+        let c = Profile::harmonic(5);
+        let exact = work_rate_exact(&ep, &exact_rhos(&c)).to_f64();
+        let float = xmeasure::work_rate(&fp, &c);
+        assert!((exact - float).abs() / exact < 1e-12);
+    }
+
+    #[test]
+    fn theorem4_threshold_exact_value() {
+        // fig34 params: τ = 1/5, π = 1/100, δ = 1 →
+        // A = 21/100, τδ = 1/5, B = 51/50, Aτδ/B² = (21/500)/(2601/2500)
+        // = 21·2500/(500·2601) = 105/2601 = 35/867.
+        let p = ExactParams::new(
+            Ratio::from_frac(1, 5),
+            Ratio::from_frac(1, 100),
+            Ratio::one(),
+        );
+        assert_eq!(p.theorem4_threshold(), Ratio::from_frac(35, 867));
+        // And it lies in the (1/32, 1/16) window needed by Figures 3–4.
+        assert!(p.theorem4_threshold() > Ratio::from_frac(1, 32));
+        assert!(p.theorem4_threshold() < Ratio::from_frac(1, 16));
+    }
+}

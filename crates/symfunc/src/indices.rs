@@ -1,0 +1,146 @@
+//! Scalar heterogeneity indices.
+//!
+//! Single numbers that summarize *how heterogeneous* a profile is, used
+//! as candidate power predictors alongside the §4.2 moments (and scored
+//! against them in `hetero-experiments`):
+//!
+//! * [`coefficient_of_variation`] — scale-free standard deviation;
+//! * [`gini`] — the inequality index of the speed distribution;
+//! * [`shannon_entropy_deficit`] — how far the speed *shares* are from
+//!   uniform;
+//! * [`speed_range_ratio`] — slowest-to-fastest ratio (the "span").
+//!
+//! All operate on ρ-values (times per unit work). They are invariant
+//! under the paper's normalization (rescaling all speeds), which is what
+//! makes them comparable across clusters measured in different units.
+
+/// Standard deviation divided by the mean. Zero iff homogeneous.
+pub fn coefficient_of_variation(rhos: &[f64]) -> f64 {
+    assert!(!rhos.is_empty(), "index of empty profile");
+    let n = rhos.len() as f64;
+    let mean = rhos.iter().sum::<f64>() / n;
+    let var = rhos.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// The Gini coefficient of the ρ-values, in `[0, 1)`: `0` for a
+/// homogeneous cluster, approaching `1` as one computer dominates the
+/// total slowness.
+pub fn gini(rhos: &[f64]) -> f64 {
+    assert!(!rhos.is_empty(), "index of empty profile");
+    let n = rhos.len();
+    let mut sorted = rhos.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // Gini = (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i + 1) as f64 * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// `1 − H(p)/ln n`, where `H` is the Shannon entropy of the normalized
+/// speed shares `p_i = ρ_i / Σρ`. Zero iff homogeneous; grows toward 1 as
+/// the distribution concentrates. For `n = 1` the deficit is defined as 0.
+pub fn shannon_entropy_deficit(rhos: &[f64]) -> f64 {
+    assert!(!rhos.is_empty(), "index of empty profile");
+    let n = rhos.len();
+    if n == 1 {
+        return 0.0;
+    }
+    let total: f64 = rhos.iter().sum();
+    let h: f64 = rhos
+        .iter()
+        .map(|r| {
+            let p = r / total;
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    1.0 - h / (n as f64).ln()
+}
+
+/// `ρ_max / ρ_min` — the speed span (≥ 1; 1 iff homogeneous).
+pub fn speed_range_ratio(rhos: &[f64]) -> f64 {
+    assert!(!rhos.is_empty(), "index of empty profile");
+    let max = rhos.iter().cloned().fold(0.0f64, f64::max);
+    let min = rhos.iter().cloned().fold(f64::INFINITY, f64::min);
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOMOG: [f64; 4] = [0.5, 0.5, 0.5, 0.5];
+    const MILD: [f64; 4] = [0.6, 0.55, 0.45, 0.4];
+    const WILD: [f64; 4] = [1.0, 0.9, 0.05, 0.05];
+
+    #[test]
+    fn homogeneous_cluster_scores_zero() {
+        assert_eq!(coefficient_of_variation(&HOMOG), 0.0);
+        assert!(gini(&HOMOG).abs() < 1e-12);
+        assert!(shannon_entropy_deficit(&HOMOG).abs() < 1e-12);
+        assert_eq!(speed_range_ratio(&HOMOG), 1.0);
+    }
+
+    #[test]
+    fn indices_order_mild_below_wild() {
+        assert!(coefficient_of_variation(&MILD) < coefficient_of_variation(&WILD));
+        assert!(gini(&MILD) < gini(&WILD));
+        assert!(shannon_entropy_deficit(&MILD) < shannon_entropy_deficit(&WILD));
+        assert!(speed_range_ratio(&MILD) < speed_range_ratio(&WILD));
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let scaled: Vec<f64> = WILD.iter().map(|r| r * 0.37).collect();
+        assert!((coefficient_of_variation(&WILD) - coefficient_of_variation(&scaled)).abs() < 1e-12);
+        assert!((gini(&WILD) - gini(&scaled)).abs() < 1e-12);
+        assert!((shannon_entropy_deficit(&WILD) - shannon_entropy_deficit(&scaled)).abs() < 1e-12);
+        assert!((speed_range_ratio(&WILD) - speed_range_ratio(&scaled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_known_values() {
+        // Two-point ⟨1, 0⟩-like distribution: Gini → 1/2 for n = 2 when
+        // one holds everything: (2·(1·0 + 2·1))/(2·1) − 3/2 = 1/2.
+        assert!((gini(&[1.0, 1e-12]) - 0.5).abs() < 1e-6);
+        // Textbook: ⟨1,2,3,4⟩ has Gini = 1/4.
+        assert!((gini(&[1.0, 2.0, 3.0, 4.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_order_insensitive() {
+        assert!((gini(&[0.2, 0.9, 0.5]) - gini(&[0.9, 0.5, 0.2])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn entropy_deficit_bounds() {
+        for v in [&MILD[..], &WILD[..]] {
+            let d = shannon_entropy_deficit(v);
+            assert!((0.0..1.0).contains(&d), "{d}");
+        }
+        assert_eq!(shannon_entropy_deficit(&[0.7]), 0.0, "n = 1 convention");
+    }
+
+    #[test]
+    fn range_ratio_basic() {
+        assert_eq!(speed_range_ratio(&[1.0, 0.25]), 4.0);
+        assert_eq!(speed_range_ratio(&[0.3]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_profile_panics() {
+        let _ = gini(&[]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hetero-symfunc — symmetric functions, moments, and power predictors
+//!
+//! Section 4 of the heterogeneity paper asks: *can a cluster's power be
+//! predicted from its profile alone, without computing X-values?* Its
+//! machinery, all implemented here:
+//!
+//! * **Lemma 1** — `X(P)` is a ratio of linear combinations of the
+//!   elementary symmetric functions `F_k⁽ⁿ⁾(P)`, with explicit positive
+//!   coefficients `α_i`, `β_i` ([`lemma1`]).
+//! * **Proposition 3** — a sufficient pairwise-dominance system on the
+//!   `F_k` values that certifies one cluster outperforms another
+//!   ([`predictors::prop3_dominates`]).
+//! * **Theorem 5 / Corollary 1** — for equal-mean clusters, dominance
+//!   forces larger variance, and for `n = 2` larger variance is
+//!   *equivalent* to more power: heterogeneity can lend power
+//!   ([`predictors`]).
+//!
+//! The symmetric functions themselves ([`elementary`]) and the statistical
+//! moments ([`moments`]) are generic over a numeric field so everything
+//! can be evaluated both in `f64` and **exactly** over
+//! [`hetero_exact::Ratio`] — sign decisions in the predicates are never
+//! rounding artifacts.
+//!
+//! ```
+//! use hetero_symfunc::elementary::elementary_all;
+//!
+//! // F_k of ⟨ρ1, ρ2, ρ3⟩ = (1, ρ1+ρ2+ρ3, ρ1ρ2+ρ1ρ3+ρ2ρ3, ρ1ρ2ρ3).
+//! let e = elementary_all(&[2.0, 3.0, 5.0]);
+//! assert_eq!(e, vec![1.0, 10.0, 31.0, 30.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod elementary;
+pub mod exact_model;
+pub mod indices;
+pub mod lemma1;
+pub mod majorization;
+pub mod moments;
+pub mod predictors;
+
+mod num;
+
+pub use num::Num;

@@ -1,0 +1,174 @@
+//! Statistical moments of profiles (paper §4.2 and the companion paper's
+//! extension to higher moments).
+//!
+//! The bridge to the symmetric functions (paper Eqs. 7–8):
+//!
+//! ```text
+//! VAR(P)   = p_2/n − (F_1/n)²
+//! F_2(P)   = F_1²/2 − p_2/2        (p_2 = Σρ_i²)
+//! ```
+//!
+//! so for clusters with equal mean speed, *larger variance ⇔ smaller F_2* —
+//! the pivot of Theorem 5.
+
+use crate::Num;
+
+/// Arithmetic mean.
+pub fn mean<T: Num>(values: &[T]) -> T {
+    assert!(!values.is_empty(), "mean of empty slice");
+    let sum = values.iter().fold(T::zero(), |acc, v| acc.add_ref(v));
+    sum.div_ref(&T::from_usize(values.len()))
+}
+
+/// Population variance (the paper's `VAR(P)`, Eq. 7).
+pub fn variance<T: Num>(values: &[T]) -> T {
+    let m = mean(values);
+    let sq = values.iter().fold(T::zero(), |acc, v| {
+        let d = v.sub_ref(&m);
+        acc.add_ref(&d.mul_ref(&d))
+    });
+    sq.div_ref(&T::from_usize(values.len()))
+}
+
+/// The `k`-th central moment `Σ(ρ−ρ̄)ᵏ / n`.
+pub fn central_moment<T: Num>(values: &[T], k: usize) -> T {
+    let m = mean(values);
+    let sum = values.iter().fold(T::zero(), |acc, v| {
+        let d = v.sub_ref(&m);
+        let mut p = T::one();
+        for _ in 0..k {
+            p = p.mul_ref(&d);
+        }
+        acc.add_ref(&p)
+    });
+    sum.div_ref(&T::from_usize(values.len()))
+}
+
+/// Skewness: `μ_3 / μ_2^{3/2}` (f64 only — needs a real root).
+pub fn skewness(values: &[f64]) -> f64 {
+    let m2 = central_moment(values, 2);
+    let m3 = central_moment(values, 3);
+    if m2 <= 0.0 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Excess kurtosis: `μ_4 / μ_2² − 3` (f64 only).
+pub fn kurtosis_excess(values: &[f64]) -> f64 {
+    let m2 = central_moment(values, 2);
+    let m4 = central_moment(values, 4);
+    if m2 <= 0.0 {
+        0.0
+    } else {
+        m4 / (m2 * m2) - 3.0
+    }
+}
+
+/// Geometric mean `(F_n)^{1/n}` (f64 only). Computed in log space for
+/// stability at large `n`.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The paper's Eq. 8 identity: `F_2 = (F_1² − p_2)/2`.
+pub fn f2_from_power_sums<T: Num>(f1: &T, p2: &T) -> T {
+    let two = T::from_usize(2);
+    f1.mul_ref(f1).sub_ref(p2).div_ref(&two)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elementary::{elementary_all, power_sums};
+    use hetero_exact::Ratio;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let v = [1.0, 0.5];
+        assert_eq!(mean(&v), 0.75);
+        assert!((variance(&v) - 0.0625).abs() < 1e-15);
+        assert_eq!(variance(&[0.3, 0.3, 0.3]), 0.0);
+    }
+
+    #[test]
+    fn exact_mean_variance() {
+        let v: Vec<Ratio> = vec![Ratio::one(), Ratio::from_frac(1, 2)];
+        assert_eq!(mean(&v), Ratio::from_frac(3, 4));
+        assert_eq!(variance(&v), Ratio::from_frac(1, 16));
+    }
+
+    #[test]
+    fn eq7_connects_variance_to_power_sums() {
+        // VAR = p2/n − (F1/n)².
+        let v = [0.9, 0.4, 0.7, 0.1];
+        let n = v.len() as f64;
+        let p = power_sums(&v, 2);
+        let direct = variance(&v);
+        let via = p[2] / n - (p[1] / n) * (p[1] / n);
+        assert!((direct - via).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq8_connects_f2_to_power_sums() {
+        let v: Vec<Ratio> = [(1i64, 1u64), (1, 2), (1, 3), (1, 4)]
+            .iter()
+            .map(|&(a, b)| Ratio::from_frac(a, b))
+            .collect();
+        let e = elementary_all(&v);
+        let p = power_sums(&v, 2);
+        assert_eq!(f2_from_power_sums(&p[1], &p[2]), e[2], "Eq. 8, exactly");
+    }
+
+    #[test]
+    fn equal_mean_larger_variance_means_smaller_f2() {
+        // The Theorem 5 pivot, on a concrete pair with equal means.
+        let spread = [1.0f64, 0.2, 0.6]; // mean 0.6
+        let tight = [0.7f64, 0.5, 0.6]; // mean 0.6
+        assert!((mean(&spread) - mean(&tight)).abs() < 1e-15);
+        assert!(variance(&spread) > variance(&tight));
+        let f2s = elementary_all(&spread)[2];
+        let f2t = elementary_all(&tight)[2];
+        assert!(f2s < f2t);
+    }
+
+    #[test]
+    fn central_moments() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((central_moment(&v, 1)).abs() < 1e-15, "first central moment is 0");
+        assert!((central_moment(&v, 2) - 1.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        assert!(skewness(&[0.1, 0.1, 0.1, 1.0]) > 0.5, "right tail → positive");
+        assert!(skewness(&[1.0, 1.0, 1.0, 0.1]) < -0.5, "left tail → negative");
+        let sym = [0.2, 0.5, 0.8];
+        assert!(skewness(&sym).abs() < 1e-12);
+        assert_eq!(skewness(&[0.4, 0.4]), 0.0, "degenerate variance → 0");
+    }
+
+    #[test]
+    fn kurtosis_of_two_point_distribution() {
+        // Symmetric two-point mass has excess kurtosis −2.
+        assert!((kurtosis_excess(&[0.0, 1.0]) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_matches_fn_root() {
+        let v = [1.0, 0.5, 0.25, 0.125];
+        let fns = elementary_all(&v);
+        let gm = geometric_mean(&v);
+        assert!((gm - fns[4].powf(0.25)).abs() < 1e-12);
+        assert!(gm < mean(&v), "AM–GM");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_of_empty_panics() {
+        let _: f64 = mean(&[]);
+    }
+}

@@ -1,0 +1,98 @@
+//! A minimal numeric-field abstraction.
+//!
+//! The symmetric-function and moment code runs over both `f64` (fast,
+//! approximate) and [`hetero_exact::Ratio`] (slow, exact). This trait is
+//! the small common surface they share; it passes by reference so `Ratio`
+//! avoids needless clones.
+
+use hetero_exact::Ratio;
+
+/// A commutative ring with division where needed (a field, in practice).
+pub trait Num: Clone + PartialEq + PartialOrd {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// `self + other`.
+    fn add_ref(&self, other: &Self) -> Self;
+    /// `self - other`.
+    fn sub_ref(&self, other: &Self) -> Self;
+    /// `self · other`.
+    fn mul_ref(&self, other: &Self) -> Self;
+    /// `self / other`.
+    fn div_ref(&self, other: &Self) -> Self;
+    /// Embeds a small nonnegative integer.
+    fn from_usize(v: usize) -> Self;
+}
+
+impl Num for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add_ref(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub_ref(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul_ref(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div_ref(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn from_usize(v: usize) -> Self {
+        v as f64
+    }
+}
+
+impl Num for Ratio {
+    fn zero() -> Self {
+        Ratio::zero()
+    }
+    fn one() -> Self {
+        Ratio::one()
+    }
+    fn add_ref(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub_ref(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul_ref(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn div_ref(&self, other: &Self) -> Self {
+        self / other
+    }
+    fn from_usize(v: usize) -> Self {
+        Ratio::from_int(v as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<T: Num + std::fmt::Debug>() {
+        let two = T::one().add_ref(&T::one());
+        assert_eq!(two, T::from_usize(2));
+        assert_eq!(two.sub_ref(&T::one()), T::one());
+        assert_eq!(two.mul_ref(&two), T::from_usize(4));
+        assert_eq!(T::from_usize(4).div_ref(&two), two);
+        assert!(T::zero() < T::one());
+    }
+
+    #[test]
+    fn f64_impl() {
+        exercise::<f64>();
+    }
+
+    #[test]
+    fn ratio_impl() {
+        exercise::<Ratio>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property tests: the §4 predictor theory checked against
+//! exact X-value comparisons on random clusters.
+
+use std::cmp::Ordering;
+
+use hetero_core::{Params, Profile};
+use hetero_exact::Ratio;
+use hetero_symfunc::elementary::{elementary_all, elementary_all_dc, power_sums};
+use hetero_symfunc::exact_model::{compare_power, x_exact, ExactParams};
+use hetero_symfunc::lemma1::{x_via_lemma1, FieldParams};
+use hetero_symfunc::moments;
+use hetero_symfunc::predictors;
+use proptest::prelude::*;
+
+/// Random small-denominator rational speeds in (0, 1].
+fn rho_strategy() -> impl Strategy<Value = Ratio> {
+    (1u64..=64).prop_map(|d| Ratio::from_frac(1, d))
+}
+
+fn profile_strategy(max_n: usize) -> impl Strategy<Value = Vec<Ratio>> {
+    prop::collection::vec(rho_strategy(), 1..=max_n)
+}
+
+fn exact_params() -> ExactParams {
+    ExactParams::from_params(&Params::paper_table1())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop3_is_never_wrong(p1 in profile_strategy(6), mut p2 in profile_strategy(6)) {
+        // Pad to equal sizes.
+        while p2.len() < p1.len() { p2.push(Ratio::one()); }
+        let p1_full = {
+            let mut v = p1.clone();
+            while v.len() < p2.len() { v.push(Ratio::one()); }
+            v
+        };
+        let ep = exact_params();
+        if predictors::prop3_dominates(&p1_full, &p2) {
+            // Soundness: a dominance certificate must match exact X order.
+            prop_assert_eq!(compare_power(&ep, &p1_full, &p2), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn theorem5_n2_biconditional(a in 1u64..=40, b in 1u64..=40, c in 1u64..=40, d in 1u64..=40) {
+        // Build two 2-computer clusters with the same mean by construction:
+        // P1 = ⟨m+x, m−x⟩, P2 = ⟨m+y, m−y⟩ around m = (a+b+c+d)/…; simpler:
+        // force equal sums.
+        let p1 = vec![Ratio::from_frac(1, a), Ratio::from_frac(1, b)];
+        let sum1 = &p1[0] + &p1[1];
+        // P2 = ⟨sum1/2 + e, sum1/2 − e⟩ with e < sum1/2.
+        let half = &sum1 / &Ratio::from_int(2);
+        let e = &half * &Ratio::new(
+            hetero_exact::BigInt::from(i64::try_from(c.min(d)).unwrap()),
+            hetero_exact::BigUint::from(u64::from(c.max(d).max(1)) + c.min(d)),
+        );
+        let p2 = vec![&half + &e, &half - &e];
+        prop_assume!(p2[1].is_positive());
+        prop_assert_eq!(moments::mean(&p1), moments::mean(&p2));
+
+        let ep = exact_params();
+        let v1 = moments::variance(&p1);
+        let v2 = moments::variance(&p2);
+        let power = compare_power(&ep, &p1, &p2);
+        // Theorem 5(2): for n = 2 with equal means, larger variance ⇔
+        // strictly more powerful.
+        match v1.cmp(&v2) {
+            Ordering::Greater => prop_assert_eq!(power, Ordering::Greater),
+            Ordering::Less => prop_assert_eq!(power, Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(power, Ordering::Equal),
+        }
+    }
+
+    #[test]
+    fn lemma1_identity_on_random_profiles(rhos in profile_strategy(7)) {
+        let ep = exact_params();
+        let fp = FieldParams::from_exact(&ep);
+        prop_assert_eq!(x_via_lemma1(&fp, &rhos), x_exact(&ep, &rhos));
+    }
+
+    #[test]
+    fn elementary_dp_equals_dc(rhos in profile_strategy(10)) {
+        prop_assert_eq!(elementary_all(&rhos), elementary_all_dc(&rhos));
+    }
+
+    #[test]
+    fn elementary_adding_a_value(rhos in profile_strategy(8), v in rho_strategy()) {
+        // e'_k = e_k + v·e_{k−1} when a value joins the multiset.
+        let base = elementary_all(&rhos);
+        let mut bigger_input = rhos.clone();
+        bigger_input.push(v.clone());
+        let bigger = elementary_all(&bigger_input);
+        for k in 1..bigger.len() {
+            let expect = if k < base.len() {
+                &base[k] + &(&v * &base[k - 1])
+            } else {
+                &v * &base[k - 1]
+            };
+            prop_assert_eq!(bigger[k].clone(), expect);
+        }
+    }
+
+    #[test]
+    fn eq7_eq8_hold_exactly(rhos in profile_strategy(8)) {
+        let n = Ratio::from_int(rhos.len() as i64);
+        let p = power_sums(&rhos, 2);
+        let e = elementary_all(&rhos);
+        // Eq. 7: VAR = p2/n − (F1/n)².
+        let mean = &p[1] / &n;
+        let var_via = &p[2] / &n - &(&mean * &mean);
+        prop_assert_eq!(moments::variance(&rhos), var_via);
+        // Eq. 8: F2 = (F1² − p2)/2 (only defined for n ≥ 2).
+        if rhos.len() >= 2 {
+            let f2_via = (&p[1] * &p[1] - &p[2]) / Ratio::from_int(2);
+            prop_assert_eq!(e[2].clone(), f2_via);
+        }
+    }
+
+    #[test]
+    fn minorization_always_certified_by_prop3(rhos in profile_strategy(6), scale_den in 2u64..=10) {
+        // Scaling every speed down is a minorization; Prop. 3 must
+        // certify it (all F_k shrink by consistent powers).
+        let scale = Ratio::from_frac((scale_den - 1) as i64, scale_den);
+        let faster: Vec<Ratio> = rhos.iter().map(|r| r * &scale).collect();
+        prop_assert!(predictors::prop3_dominates(&faster, &rhos));
+    }
+
+    #[test]
+    fn x_exact_matches_f64_within_tolerance(rhos_f in prop::collection::vec(0.01f64..=1.0, 1..12)) {
+        let profile = Profile::from_unsorted(rhos_f).unwrap();
+        let fp = Params::paper_table1();
+        let ep = ExactParams::from_params(&fp);
+        let rhos: Vec<Ratio> = profile.rhos().iter()
+            .map(|&r| Ratio::from_f64(r).unwrap())
+            .collect();
+        let exact = x_exact(&ep, &rhos).to_f64();
+        let float = hetero_core::xmeasure::x_measure(&fp, &profile);
+        prop_assert!((exact - float).abs() / exact < 1e-11, "{exact} vs {float}");
+    }
+}

@@ -1,0 +1,1 @@
+// Examples live as [[example]] targets; see quickstart.rs etc.

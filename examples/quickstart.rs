@@ -1,0 +1,54 @@
+//! Quickstart: measure a heterogeneous cluster's computing power.
+//!
+//! ```sh
+//! cargo run -p hetero-examples --example quickstart
+//! ```
+//!
+//! Walks the library's core loop: describe a cluster by its heterogeneity
+//! profile, compute its X-measure and HECR, compare it against another
+//! cluster, and predict how much work it completes in a day.
+
+use hetero_core::{hecr, xmeasure, Params, Profile};
+
+fn main() {
+    // The environment: 1 µs/unit network transit, 10 µs/unit packaging,
+    // results as large as inputs (δ = 1) — the paper's Table 1, with time
+    // measured in units of the slowest computer's per-unit work time.
+    let params = Params::paper_table1();
+
+    // A small shop: one old workstation (ρ = 1, the normalization), two
+    // mid-range machines, one fast server. Smaller ρ = faster.
+    let mine = Profile::new(vec![1.0, 0.6, 0.6, 0.2]).expect("valid profile");
+
+    // A competitor runs four identical mid-range machines with the *same
+    // mean speed* (0.6): a homogeneous cluster.
+    let theirs = Profile::homogeneous(4, 0.6).expect("valid profile");
+    assert!((mine.mean() - theirs.mean()).abs() < 1e-12);
+
+    println!("profile          mean   var     X(P)      HECR");
+    for (name, profile) in [("mine (hetero)", &mine), ("theirs (homog)", &theirs)] {
+        let x = xmeasure::x_measure(&params, profile);
+        let rate = hecr::hecr(&params, profile).expect("HECR exists");
+        println!(
+            "{name:<16} {mean:.2}   {var:.3}   {x:>7.3}   {rate:.3}",
+            mean = profile.mean(),
+            var = profile.variance(),
+        );
+    }
+
+    // The paper's surprise (Theorem 5 / Corollary 1 direction): at equal
+    // mean speed, the heterogeneous cluster is the more powerful one.
+    let x_mine = xmeasure::x_measure(&params, &mine);
+    let x_theirs = xmeasure::x_measure(&params, &theirs);
+    assert!(x_mine > x_theirs);
+    println!("\nheterogeneity lends power: X(mine) > X(theirs).");
+
+    // Concrete planning: units of work finished over an 8-hour lifespan
+    // (time unit = 1 s per work unit on the slowest machine).
+    let lifespan = 8.0 * 3600.0;
+    println!(
+        "over {lifespan} s, mine completes {:.0} work units vs theirs {:.0}.",
+        xmeasure::work(&params, &mine, lifespan),
+        xmeasure::work(&params, &theirs, lifespan),
+    );
+}

@@ -1,0 +1,115 @@
+//! End-to-end integration: the full pipeline from random cluster
+//! generation through measurement, planning, simulation, and validation —
+//! every workspace crate in one flow.
+
+use hetero_clustergen::{rng_from_seed, GenConfig, Shape};
+use hetero_core::{hecr, xmeasure, Params, Profile};
+use hetero_experiments::{fig34, table3, table4};
+use hetero_protocol::{alloc, baseline, exec, validate};
+use hetero_symfunc::exact_model::{compare_power, exact_rhos, ExactParams};
+
+#[test]
+fn generate_measure_plan_execute_validate() {
+    let params = Params::paper_table1();
+    let mut rng = rng_from_seed(424242);
+
+    for n in [1usize, 2, 5, 20, 100] {
+        let fleet = hetero_clustergen::random_profile(&mut rng, GenConfig::new(n), Shape::Uniform);
+
+        // Measure.
+        let x = xmeasure::x_measure(&params, &fleet);
+        assert!(x > 0.0 && x < xmeasure::x_supremum(&params));
+        let rate = hecr::hecr(&params, &fleet).expect("HECR exists");
+        assert!(rate >= fleet.fastest() * (1.0 - 1e-9));
+        assert!(rate <= fleet.slowest() * (1.0 + 1e-9));
+
+        // Plan & execute.
+        let lifespan = 500.0;
+        let plan = alloc::fifo_plan(&params, &fleet, lifespan).expect("plan");
+        let run = exec::execute(&params, &fleet, &plan);
+
+        // Validate invariants and Theorem 2 agreement.
+        assert!(validate::validate(&params, &fleet, &run).is_empty(), "n = {n}");
+        let done = run.work_completed_by(lifespan);
+        let closed = xmeasure::work(&params, &fleet, lifespan);
+        assert!((done - closed).abs() / closed < 1e-9, "n = {n}");
+    }
+}
+
+#[test]
+fn exact_and_float_paths_agree_end_to_end() {
+    let params = Params::paper_table1();
+    let exact_params = ExactParams::from_params(&params);
+    let mut rng = rng_from_seed(7);
+
+    for _ in 0..10 {
+        let a = hetero_clustergen::random_profile(&mut rng, GenConfig::new(12), Shape::Uniform);
+        let b = hetero_clustergen::random_profile(&mut rng, GenConfig::new(12), Shape::Bimodal);
+        let float_order = xmeasure::x_measure(&params, &a)
+            .partial_cmp(&xmeasure::x_measure(&params, &b))
+            .expect("finite");
+        let exact_order = compare_power(&exact_params, &exact_rhos(&a), &exact_rhos(&b));
+        // Distinct random profiles essentially never tie in X; when f64
+        // can see a difference it must agree with the exact order.
+        let fx = xmeasure::x_measure(&params, &a);
+        let fy = xmeasure::x_measure(&params, &b);
+        if (fx - fy).abs() / fx.max(fy) > 1e-12 {
+            assert_eq!(float_order, exact_order);
+        }
+    }
+}
+
+#[test]
+fn optimal_beats_baselines_across_cluster_shapes() {
+    let params = Params::paper_table1();
+    let lifespan = 300.0;
+    for profile in [
+        Profile::harmonic(5),
+        Profile::uniform_spread(6),
+        Profile::new(vec![1.0, 0.05]).expect("valid"),
+    ] {
+        let optimal = alloc::fifo_plan(&params, &profile, lifespan)
+            .expect("plan")
+            .total_work();
+        let equal = baseline::equal_split_plan(&params, &profile, lifespan)
+            .expect("plan")
+            .total_work();
+        assert!(optimal > equal, "{:?}", profile.rhos());
+    }
+}
+
+#[test]
+fn experiments_reproduce_paper_artifacts() {
+    // Table 3 shape.
+    let t3 = table3::run_paper();
+    assert_eq!(t3.rows.len(), 3);
+    assert!(t3.rows.iter().all(|r| r.hecr_c2 < r.hecr_c1));
+
+    // Table 4 shape.
+    let t4 = table4::run_paper();
+    assert!(t4.rows.windows(2).all(|w| w[1].ratio > w[0].ratio));
+
+    // Figures 3–4 phase structure.
+    let f = fig34::run_paper();
+    assert_eq!(
+        f.phase1.iter().map(|s| s.step.chosen).collect::<Vec<_>>(),
+        [3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0]
+    );
+    assert_eq!(
+        f.phase2.iter().map(|s| s.step.chosen).collect::<Vec<_>>(),
+        [3, 2, 1, 0]
+    );
+}
+
+#[test]
+fn cli_renderings_are_nonempty_and_parseable() {
+    // The render layer is the user-facing surface; make sure every
+    // experiment renders both ASCII and CSV.
+    let t3 = table3::run_paper().table();
+    assert!(t3.to_ascii().lines().count() >= 7);
+    let csv = t3.to_csv();
+    assert_eq!(csv.lines().count(), 4, "header + 3 rows");
+    for line in csv.lines() {
+        assert_eq!(line.split(',').count(), 6);
+    }
+}

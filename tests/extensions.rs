@@ -1,0 +1,116 @@
+//! Integration tests for the extension layers: the CEP dual, general
+//! orders, integral tasks, selection, certification, and the statistics
+//! substrate — each exercised across crate boundaries.
+
+use hetero_core::{selection, xmeasure, Params, Profile};
+use hetero_exact::Ratio;
+use hetero_protocol::{alloc, exec, general, integral, rental};
+use hetero_sim::stats::OnlineStats;
+use hetero_symfunc::certify;
+use hetero_symfunc::exact_model::ExactParams;
+
+#[test]
+fn rental_then_integral_then_execute() {
+    // Plan a batch via the CRP, quantize it to whole tasks, execute, and
+    // confirm the whole-task schedule still fits the rental lifespan.
+    let params = Params::paper_table1();
+    let cluster = Profile::new(vec![1.0, 0.5, 0.25]).unwrap();
+    let batch = 5000.0;
+    let (_, lifespan) = rental::rental_plan(&params, &cluster, batch).unwrap();
+    let ip = integral::integral_fifo_plan(&params, &cluster, lifespan, 1.0).unwrap();
+    let run = exec::execute(&params, &cluster, &ip.plan);
+    assert!(run.last_arrival().unwrap().get() <= lifespan * (1.0 + 1e-9));
+    // Whole tasks forfeit at most n tasks' worth of the batch.
+    assert!(ip.plan.total_work() > batch - 4.0);
+}
+
+#[test]
+fn certified_upgrade_matches_f64_and_improves_rental_time() {
+    let params = Params::paper_table1();
+    let exact_params = ExactParams::from_params(&params);
+    let cluster = Profile::new(vec![1.0, 0.5, 0.25, 0.2]).unwrap();
+    let rhos: Vec<Ratio> = [
+        Ratio::one(),
+        Ratio::from_frac(1, 2),
+        Ratio::from_frac(1, 4),
+        Ratio::from_frac(1, 5),
+    ]
+    .to_vec();
+    let phi = Ratio::from_frac(1, 10);
+    let certified = certify::certify_best_additive(&exact_params, &rhos, &phi).unwrap();
+    assert_eq!(certified, 3, "Theorem 3, certified");
+
+    let before = rental::min_lifespan(&params, &cluster, 1000.0).unwrap();
+    let upgraded = hetero_core::speedup::additive_speedup(&cluster, certified, 0.1).unwrap();
+    let after = rental::min_lifespan(&params, &upgraded, 1000.0).unwrap();
+    assert!(after < before, "the certified upgrade shortens the rental");
+}
+
+#[test]
+fn certified_hecr_bracket_sandwiches_both_f64_implementations() {
+    let params = Params::paper_table1();
+    let exact_params = ExactParams::from_params(&params);
+    let cluster = Profile::new(vec![1.0, 0.5, 1.0 / 3.0]).unwrap();
+    let rhos = hetero_symfunc::exact_model::exact_rhos(&cluster);
+    let (lo, hi) = certify::certify_hecr_bracket(&exact_params, &rhos, &Ratio::from_frac(1, 10_000_000));
+    let closed = hetero_core::hecr::hecr(&params, &cluster).unwrap();
+    let bisect = hetero_core::hecr::hecr_bisect(&params, &cluster, 1e-12);
+    for v in [closed, bisect] {
+        assert!(lo.to_f64() - 1e-7 <= v && v <= hi.to_f64() + 1e-7);
+    }
+    // Render the certified bounds exactly — no float in the loop.
+    let report = format!("ρ_C ∈ [{}, {}]", lo.to_decimal_string(8), hi.to_decimal_string(8));
+    assert!(report.contains("ρ_C ∈ [0."));
+}
+
+#[test]
+fn lifo_gap_is_consistent_between_solver_and_simulator() {
+    let params = Params::new(0.05, 0.005, 1.0).unwrap();
+    let cluster = Profile::new(vec![1.0, 0.5, 0.25, 0.125]).unwrap();
+    let lifespan = 400.0;
+    let fifo = alloc::fifo_plan(&params, &cluster, lifespan).unwrap();
+    let lifo = general::lifo_plan(&params, &cluster, lifespan).unwrap();
+    // Execute both; each must complete its planned work by the lifespan.
+    for plan in [&fifo, &lifo] {
+        let run = exec::execute(&params, &cluster, plan);
+        let done = run.work_completed_by(lifespan);
+        assert!((done - plan.total_work()).abs() / plan.total_work() < 1e-9);
+    }
+    assert!(lifo.total_work() < fifo.total_work());
+}
+
+#[test]
+fn selection_agrees_with_rental_economics() {
+    // Dropping computers the fleet-sizing analysis calls worthless barely
+    // changes the rental time.
+    let params = Params::paper_table1();
+    let cluster = Profile::harmonic(64);
+    let k99 = selection::smallest_fleet_for(&params, &cluster, 0.99).unwrap();
+    let trimmed = selection::fastest_k(&cluster, k99).unwrap();
+    let full_time = rental::min_lifespan(&params, &cluster, 1000.0).unwrap();
+    let trimmed_time = rental::min_lifespan(&params, &trimmed, 1000.0).unwrap();
+    assert!(trimmed_time <= full_time / 0.99 + 1e-9);
+    // In harmonic(64) the slow tail contributes ~i units of X each out of
+    // ~2000 total, so several computers are dispensable at the 99 % mark.
+    assert!(k99 < 64, "some of the harmonic tail is dispensable");
+}
+
+#[test]
+fn online_stats_summarize_execution_sweeps() {
+    // The sim-stats substrate aggregates a sweep of executions exactly as
+    // a hand-rolled loop would.
+    let params = Params::paper_table1();
+    let mut stats = OnlineStats::new();
+    let mut direct = Vec::new();
+    for n in 1..=12 {
+        let cluster = Profile::harmonic(n);
+        let rate = xmeasure::work_rate(&params, &cluster);
+        stats.push(rate);
+        direct.push(rate);
+    }
+    let mean = direct.iter().sum::<f64>() / direct.len() as f64;
+    assert_eq!(stats.count(), 12);
+    assert!((stats.mean() - mean).abs() < 1e-12);
+    assert_eq!(stats.min(), direct[0], "n = 1 is the weakest fleet");
+    assert_eq!(stats.max(), *direct.last().unwrap());
+}

@@ -1,0 +1,1 @@
+//! Integration tests live in the sibling *.rs files as [[test]]-discovered targets.

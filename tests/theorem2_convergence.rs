@@ -1,0 +1,110 @@
+//! Theorem 2 validated behaviourally: the discrete-event simulator and
+//! the closed form must agree at every lifespan, for every profile shape,
+//! and under every startup order (Theorem 1).
+
+use hetero_clustergen::{rng_from_seed, GenConfig, Shape};
+use hetero_core::{xmeasure, Params, Profile};
+use hetero_protocol::{alloc, exec, validate};
+
+#[test]
+fn simulated_work_equals_closed_form_across_lifespans() {
+    let params = Params::paper_table1();
+    let profile = Profile::new(vec![1.0, 0.5, 1.0 / 3.0, 0.25]).unwrap();
+    for lifespan in [1.0, 10.0, 100.0, 1e4, 1e6] {
+        let plan = alloc::fifo_plan(&params, &profile, lifespan).unwrap();
+        let run = exec::execute(&params, &profile, &plan);
+        let done = run.work_completed_by(lifespan);
+        let closed = xmeasure::work(&params, &profile, lifespan);
+        assert!(
+            (done - closed).abs() / closed < 1e-9,
+            "L = {lifespan}: simulated {done} vs closed {closed}"
+        );
+        // And the rate W/L is lifespan-independent.
+        assert!(
+            (done / lifespan - xmeasure::work_rate(&params, &profile)).abs() < 1e-9,
+        );
+    }
+}
+
+#[test]
+fn agreement_holds_for_every_parameter_regime() {
+    let profile = Profile::new(vec![1.0, 0.5, 0.25]).unwrap();
+    for params in [
+        Params::paper_table1(),
+        Params::paper_table1_fine(),
+        Params::fig34(),
+        Params::new(0.05, 0.02, 0.5).unwrap(), // asymmetric results (δ < 1)
+    ] {
+        let lifespan = 1000.0;
+        let plan = alloc::fifo_plan(&params, &profile, lifespan).unwrap();
+        let run = exec::execute(&params, &profile, &plan);
+        assert!(validate::validate(&params, &profile, &run).is_empty());
+        let done = run.work_completed_by(lifespan);
+        let closed = xmeasure::work(&params, &profile, lifespan);
+        assert!(
+            (done - closed).abs() / closed < 1e-9,
+            "{params:?}: {done} vs {closed}"
+        );
+    }
+}
+
+#[test]
+fn theorem1_startup_orders_tie_on_random_clusters() {
+    let params = Params::paper_table1();
+    let mut rng = rng_from_seed(99);
+    for trial in 0..5 {
+        let profile =
+            hetero_clustergen::random_profile(&mut rng, GenConfig::new(6), Shape::Uniform);
+        let lifespan = 400.0;
+        // Identity, reversed, and a fixed shuffle.
+        let orders: [Vec<usize>; 3] = [
+            (0..6).collect(),
+            (0..6).rev().collect(),
+            vec![2, 5, 0, 3, 1, 4],
+        ];
+        let mut works = Vec::new();
+        for order in &orders {
+            let plan = alloc::fifo_plan_ordered(&params, &profile, order, lifespan).unwrap();
+            let run = exec::execute(&params, &profile, &plan);
+            assert!(validate::validate(&params, &profile, &run).is_empty());
+            works.push(run.work_completed_by(lifespan));
+        }
+        for w in &works[1..] {
+            assert!(
+                (w - works[0]).abs() / works[0] < 1e-9,
+                "trial {trial}: {works:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn extreme_heterogeneity_still_exact() {
+    // A 1000× speed range stresses the allocation recurrence.
+    let params = Params::paper_table1();
+    let profile = Profile::new(vec![1.0, 0.1, 0.01, 0.001]).unwrap();
+    let lifespan = 100.0;
+    let plan = alloc::fifo_plan(&params, &profile, lifespan).unwrap();
+    let run = exec::execute(&params, &profile, &plan);
+    assert!(validate::validate(&params, &profile, &run).is_empty());
+    let done = run.work_completed_by(lifespan);
+    let closed = xmeasure::work(&params, &profile, lifespan);
+    assert!((done - closed).abs() / closed < 1e-9);
+    // The fastest machine does ~1000× the slowest's work.
+    let w_fast = plan.work_for(3);
+    let w_slow = plan.work_for(0);
+    assert!(w_fast / w_slow > 500.0, "{w_fast} / {w_slow}");
+}
+
+#[test]
+fn single_computer_cluster_degenerates_cleanly() {
+    let params = Params::paper_table1();
+    let profile = Profile::new(vec![1.0]).unwrap();
+    let lifespan = 50.0;
+    let plan = alloc::fifo_plan(&params, &profile, lifespan).unwrap();
+    assert_eq!(plan.work.len(), 1);
+    let run = exec::execute(&params, &profile, &plan);
+    let done = run.work_completed_by(lifespan);
+    let closed = xmeasure::work(&params, &profile, lifespan);
+    assert!((done - closed).abs() / closed < 1e-9);
+}

@@ -1,0 +1,226 @@
+//! The paper's theorems, verified across crates — f64 decision rules
+//! checked against exact rational arithmetic so no assertion rests on
+//! floating-point luck.
+
+use std::cmp::Ordering;
+
+use hetero_core::{speedup, xmeasure, Params, Profile};
+use hetero_exact::Ratio;
+use hetero_symfunc::exact_model::{compare_power, exact_rhos, x_exact, ExactParams};
+use hetero_symfunc::lemma1::{claim1_holds, x_via_lemma1, FieldParams};
+use hetero_symfunc::{moments, predictors};
+
+fn fparams() -> Params {
+    Params::paper_table1()
+}
+
+fn eparams() -> ExactParams {
+    ExactParams::from_params(&fparams())
+}
+
+/// A deterministic battery of test profiles with varied shapes.
+fn battery() -> Vec<Profile> {
+    vec![
+        Profile::new(vec![1.0, 0.5]).unwrap(),
+        Profile::new(vec![1.0, 0.5, 1.0 / 3.0, 0.25]).unwrap(),
+        Profile::harmonic(7),
+        Profile::uniform_spread(9),
+        Profile::new(vec![1.0, 0.99, 0.98, 0.02]).unwrap(),
+        Profile::new(vec![1.0, 0.125, 0.125, 0.125]).unwrap(),
+    ]
+}
+
+#[test]
+fn proposition2_exact_any_single_speedup_helps() {
+    let ep = eparams();
+    for profile in battery() {
+        let rhos = exact_rhos(&profile);
+        let base = x_exact(&ep, &rhos);
+        for i in 0..rhos.len() {
+            let mut up = rhos.clone();
+            up[i] = &up[i] * &Ratio::from_frac(9, 10);
+            assert!(
+                x_exact(&ep, &up) > base,
+                "exact Prop. 2 at index {i} of {:?}",
+                profile.rhos()
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem1_part2_exact_permutation_invariance() {
+    let ep = eparams();
+    for profile in battery() {
+        let rhos = exact_rhos(&profile);
+        let base = x_exact(&ep, &rhos);
+        let mut rev = rhos.clone();
+        rev.reverse();
+        assert_eq!(base, x_exact(&ep, &rev), "{:?}", profile.rhos());
+        // A rotation, too.
+        let mut rot = rhos.clone();
+        let k = 1.min(rot.len() - 1);
+        rot.rotate_left(k);
+        assert_eq!(base, x_exact(&ep, &rot));
+    }
+}
+
+#[test]
+fn theorem3_exact_fastest_is_best_additive_upgrade() {
+    let ep = eparams();
+    for profile in battery() {
+        if profile.n() < 2 {
+            continue;
+        }
+        let rhos = exact_rhos(&profile);
+        let phi = Ratio::from_f64(profile.fastest()).unwrap() * Ratio::from_frac(1, 2);
+        // Exact X for each candidate upgrade.
+        let mut best_idx = 0;
+        let mut best_x = Ratio::zero();
+        for i in 0..rhos.len() {
+            let mut up = rhos.clone();
+            up[i] = &up[i] - &phi;
+            assert!(up[i].is_positive(), "φ < ρ_i for every computer");
+            let x = x_exact(&ep, &up);
+            if x >= best_x {
+                best_x = x;
+                best_idx = i;
+            }
+        }
+        assert_eq!(
+            best_idx,
+            rhos.len() - 1,
+            "Theorem 3 (exact) on {:?}",
+            profile.rhos()
+        );
+    }
+}
+
+#[test]
+fn theorem4_exact_discriminant_decides() {
+    // The discriminant Ξ⁽ʲ⁾ − Ξ⁽ⁱ⁾ = (B²ψρᵢρⱼ − Aτδ)·B·(1−ψ)(ρᵢ−ρⱼ):
+    // its sign must match the exact X comparison for both parameter
+    // regimes (condition 1 under Table 1, condition 2 under fig34 with
+    // fast computers).
+    for (params, rho_i, rho_j) in [
+        (Params::paper_table1(), 1.0, 0.5),
+        (Params::fig34(), 1.0, 1.0 / 16.0),
+        (Params::fig34(), 1.0 / 16.0, 1.0 / 32.0),
+    ] {
+        let ep = ExactParams::from_params(&params);
+        let psi = Ratio::from_frac(1, 2);
+        let ri = Ratio::from_f64(rho_i).unwrap();
+        let rj = Ratio::from_f64(rho_j).unwrap();
+
+        let speed_slower = vec![&psi * &ri, rj.clone()];
+        let speed_faster = vec![ri.clone(), &psi * &rj];
+        let exact_order = x_exact(&ep, &speed_faster).cmp(&x_exact(&ep, &speed_slower));
+
+        let b = ep.b();
+        let lhs = &(&b * &b) * &(&psi * &(&ri * &rj));
+        let rhs = ep.a() * ep.tau_delta();
+        let predicted = lhs.cmp(&rhs);
+        assert_eq!(
+            exact_order, predicted,
+            "Theorem 4 exact at ρ=({rho_i},{rho_j}) under {params:?}"
+        );
+
+        // And the f64 rule in hetero-core agrees.
+        let f64_rule = speedup::theorem4_choice(&params, rho_i, rho_j, 0.5);
+        match predicted {
+            Ordering::Greater => assert_eq!(f64_rule, speedup::Theorem4Choice::Faster),
+            Ordering::Less => assert_eq!(f64_rule, speedup::Theorem4Choice::Slower),
+            Ordering::Equal => assert_eq!(f64_rule, speedup::Theorem4Choice::Indifferent),
+        }
+    }
+}
+
+#[test]
+fn theorem5_part1_dominance_with_equal_means_forces_variance_order() {
+    // Construct equal-mean pairs where P1 dominates; variance must be
+    // larger for P1.
+    let pairs = [
+        (vec![(1i64, 1u64), (1, 2)], vec![(3, 4), (3, 4)]),
+        (vec![(1, 1), (1, 3)], vec![(2, 3), (2, 3)]),
+        (vec![(9, 10), (1, 10)], vec![(1, 2), (1, 2)]),
+    ];
+    for (p1, p2) in pairs {
+        let p1: Vec<Ratio> = p1.iter().map(|&(n, d)| Ratio::from_frac(n, d)).collect();
+        let p2: Vec<Ratio> = p2.iter().map(|&(n, d)| Ratio::from_frac(n, d)).collect();
+        assert_eq!(moments::mean(&p1), moments::mean(&p2));
+        assert!(predictors::prop3_dominates(&p1, &p2));
+        assert!(moments::variance(&p1) > moments::variance(&p2), "Theorem 5(1)");
+    }
+}
+
+#[test]
+fn corollary1_exhaustive_over_a_grid() {
+    // Heterogeneity lends power: for every equal-mean (hetero, homo)
+    // 2-computer pair on a rational grid, the heterogeneous cluster wins
+    // — exactly.
+    let ep = eparams();
+    for mean_num in 2..=9i64 {
+        let mean = Ratio::from_frac(mean_num, 10);
+        for spread_num in 1..=(mean_num.min(10 - mean_num)) {
+            let d = Ratio::from_frac(spread_num, 11);
+            let hetero = vec![&mean + &d, &mean - &d];
+            if !hetero[1].is_positive() {
+                continue;
+            }
+            let homo = vec![mean.clone(), mean.clone()];
+            assert_eq!(
+                compare_power(&ep, &hetero, &homo),
+                Ordering::Greater,
+                "mean {mean_num}/10 spread {spread_num}/11"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma1_and_claim1_hold_for_every_battery_profile() {
+    let ep = eparams();
+    let fp = FieldParams::from_exact(&ep);
+    for profile in battery() {
+        let rhos = exact_rhos(&profile);
+        assert_eq!(
+            x_via_lemma1(&fp, &rhos),
+            x_exact(&ep, &rhos),
+            "Lemma 1 exact on {:?}",
+            profile.rhos()
+        );
+        assert!(claim1_holds(&fp, profile.n()));
+    }
+}
+
+#[test]
+fn minorization_implies_exact_dominance_and_prop3_certifies() {
+    let ep = eparams();
+    let slow = Profile::new(vec![1.0, 0.5, 0.5]).unwrap();
+    let fast = Profile::new(vec![0.875, 0.5, 0.375]).unwrap();
+    assert!(fast.minorizes(&slow));
+    let (rf, rs) = (exact_rhos(&fast), exact_rhos(&slow));
+    assert_eq!(compare_power(&ep, &rf, &rs), Ordering::Greater);
+    assert!(predictors::prop3_dominates(&rf, &rs));
+}
+
+#[test]
+fn hecr_ranks_clusters_the_same_way_x_does() {
+    let fp = fparams();
+    let battery = battery();
+    for a in &battery {
+        for b in &battery {
+            if a.n() != b.n() {
+                continue;
+            }
+            let (xa, xb) = (xmeasure::x_measure(&fp, a), xmeasure::x_measure(&fp, b));
+            let (ra, rb) = (
+                hetero_core::hecr::hecr(&fp, a).unwrap(),
+                hetero_core::hecr::hecr(&fp, b).unwrap(),
+            );
+            if (xa - xb).abs() / xa.max(xb) > 1e-9 {
+                assert_eq!(xa > xb, ra < rb, "HECR must rank opposite to X");
+            }
+        }
+    }
+}
