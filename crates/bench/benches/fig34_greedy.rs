@@ -21,11 +21,7 @@ fn bench_fig34(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig34/greedy_rounds");
     for n in [4usize, 16, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                black_box(
-                    speedup::greedy_multiplicative(&p, &vec![1.0; n], 0.5, 8).unwrap(),
-                )
-            })
+            b.iter(|| black_box(speedup::greedy_multiplicative(&p, &vec![1.0; n], 0.5, 8).unwrap()))
         });
     }
     group.finish();

@@ -24,12 +24,16 @@ fn bench_protocol(c: &mut Criterion) {
     for n in [4usize, 32, 256] {
         let profile = battery_profile(n);
         let plan = alloc::fifo_plan(&p, &profile, lifespan).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(profile, plan), |b, (prof, plan)| {
-            b.iter(|| {
-                let run = exec::execute(&p, prof, plan);
-                black_box(run.work_completed_by(lifespan))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(profile, plan),
+            |b, (prof, plan)| {
+                b.iter(|| {
+                    let run = exec::execute(&p, prof, plan);
+                    black_box(run.work_completed_by(lifespan))
+                })
+            },
+        );
     }
     group.finish();
 

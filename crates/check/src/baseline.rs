@@ -1,0 +1,182 @@
+//! The checked-in violation baseline (`check-baseline.json`).
+//!
+//! The baseline is a burn-down ledger: known violations listed there are
+//! reported but do not fail the run, so the checker can be adopted before
+//! every finding is fixed. The goal state — and the state this repo keeps
+//! — is an empty baseline.
+
+use crate::diag::{Diagnostic, Lint};
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// One grandfathered violation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Entry {
+    /// Stable lint ID.
+    pub lint: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line the violation was recorded at.
+    pub line: u32,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// All grandfathered violations.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses the baseline JSON document.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let value = json::parse(src)?;
+        let version = value
+            .get("version")
+            .and_then(Value::as_num)
+            .ok_or("baseline missing numeric `version`")? as i64;
+        if version != 1 {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        let mut entries = Vec::new();
+        for item in value
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("baseline missing `entries` array")?
+        {
+            let lint = item
+                .get("lint")
+                .and_then(Value::as_str)
+                .ok_or("baseline entry missing `lint`")?;
+            if Lint::from_name(lint).is_none() {
+                return Err(format!("baseline entry has unknown lint `{lint}`"));
+            }
+            let file = item
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or("baseline entry missing `file`")?;
+            let line = item
+                .get("line")
+                .and_then(Value::as_num)
+                .ok_or("baseline entry missing `line`")?;
+            entries.push(Entry {
+                lint: lint.to_string(),
+                file: file.to_string(),
+                line: line as u32,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes the baseline (sorted, deterministic).
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort();
+        entries.dedup();
+        let items: Vec<Value> = entries
+            .into_iter()
+            .map(|e| {
+                let mut obj = BTreeMap::new();
+                obj.insert("lint".to_string(), Value::Str(e.lint));
+                obj.insert("file".to_string(), Value::Str(e.file));
+                obj.insert("line".to_string(), Value::Num(f64::from(e.line)));
+                Value::Obj(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("version".to_string(), Value::Num(1.0));
+        root.insert("entries".to_string(), Value::Arr(items));
+        let mut out = json::render(&Value::Obj(root));
+        out.push('\n');
+        out
+    }
+
+    /// Builds a baseline grandfathering the given diagnostics.
+    pub fn from_diagnostics<'a>(diags: impl Iterator<Item = &'a Diagnostic>) -> Baseline {
+        Baseline {
+            entries: diags
+                .map(|d| Entry {
+                    lint: d.lint.name().to_string(),
+                    file: d.file.clone(),
+                    line: d.line,
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a diagnostic is grandfathered.
+    pub fn covers(&self, diag: &Diagnostic) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.lint == diag.lint.name() && e.file == diag.file && e.line == diag.line)
+    }
+
+    /// Entries that no longer match any current diagnostic (fixed or
+    /// moved): these should be pruned from the checked-in file.
+    pub fn stale<'a>(&self, diags: impl Iterator<Item = &'a Diagnostic> + Clone) -> Vec<Entry> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !diags
+                    .clone()
+                    .any(|d| d.lint.name() == e.lint && d.file == e.file && d.line == e.line)
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Level, Lint};
+
+    fn diag(lint: Lint, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint,
+            level: Level::Deny,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let b = Baseline {
+            entries: vec![Entry {
+                lint: "unwrap".into(),
+                file: "crates/core/src/profile.rs".into(),
+                line: 58,
+            }],
+        };
+        let text = b.render();
+        let back = Baseline::parse(&text).expect("roundtrips");
+        assert_eq!(back.entries, b.entries);
+    }
+
+    #[test]
+    fn covers_and_stale() {
+        let d1 = diag(Lint::Unwrap, "a.rs", 3);
+        let d2 = diag(Lint::Expect, "b.rs", 9);
+        let b = Baseline::from_diagnostics([&d1].into_iter());
+        assert!(b.covers(&d1));
+        assert!(!b.covers(&d2));
+        let stale = b.stale([&d2].into_iter());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].lint, "unwrap");
+    }
+
+    #[test]
+    fn rejects_unknown_lints() {
+        let src = r#"{"version": 1, "entries": [{"lint": "no-such", "file": "a.rs", "line": 1}]}"#;
+        assert!(Baseline::parse(src).is_err());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse("{\"version\": 1, \"entries\": []}\n").expect("parses");
+        assert!(b.entries.is_empty());
+    }
+}

@@ -1,0 +1,501 @@
+//! A small Rust lexer: just enough token structure for the lint passes.
+//!
+//! The lexer understands strings (including raw and byte strings), char
+//! literals vs. lifetimes, nested block comments, numeric literals with
+//! float/integer distinction, identifiers, and multi-character operators.
+//! It does not build a syntax tree; the lint passes work on the token
+//! stream plus recorded comments.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Floating-point literal (`1.0`, `1e-7`, `2f64`).
+    Float,
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Operator or delimiter (multi-char operators are one token).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// The raw text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A `//` comment and the line it appears on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Comment text including the leading `//`.
+    pub text: String,
+}
+
+/// Token stream plus side tables produced by [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes Rust source. Unterminated literals are tolerated (the rest
+/// of the file is consumed as that literal) so the linter never panics on
+/// odd input.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { line, text });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        if c == '"' {
+            out.tokens.push(lex_string(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.tokens.push(lex_char_or_lifetime(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            // `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`: the "ident" is
+            // actually a literal prefix.
+            if matches!(text.as_str(), "r" | "b" | "br")
+                && matches!(cur.peek(0), Some('"') | Some('#'))
+            {
+                let tok = if text == "b" && cur.peek(0) == Some('"') {
+                    lex_string(&mut cur, line, col)
+                } else {
+                    lex_raw_string(&mut cur, line, col)
+                };
+                out.tokens.push(Token {
+                    text: format!("{}{}", text, tok.text),
+                    ..tok
+                });
+                continue;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.tokens.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        // Operators: longest multi-char match first.
+        let mut matched = None;
+        for op in MULTI_PUNCT {
+            let len = op.chars().count();
+            if (0..len).all(|i| cur.peek(i) == op.chars().nth(i)) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: op.to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('"'));
+    while let Some(ch) = cur.peek(0) {
+        cur.bump();
+        text.push(ch);
+        if ch == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        if ch == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_raw_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        text.push('"');
+        cur.bump();
+        'body: while let Some(ch) = cur.bump() {
+            text.push(ch);
+            if ch == '"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if cur.peek(0) == Some('#') {
+                        text.push('#');
+                        cur.bump();
+                        seen += 1;
+                    } else {
+                        continue 'body;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    // Lifetime when `'` is followed by an identifier that is NOT closed
+    // by another `'` (e.g. `'a` in `&'a str` vs the char `'a'`).
+    let second = cur.peek(1);
+    let is_lifetime = match second {
+        Some(c) if is_ident_start(c) => {
+            let mut i = 2;
+            while cur.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            cur.peek(i) != Some('\'')
+        }
+        _ => false,
+    };
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('\''));
+    if is_lifetime {
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+        }
+        return Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+            col,
+        };
+    }
+    while let Some(ch) = cur.bump() {
+        text.push(ch);
+        if ch == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        if ch == '\'' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Char,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut float = false;
+    let radix_prefix = cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x') | Some('X') | Some('o') | Some('b'));
+    if radix_prefix {
+        for _ in 0..2 {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+        }
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+        }
+    } else {
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+        }
+        // Fraction: a dot followed by a digit (so `0..24` stays integral).
+        if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            if let Some(ch) = cur.bump() {
+                text.push(ch);
+            }
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                if let Some(ch) = cur.bump() {
+                    text.push(ch);
+                }
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(0), Some('e') | Some('E')) {
+            let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                for _ in 0..=usize::from(sign) {
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                }
+                while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    if let Some(ch) = cur.bump() {
+                        text.push(ch);
+                    }
+                }
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, ...).
+    let mut suffix = String::new();
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        if let Some(ch) = cur.bump() {
+            suffix.push(ch);
+        }
+    }
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    text.push_str(&suffix);
+    Token {
+        kind: if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks = kinds("0.01f64..=1.0 0..24 1e-7 0x1E 2f64");
+        assert_eq!(toks[0], (TokenKind::Float, "0.01f64".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, "..=".into()));
+        assert_eq!(toks[2], (TokenKind::Float, "1.0".into()));
+        assert_eq!(toks[3], (TokenKind::Int, "0".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, "..".into()));
+        assert_eq!(toks[5], (TokenKind::Int, "24".into()));
+        assert_eq!(toks[6], (TokenKind::Float, "1e-7".into()));
+        assert_eq!(toks[7], (TokenKind::Int, "0x1E".into()));
+        assert_eq!(toks[8], (TokenKind::Float, "2f64".into()));
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes() {
+        let lexed = lex("let s: &'a str = \"a // not a comment\"; // real comment\n'x'");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("not a comment")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, "// real comment");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let lexed = lex(r####"let s = r#"has "quotes" inside"#; next"####);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("quotes")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "next"));
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let toks = kinds("a == b != c :: d -> e => f");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines() {
+        let lexed = lex("a\nbb\n  ccc");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[2].line, 3);
+        assert_eq!(lexed.tokens[2].col, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("before /* outer /* inner */ still */ after");
+        let idents: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["before", "after"]);
+    }
+}

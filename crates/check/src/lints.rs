@@ -1,0 +1,785 @@
+//! The lint passes: token-stream rules, file classification, allow
+//! comments, and per-file scanning.
+
+use crate::diag::{Diagnostic, Lint, Suppressed};
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::HashMap;
+
+/// How a file participates in linting, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/` of a library crate: all lints apply.
+    LibrarySrc,
+    /// `src/` of a binary/tool crate, benches, examples: float hygiene
+    /// and constructor discipline only (panics are acceptable at the
+    /// process boundary).
+    BinSrc,
+    /// Tests: constructor discipline only.
+    TestCode,
+    /// Not linted (shims, fixtures, generated output).
+    Skip,
+}
+
+/// Crates whose `src/` is treated as [`FileClass::BinSrc`].
+const BIN_CRATES: &[&str] = &["cli", "experiments", "bench", "check"];
+
+/// Rust keywords, used to avoid misreading syntax as expressions.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match", "mod",
+    "move", "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait",
+    "true", "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Doc-comment substrings accepted as paper anchors.
+const PAPER_ANCHORS: &[&str] = &[
+    "Theorem",
+    "Proposition",
+    "Lemma",
+    "Corollary",
+    "Definition",
+    "Observation",
+    "Eq.",
+    "Eq (",
+    "§",
+    "Section",
+];
+
+/// Files whose public items must cite the paper.
+const ANCHOR_FILES: &[&str] = &[
+    "crates/core/src/xmeasure.rs",
+    "crates/core/src/hecr.rs",
+    "crates/core/src/speedup.rs",
+];
+
+/// Classifies a forward-slash path relative to the workspace root.
+pub fn classify(rel: &str) -> FileClass {
+    if rel.starts_with("shims/")
+        || rel.starts_with("target/")
+        || rel.contains("/fixtures/")
+        || rel.contains("/target/")
+    {
+        return FileClass::Skip;
+    }
+    if rel.starts_with("examples/") || rel.contains("/benches/") {
+        return FileClass::BinSrc;
+    }
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        return FileClass::TestCode;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((krate, tail)) = rest.split_once('/') {
+            if tail.starts_with("src/") {
+                return if BIN_CRATES.contains(&krate) {
+                    FileClass::BinSrc
+                } else {
+                    FileClass::LibrarySrc
+                };
+            }
+        }
+    }
+    FileClass::Skip
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Findings that stand (not allow-suppressed).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings an allow comment waived, with the stated reason.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Scans one file's source, returning its diagnostics.
+pub fn scan_file(rel: &str, src: &str) -> FileScan {
+    let class = classify(rel);
+    if class == FileClass::Skip {
+        return FileScan::default();
+    }
+    let lexed = lex(src);
+    let mask = test_mask(&lexed.tokens);
+    let (allows, mut raw) = parse_allows(rel, &lexed.comments);
+
+    let cx = Cx {
+        rel,
+        tokens: &lexed.tokens,
+        in_test: &mask,
+    };
+
+    if matches!(class, FileClass::LibrarySrc | FileClass::BinSrc) {
+        cx.float_eq(&mut raw);
+        let chained = cx.partial_cmp_unwrap(&mut raw);
+        if class == FileClass::LibrarySrc {
+            cx.naked_sum(&mut raw);
+            cx.unwrap_expect(&mut raw, &chained);
+            cx.panics(&mut raw);
+            cx.indexing(&mut raw);
+            cx.crate_policy(src, &mut raw);
+            cx.paper_anchor(src, &mut raw);
+        }
+    }
+    cx.constructor_discipline(&mut raw);
+
+    // Apply allow comments: a suppression covers its own line and the
+    // following line, so it can sit inline or immediately above.
+    let mut out = FileScan::default();
+    for diag in raw {
+        match allows.get(&(diag.line, diag.lint)) {
+            Some(reason) if diag.lint != Lint::AllowMissingReason => {
+                out.suppressed.push(Suppressed {
+                    diag,
+                    reason: reason.clone(),
+                })
+            }
+            _ => out.diagnostics.push(diag),
+        }
+    }
+    out.diagnostics.sort_by_key(|d| (d.line, d.col));
+    out
+}
+
+/// Parses `// hetero-check: allow(<lints>) — <reason>` comments. Returns
+/// the suppression map keyed by (covered line, lint) plus diagnostics for
+/// malformed comments.
+fn parse_allows(
+    rel: &str,
+    comments: &[Comment],
+) -> (HashMap<(u32, Lint), String>, Vec<Diagnostic>) {
+    let mut map = HashMap::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        // Suppressions must be plain `//` comments; doc comments merely
+        // *describing* the syntax are not suppressions.
+        if c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = c.text.find("hetero-check:") else {
+            continue;
+        };
+        let rest = c.text[at + "hetero-check:".len()..].trim_start();
+        let mut bad = |msg: String| {
+            diags.push(Diagnostic {
+                lint: Lint::AllowMissingReason,
+                level: Lint::AllowMissingReason.level(),
+                file: rel.to_string(),
+                line: c.line,
+                col: 1,
+                message: msg,
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad(
+                "malformed hetero-check comment; expected `hetero-check: allow(<lint>) — <reason>`"
+                    .into(),
+            );
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad("unclosed `allow(` in hetero-check comment".into());
+            continue;
+        };
+        let mut lints = Vec::new();
+        let mut unknown = false;
+        for id in args[..close].split(',') {
+            let id = id.trim();
+            match Lint::from_name(id) {
+                Some(l) => lints.push(l),
+                None => {
+                    bad(format!("unknown lint `{id}` in allow comment"));
+                    unknown = true;
+                }
+            }
+        }
+        if unknown {
+            continue;
+        }
+        let reason = args[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        if reason.is_empty() {
+            bad("allow comment has no justification; write `allow(<lint>) — <reason>`".into());
+            continue;
+        }
+        for lint in lints {
+            map.insert((c.line, lint), reason.to_string());
+            map.insert((c.line + 1, lint), reason.to_string());
+        }
+    }
+    (map, diags)
+}
+
+/// Marks tokens belonging to `#[test]` / `#[cfg(test)]` items so the
+/// panic-freedom and float lints skip test-only code embedded in `src/`.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Walk the attribute, noting whether it mentions `test` (and is
+        // not a `cfg(not(test))`).
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "test" if tokens[j].kind == TokenKind::Ident => has_test = true,
+                "not" if tokens[j].kind == TokenKind::Ident => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then mark through the end of the
+        // annotated item (`;` at depth 0, or the matching close brace).
+        let mut k = j + 1;
+        while k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+            let mut d = 0i32;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut d = 0i32;
+        let mut end = k;
+        while end < tokens.len() {
+            match tokens[end].text.as_str() {
+                "{" | "(" | "[" => d += 1,
+                "}" | ")" | "]" => {
+                    d -= 1;
+                    if d == 0 && tokens[end].text == "}" {
+                        break;
+                    }
+                }
+                ";" if d == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let end = end.min(tokens.len().saturating_sub(1));
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+struct Cx<'a> {
+    rel: &'a str,
+    tokens: &'a [Token],
+    in_test: &'a [bool],
+}
+
+impl<'a> Cx<'a> {
+    fn emit(&self, out: &mut Vec<Diagnostic>, lint: Lint, tok: &Token, message: String) {
+        out.push(Diagnostic {
+            lint,
+            level: lint.level(),
+            file: self.rel.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    }
+
+    fn live(&self, i: usize) -> bool {
+        !self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tokens.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    /// `==` / `!=` with a float literal on either side.
+    fn float_eq(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || !matches!(tok.text.as_str(), "==" | "!=") {
+                continue;
+            }
+            let float_neighbour = [i.wrapping_sub(1), i + 1].iter().any(|&j| {
+                self.tokens
+                    .get(j)
+                    .is_some_and(|t| t.kind == TokenKind::Float)
+            });
+            if float_neighbour {
+                self.emit(
+                    out,
+                    Lint::FloatEq,
+                    tok,
+                    "exact float comparison; use a named epsilon, or document the exact \
+                     sentinel with `// hetero-check: allow(float-eq) — <why exactness holds>`"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    /// `partial_cmp(..)` chained into `unwrap` / `expect` / `unwrap_or*`.
+    /// Returns the token indices of the chained method names so the
+    /// generic unwrap/expect pass does not double-report them.
+    fn partial_cmp_unwrap(&self, out: &mut Vec<Diagnostic>) -> Vec<usize> {
+        let mut chained = Vec::new();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.text != "partial_cmp" || tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if self.text(i + 1) != "(" {
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < self.tokens.len() {
+                match self.text(j) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if self.text(j + 1) == "."
+                && matches!(
+                    self.text(j + 2),
+                    "unwrap" | "expect" | "unwrap_or" | "unwrap_or_else"
+                )
+            {
+                chained.push(j + 2);
+                self.emit(
+                    out,
+                    Lint::PartialCmpUnwrap,
+                    tok,
+                    format!(
+                        "partial_cmp(..).{}(..) is not a total order over floats; \
+                         sort with f64::total_cmp (or Ord::cmp for exact types)",
+                        self.text(j + 2)
+                    ),
+                );
+            }
+        }
+        chained
+    }
+
+    /// Bare `.sum()` in the numerical kernels (core, symfunc).
+    fn naked_sum(&self, out: &mut Vec<Diagnostic>) {
+        if !(self.rel.starts_with("crates/core/src/")
+            || self.rel.starts_with("crates/symfunc/src/"))
+        {
+            return;
+        }
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.text != "." {
+                continue;
+            }
+            if self.text(i + 1) != "sum" || !self.is_ident(i + 1) {
+                continue;
+            }
+            // `.sum::<T>()` with a non-float T is fine; `.sum::<f64>()`
+            // and untyped `.sum()` (which may resolve to f64) are not.
+            match self.text(i + 2) {
+                "::" => {
+                    let ty = self.text(i + 4);
+                    if ty != "f64" && ty != "f32" {
+                        continue;
+                    }
+                }
+                "(" => {}
+                _ => continue,
+            }
+            self.emit(
+                out,
+                Lint::NakedSum,
+                &self.tokens[i + 1],
+                "bare float summation accumulates rounding error in the kernels; \
+                 route through hetero_core::numeric::kahan_sum (or annotate an \
+                 integer sum with an allow comment)"
+                    .into(),
+            );
+        }
+    }
+
+    /// `.unwrap()` / `.expect(..)` in library code.
+    fn unwrap_expect(&self, out: &mut Vec<Diagnostic>, chained: &[usize]) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.text != "." {
+                continue;
+            }
+            let name = self.text(i + 1);
+            if !matches!(name, "unwrap" | "expect") || !self.is_ident(i + 1) {
+                continue;
+            }
+            if self.text(i + 2) != "(" || chained.contains(&(i + 1)) {
+                continue;
+            }
+            let lint = if name == "unwrap" {
+                Lint::Unwrap
+            } else {
+                Lint::Expect
+            };
+            self.emit(
+                out,
+                lint,
+                &self.tokens[i + 1],
+                format!(
+                    "`.{name}()` can panic in library code; return a Result, make the \
+                     invariant unrepresentable, or justify it with \
+                     `// hetero-check: allow({})` — <why it cannot fire>",
+                    lint.name()
+                ),
+            );
+        }
+    }
+
+    /// `panic!` family in library code.
+    fn panics(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i)
+                || tok.kind != TokenKind::Ident
+                || !matches!(
+                    tok.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+            {
+                continue;
+            }
+            if self.text(i + 1) != "!" {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::Panic,
+                tok,
+                format!(
+                    "`{}!` aborts library callers; return an error or prove the branch \
+                     impossible (allow comment with justification if it is)",
+                    tok.text
+                ),
+            );
+        }
+    }
+
+    /// Expression indexing (advisory).
+    fn indexing(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.text != "[" || i == 0 {
+                continue;
+            }
+            let prev = &self.tokens[i - 1];
+            let indexable = match prev.kind {
+                TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+                _ => false,
+            };
+            if indexable {
+                self.emit(
+                    out,
+                    Lint::Indexing,
+                    tok,
+                    "slice indexing panics when out of bounds; prefer .get()/iterators \
+                     where the index is not locally provable"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    /// Library lib.rs must carry the policy headers.
+    fn crate_policy(&self, src: &str, out: &mut Vec<Diagnostic>) {
+        if !self.rel.ends_with("/src/lib.rs") {
+            return;
+        }
+        let anchor = Token {
+            kind: TokenKind::Punct,
+            text: String::new(),
+            line: 1,
+            col: 1,
+        };
+        if !src.contains("#![forbid(unsafe_code)]") {
+            self.emit(
+                out,
+                Lint::CratePolicy,
+                &anchor,
+                "library crate must declare `#![forbid(unsafe_code)]`".into(),
+            );
+        }
+        if !src.contains("#![warn(missing_docs)]") && !src.contains("#![deny(missing_docs)]") {
+            self.emit(
+                out,
+                Lint::CratePolicy,
+                &anchor,
+                "library crate must declare `#![warn(missing_docs)]`".into(),
+            );
+        }
+    }
+
+    /// Public items in the formula modules must cite the paper.
+    fn paper_anchor(&self, src: &str, out: &mut Vec<Diagnostic>) {
+        if !ANCHOR_FILES.contains(&self.rel) {
+            return;
+        }
+        let lines: Vec<&str> = src.lines().collect();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.kind != TokenKind::Ident || tok.text != "pub" {
+                continue;
+            }
+            if self.text(i + 1) == "(" {
+                continue; // pub(crate) etc. — not public API
+            }
+            let item = (1..=3).map(|d| self.text(i + d)).find(|t| {
+                matches!(
+                    *t,
+                    "fn" | "struct" | "enum" | "const" | "type" | "static" | "trait"
+                )
+            });
+            if item.is_none() {
+                continue;
+            }
+            // Gather the contiguous doc block above the item.
+            let mut doc = String::new();
+            let mut l = tok.line as usize - 1; // index of the line above
+            while l >= 1 {
+                let t = lines.get(l - 1).map(|s| s.trim_start()).unwrap_or("");
+                if t.starts_with("///") {
+                    doc.push_str(t);
+                    doc.push('\n');
+                } else if !(t.starts_with("#[") || t.starts_with("//")) {
+                    break;
+                }
+                l -= 1;
+            }
+            if !PAPER_ANCHORS.iter().any(|a| doc.contains(a)) {
+                self.emit(
+                    out,
+                    Lint::PaperAnchor,
+                    tok,
+                    "public formula item must cite its source in the paper \
+                     (Theorem/Proposition/Lemma/Corollary/Eq./§) in its doc comment"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    /// `Profile { .. }` / `Params { .. }` literals outside their modules.
+    fn constructor_discipline(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || !matches!(tok.text.as_str(), "Profile" | "Params") {
+                continue;
+            }
+            let home = match tok.text.as_str() {
+                "Profile" => "crates/core/src/profile.rs",
+                _ => "crates/core/src/params.rs",
+            };
+            if self.rel == home || self.text(i + 1) != "{" {
+                continue;
+            }
+            // `-> Params {` is a return type followed by the function
+            // body, not a struct literal.
+            if i > 0
+                && matches!(
+                    self.text(i - 1),
+                    "struct" | "enum" | "union" | "impl" | "for" | "trait" | "mod" | "->"
+                )
+            {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::ConstructorDiscipline,
+                tok,
+                format!(
+                    "construct `{0}` through its validated constructors \
+                     ({0}::new / from_unsorted), never a struct literal",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Lint;
+
+    fn lints_of(rel: &str, src: &str) -> Vec<(Lint, u32)> {
+        scan_file(rel, src)
+            .diagnostics
+            .iter()
+            .map(|d| (d.lint, d.line))
+            .collect()
+    }
+
+    const LIB: &str = "crates/core/src/demo.rs";
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("crates/core/src/lib.rs"), FileClass::LibrarySrc);
+        assert_eq!(classify("crates/cli/src/main.rs"), FileClass::BinSrc);
+        assert_eq!(classify("crates/core/tests/props.rs"), FileClass::TestCode);
+        assert_eq!(classify("crates/bench/benches/x.rs"), FileClass::BinSrc);
+        assert_eq!(classify("shims/rand/src/lib.rs"), FileClass::Skip);
+        assert_eq!(
+            classify("crates/check/tests/fixtures/a/crates/x/src/lib.rs"),
+            FileClass::Skip
+        );
+    }
+
+    #[test]
+    fn float_eq_fires_on_literals_only() {
+        let found = lints_of(LIB, "fn f(x: f64) -> bool { x == 0.0 }");
+        assert!(found.contains(&(Lint::FloatEq, 1)));
+        let clean = lints_of(LIB, "fn f(x: usize) -> bool { x == 0 }");
+        assert!(clean.iter().all(|(l, _)| *l != Lint::FloatEq));
+    }
+
+    #[test]
+    fn partial_cmp_chain_detected_once() {
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        let found = lints_of(LIB, src);
+        assert!(found.contains(&(Lint::PartialCmpUnwrap, 1)));
+        // The chained unwrap is reported by the specific lint, not both.
+        assert!(found.iter().all(|(l, _)| *l != Lint::Unwrap));
+    }
+
+    #[test]
+    fn naked_sum_scoped_to_kernels() {
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().sum() }";
+        assert!(lints_of("crates/core/src/m.rs", src)
+            .iter()
+            .any(|(l, _)| *l == Lint::NakedSum));
+        assert!(lints_of("crates/linalg/src/m.rs", src)
+            .iter()
+            .all(|(l, _)| *l != Lint::NakedSum));
+        // Integer turbofish sums are fine.
+        let int = "fn f(v: &[usize]) -> usize { v.iter().sum::<usize>() }";
+        assert!(lints_of("crates/core/src/m.rs", int)
+            .iter()
+            .all(|(l, _)| *l != Lint::NakedSum));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f(x: Option<u8>) { x.unwrap(); }\n}";
+        assert!(lints_of(LIB, src).is_empty());
+        let live = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(lints_of(LIB, live).iter().any(|(l, _)| *l == Lint::Unwrap));
+    }
+
+    #[test]
+    fn allow_comment_suppresses_with_reason() {
+        let src = "fn f(x: Option<u8>) {\n    // hetero-check: allow(unwrap) — checked above\n    x.unwrap();\n}";
+        let scan = scan_file(LIB, src);
+        assert!(scan.diagnostics.is_empty());
+        assert_eq!(scan.suppressed.len(), 1);
+        assert_eq!(scan.suppressed[0].reason, "checked above");
+    }
+
+    #[test]
+    fn allow_comment_without_reason_is_flagged() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap(); // hetero-check: allow(unwrap)\n}";
+        let found = lints_of(LIB, src);
+        assert!(found.iter().any(|(l, _)| *l == Lint::AllowMissingReason));
+        // And the unwrap still stands.
+        assert!(found.iter().any(|(l, _)| *l == Lint::Unwrap));
+    }
+
+    #[test]
+    fn constructor_discipline_outside_home_module() {
+        let src = "fn f() { let p = Profile { rhos: vec![] }; }";
+        assert!(lints_of("crates/sim/src/lib.rs", src)
+            .iter()
+            .any(|(l, _)| *l == Lint::ConstructorDiscipline));
+        // The defining module itself is exempt.
+        assert!(
+            lints_of("crates/core/src/profile.rs", src)
+                .iter()
+                .all(|(l, _)| *l != Lint::ConstructorDiscipline),
+            "home module may build its own struct"
+        );
+        // impl blocks are not literals.
+        assert!(lints_of("crates/sim/src/lib.rs", "impl Profile { }")
+            .iter()
+            .all(|(l, _)| *l != Lint::ConstructorDiscipline));
+    }
+
+    #[test]
+    fn paper_anchor_on_formula_modules() {
+        let with = "/// Computes X (Theorem 1).\npub fn x() {}\n";
+        let without = "/// Computes something.\npub fn x() {}\n";
+        assert!(lints_of("crates/core/src/xmeasure.rs", with)
+            .iter()
+            .all(|(l, _)| *l != Lint::PaperAnchor));
+        assert!(lints_of("crates/core/src/xmeasure.rs", without)
+            .iter()
+            .any(|(l, _)| *l == Lint::PaperAnchor));
+        // Other files are not anchor-checked.
+        assert!(lints_of("crates/core/src/profile.rs", without)
+            .iter()
+            .all(|(l, _)| *l != Lint::PaperAnchor));
+    }
+
+    #[test]
+    fn crate_policy_checks_lib_headers() {
+        let bad = "pub fn f() {}";
+        let found = lints_of("crates/demo/src/lib.rs", bad);
+        assert_eq!(
+            found
+                .iter()
+                .filter(|(l, _)| *l == Lint::CratePolicy)
+                .count(),
+            2
+        );
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}";
+        assert!(lints_of("crates/demo/src/lib.rs", good)
+            .iter()
+            .all(|(l, _)| *l != Lint::CratePolicy));
+    }
+
+    #[test]
+    fn indexing_is_advisory() {
+        let src = "fn f(v: &[f64]) -> f64 { v[0] }";
+        let scan = scan_file(LIB, src);
+        let idx: Vec<_> = scan
+            .diagnostics
+            .iter()
+            .filter(|d| d.lint == Lint::Indexing)
+            .collect();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx[0].level, crate::diag::Level::Warn);
+    }
+}

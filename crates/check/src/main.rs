@@ -1,0 +1,131 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p hetero-check -- [--json] [--deny-warnings] \
+//!     [--root DIR] [--write-baseline] [paths...]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+
+use hetero_check::{baseline::Baseline, load_baseline, render_json, render_text, run, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: hetero-check [options] [paths...]
+
+Static analysis for the hetero workspace: float hygiene, panic-freedom,
+crate policy, paper anchors, and constructor discipline.
+
+options:
+  --json            emit machine-readable diagnostics on stdout
+  --deny-warnings   advisory lints (indexing) also fail the run
+  --root DIR        workspace root (default: nearest ancestor with
+                    check-baseline.json or Cargo.toml)
+  --write-baseline  grandfather all current violations into
+                    check-baseline.json and exit 0
+  --help            show this help
+
+paths are root-relative files or directories; default is the whole
+workspace (crates/, tests/, examples/).
+";
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("check-baseline.json").is_file()
+            || std::fs::read_to_string(dir.join("Cargo.toml"))
+                .map(|s| s.contains("[workspace]"))
+                .unwrap_or(false)
+        {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut write_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("hetero-check: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("hetero-check: unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let Some(root) = root.or_else(find_root) else {
+        eprintln!("hetero-check: cannot locate the workspace root; pass --root");
+        return ExitCode::from(2);
+    };
+
+    let config = Config {
+        root,
+        paths,
+        deny_warnings,
+    };
+    let outcome = match run(&config) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("hetero-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let merged = {
+            let mut b = match load_baseline(&config.root) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("hetero-check: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let fresh = Baseline::from_diagnostics(outcome.new_deny.iter());
+            b.entries.extend(fresh.entries);
+            b
+        };
+        let path = config.root.join("check-baseline.json");
+        if let Err(e) = std::fs::write(&path, merged.render()) {
+            eprintln!("hetero-check: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "hetero-check: grandfathered {} violations into {}",
+            outcome.new_deny.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", render_json(&outcome, deny_warnings));
+    } else {
+        print!("{}", render_text(&outcome, deny_warnings));
+    }
+    ExitCode::from(outcome.exit_code(deny_warnings) as u8)
+}

@@ -1,0 +1,248 @@
+//! End-to-end fixture tests for the `hetero-check` binary.
+//!
+//! Each fixture under `tests/fixtures/<case>/` is a miniature workspace;
+//! the tests run the real binary with `--root <case> --json` and assert
+//! on the machine-readable report and the process exit code. The real
+//! workspace walk skips directories named `fixtures`, so these trees
+//! never pollute a normal run.
+
+use hetero_check::json::{parse, Value};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(case: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case)
+}
+
+struct Report {
+    code: i32,
+    stdout: String,
+    stderr: String,
+    root: Value,
+}
+
+fn run_check(case: &str, extra: &[&str]) -> Report {
+    let out = Command::new(env!("CARGO_BIN_EXE_hetero-check"))
+        .arg("--json")
+        .arg("--root")
+        .arg(fixture(case))
+        .args(extra)
+        .output()
+        .expect("hetero-check binary runs");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    let root = parse(&stdout).unwrap_or(Value::Null);
+    Report {
+        code: out.status.code().expect("process exits normally"),
+        stdout,
+        stderr,
+        root,
+    }
+}
+
+/// `(lint, file, line, level)` rows from a diagnostics-shaped array.
+fn rows(report: &Report, key: &str) -> Vec<(String, String, i64, String)> {
+    report
+        .root
+        .get(key)
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|d| {
+            (
+                d.get("lint")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                d.get("file")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                d.get("line").and_then(Value::as_num).unwrap_or(0.0) as i64,
+                d.get("level")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+fn summary_num(report: &Report, key: &str) -> i64 {
+    report
+        .root
+        .get("summary")
+        .and_then(|s| s.get(key))
+        .and_then(Value::as_num)
+        .expect("summary field present") as i64
+}
+
+fn has(rows: &[(String, String, i64, String)], lint: &str, file: &str, line: i64) -> bool {
+    rows.iter()
+        .any(|(l, f, n, _)| l == lint && f == file && *n == line)
+}
+
+// --- every lint ID firing, with exact positions -------------------------
+
+#[test]
+fn violations_fixture_fires_every_deny_lint() {
+    let r = run_check("violations", &[]);
+    assert_eq!(r.code, 1, "stdout: {}\nstderr: {}", r.stdout, r.stderr);
+    let d = rows(&r, "diagnostics");
+
+    assert!(has(&d, "float-eq", "crates/demo/src/float.rs", 4), "{d:?}");
+    assert!(has(&d, "partial-cmp-unwrap", "crates/demo/src/float.rs", 8));
+    assert!(has(&d, "unwrap", "crates/demo/src/panics.rs", 4));
+    assert!(has(&d, "expect", "crates/demo/src/panics.rs", 5));
+    assert!(has(&d, "panic", "crates/demo/src/panics.rs", 7));
+    assert!(has(&d, "naked-sum", "crates/core/src/xmeasure.rs", 5));
+    assert!(has(&d, "paper-anchor", "crates/core/src/xmeasure.rs", 4));
+    assert!(has(
+        &d,
+        "constructor-discipline",
+        "crates/demo/src/ctor.rs",
+        5
+    ));
+    assert!(has(
+        &d,
+        "allow-missing-reason",
+        "crates/demo/src/allow.rs",
+        5
+    ));
+    // The reason-less allow comment does NOT waive the unwrap under it.
+    assert!(has(&d, "unwrap", "crates/demo/src/allow.rs", 6));
+    // Missing headers are reported once per header.
+    let policy = d
+        .iter()
+        .filter(|(l, f, _, _)| l == "crate-policy" && f == "crates/demo/src/lib.rs")
+        .count();
+    assert_eq!(policy, 2, "{d:?}");
+    // Indexing rides along as a warning, not a violation.
+    assert!(has(&d, "indexing", "crates/demo/src/panics.rs", 9));
+    let (_, _, _, level) = d
+        .iter()
+        .find(|(l, _, _, _)| l == "indexing")
+        .expect("indexing reported");
+    assert_eq!(level, "warn");
+
+    assert_eq!(summary_num(&r, "violations"), 12);
+    assert_eq!(summary_num(&r, "warnings"), 1);
+    assert_eq!(summary_num(&r, "exit_code"), 1);
+}
+
+#[test]
+fn partial_cmp_chain_is_not_double_reported() {
+    let r = run_check("violations", &[]);
+    let d = rows(&r, "diagnostics");
+    // float.rs line 8 holds the chained unwrap: the specific lint fires,
+    // the generic `unwrap` lint must stay silent there.
+    assert!(!has(&d, "unwrap", "crates/demo/src/float.rs", 8), "{d:?}");
+}
+
+// --- the clean counterparts: nothing fires ------------------------------
+
+#[test]
+fn clean_fixture_passes_with_zero_findings() {
+    let r = run_check("clean", &[]);
+    assert_eq!(r.code, 0, "stdout: {}\nstderr: {}", r.stdout, r.stderr);
+    assert_eq!(summary_num(&r, "violations"), 0);
+    assert_eq!(summary_num(&r, "warnings"), 0);
+    assert!(rows(&r, "diagnostics").is_empty());
+    // The documented sentinel was waived, with its reason recorded.
+    let suppressed = rows(&r, "suppressed");
+    assert!(has(&suppressed, "float-eq", "crates/demo/src/lib.rs", 20));
+    let reason = r
+        .root
+        .get("suppressed")
+        .and_then(Value::as_arr)
+        .and_then(|a| a.first())
+        .and_then(|s| s.get("reason"))
+        .and_then(Value::as_str)
+        .expect("suppression carries its reason");
+    assert_eq!(reason, "zero is an exact sentinel here");
+}
+
+#[test]
+fn binaries_and_tests_are_exempt_from_panic_lints() {
+    // clean/ contains an unwrap in a bin crate's main.rs and another in a
+    // #[cfg(test)] module; neither may fire.
+    let r = run_check("clean", &[]);
+    let d = rows(&r, "diagnostics");
+    assert!(d.iter().all(|(l, _, _, _)| l != "unwrap"), "{d:?}");
+}
+
+// --- warning promotion --------------------------------------------------
+
+#[test]
+fn advisory_indexing_passes_unless_warnings_are_denied() {
+    let r = run_check("advisory", &[]);
+    assert_eq!(r.code, 0, "stderr: {}", r.stderr);
+    assert_eq!(summary_num(&r, "warnings"), 1);
+    let d = rows(&r, "diagnostics");
+    assert!(has(&d, "indexing", "crates/demo/src/lib.rs", 8));
+
+    let denied = run_check("advisory", &["--deny-warnings"]);
+    assert_eq!(denied.code, 1);
+    assert_eq!(summary_num(&denied, "exit_code"), 1);
+}
+
+// --- baseline lifecycle -------------------------------------------------
+
+#[test]
+fn baselined_violations_pass_and_stale_entries_are_reported() {
+    let r = run_check("baselined", &[]);
+    assert_eq!(r.code, 0, "stdout: {}\nstderr: {}", r.stdout, r.stderr);
+    assert_eq!(summary_num(&r, "violations"), 0);
+    assert_eq!(summary_num(&r, "baselined"), 1);
+    assert_eq!(summary_num(&r, "stale_baseline"), 1);
+    let grand = rows(&r, "baselined");
+    assert!(
+        has(&grand, "unwrap", "crates/demo/src/lib.rs", 8),
+        "{grand:?}"
+    );
+    let stale = rows(&r, "stale_baseline");
+    assert!(
+        has(&stale, "expect", "crates/demo/src/gone.rs", 3),
+        "{stale:?}"
+    );
+}
+
+// --- IO and usage errors ------------------------------------------------
+
+#[test]
+fn malformed_baseline_is_a_usage_error() {
+    let r = run_check("malformed-baseline", &[]);
+    assert_eq!(r.code, 2, "stderr: {}", r.stderr);
+    assert!(r.stderr.contains("check-baseline.json"), "{}", r.stderr);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let r = run_check("clean", &["--no-such-flag"]);
+    assert_eq!(r.code, 2);
+    assert!(r.stderr.contains("unknown option"), "{}", r.stderr);
+}
+
+#[test]
+fn missing_scan_path_is_an_error() {
+    let r = run_check("clean", &["crates/nope"]);
+    assert_eq!(r.code, 2, "stderr: {}", r.stderr);
+    assert!(r.stderr.contains("no such path"), "{}", r.stderr);
+}
+
+// --- scoped scans -------------------------------------------------------
+
+#[test]
+fn explicit_paths_narrow_the_scan() {
+    // Scanning only the float file must surface its two findings and
+    // nothing from the rest of the violations tree.
+    let r = run_check("violations", &["crates/demo/src/float.rs"]);
+    assert_eq!(r.code, 1);
+    assert_eq!(summary_num(&r, "files_scanned"), 1);
+    let d = rows(&r, "diagnostics");
+    assert_eq!(d.len(), 2, "{d:?}");
+    assert!(has(&d, "float-eq", "crates/demo/src/float.rs", 4));
+    assert!(has(&d, "partial-cmp-unwrap", "crates/demo/src/float.rs", 8));
+}

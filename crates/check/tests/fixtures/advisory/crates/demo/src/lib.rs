@@ -1,0 +1,9 @@
+//! A crate whose only finding is the advisory indexing lint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Reads the head element.
+pub fn head(v: &[f64]) -> f64 {
+    v[0]
+}

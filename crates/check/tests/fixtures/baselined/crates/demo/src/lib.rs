@@ -1,0 +1,9 @@
+//! Legacy crate with one grandfathered unwrap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Legacy behavior kept alive during the burn-down.
+pub fn legacy(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

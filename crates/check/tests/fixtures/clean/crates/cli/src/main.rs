@@ -1,0 +1,7 @@
+//! Binary crate: panics are acceptable at the process boundary, so the
+//! unwrap below must not fire.
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap();
+    println!("{arg}");
+}

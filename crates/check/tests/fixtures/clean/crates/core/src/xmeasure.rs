@@ -1,0 +1,10 @@
+//! Anchored formula module: public items cite the paper, sums are
+//! compensated.
+
+/// The X-measure (Theorem 1, §2.2).
+pub fn anchored(v: &[f64]) -> f64 {
+    kahan_sum(v.iter().copied())
+}
+
+/// Crate-internal helper; anchor not required.
+pub(crate) fn helper() {}

@@ -1,0 +1,6 @@
+//! Constructors, not literals.
+
+/// Builds through the validated constructor.
+pub fn build(rhos: Vec<f64>) -> Result<Profile, ProfileError> {
+    Profile::from_unsorted(rhos)
+}

@@ -1,0 +1,35 @@
+//! Clean library crate: every lint has its non-firing counterpart here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Compares within a named tolerance instead of exact equality.
+pub fn close(x: f64, y: f64) -> bool {
+    const EPS: f64 = 1e-12;
+    (x - y).abs() < EPS
+}
+
+/// Sorts with the IEEE total order, no partial_cmp unwrapping.
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// A documented exact sentinel, waived with a reason.
+pub fn is_zero(x: f64) -> bool {
+    // hetero-check: allow(float-eq) — zero is an exact sentinel here
+    x == 0.0
+}
+
+/// Bounds-checked access instead of indexing.
+pub fn head(v: &[f64]) -> Option<f64> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Content is irrelevant; the baseline next door is garbage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

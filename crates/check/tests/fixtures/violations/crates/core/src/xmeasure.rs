@@ -1,0 +1,6 @@
+//! Formula module whose public item forgot its citation.
+
+/// Computes a thing.
+pub fn unanchored(v: &[f64]) -> f64 {
+    v.iter().sum()
+}

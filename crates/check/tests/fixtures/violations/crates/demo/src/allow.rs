@@ -1,0 +1,7 @@
+//! An allow comment with no justification: flagged, and the finding it
+//! tried to waive still stands.
+
+pub fn f(x: Option<u8>) -> u8 {
+    // hetero-check: allow(unwrap)
+    x.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Constructor-discipline violation: a struct literal outside the
+//! defining module.
+
+pub fn build() -> Profile {
+    Profile { rhos: inner() }
+}

@@ -1,0 +1,9 @@
+//! Float-hygiene violations.
+
+pub fn eq(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,3 @@
+//! Library crate missing both policy headers.
+
+pub fn noop() {}

@@ -1,0 +1,10 @@
+//! Panic-freedom violations, plus one advisory indexing site.
+
+pub fn first(v: &[f64], x: Option<f64>, y: Option<f64>) -> f64 {
+    let a = x.unwrap();
+    let b = y.expect("y is set");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    a + b + v[0]
+}

@@ -90,7 +90,15 @@ fn print_table(t: &hetero_experiments::render::Table, csv: bool) {
 fn cmd_params(opts: &Opts) {
     let mut t = hetero_experiments::render::Table::new(
         "Tables 1–2 — model parameters",
-        &["configuration", "τ", "π", "δ", "A = π+τ", "B = 1+(1+δ)π", "Aτδ/B²"],
+        &[
+            "configuration",
+            "τ",
+            "π",
+            "δ",
+            "A = π+τ",
+            "B = 1+(1+δ)π",
+            "Aτδ/B²",
+        ],
     );
     for (name, p) in [
         ("coarse tasks (1 s)", Params::paper_table1()),
@@ -133,7 +141,9 @@ fn cmd_variance(opts: &Opts) {
         ..variance::VarianceConfig::default()
     };
     print_table(&variance::run(&cfg).table(), opts.csv);
-    println!("(paper: ~23% bad plateau with its own generator; ours brackets it — see EXPERIMENTS.md)");
+    println!(
+        "(paper: ~23% bad plateau with its own generator; ours brackets it — see EXPERIMENTS.md)"
+    );
 }
 
 fn cmd_threshold(opts: &Opts) {
@@ -180,8 +190,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             let p = Params::paper_table1();
             print!("{}", gantt::render_fig1(&p, 0.5, 100.0));
             println!();
-            let profile =
-                hetero_core::Profile::new(vec![1.0, 0.5, 1.0 / 3.0]).expect("valid");
+            let profile = hetero_core::Profile::new(vec![1.0, 0.5, 1.0 / 3.0]).expect("valid");
             print!("{}", gantt::render_fig2(&p, &profile, 100.0, 72));
         }
         "lifo" => print_table(&fifo_lifo::run_paper().table(), opts.csv),
@@ -215,9 +224,24 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
         }
         "all" => {
             for c in [
-                "params", "table3", "table4", "fig3", "fig4", "variance", "threshold",
-                "minorize", "protocol", "gantt", "moments", "lifo", "sensitivity",
-                "scaling", "majorize-ext", "granularity", "robustness", "fleet",
+                "params",
+                "table3",
+                "table4",
+                "fig3",
+                "fig4",
+                "variance",
+                "threshold",
+                "minorize",
+                "protocol",
+                "gantt",
+                "moments",
+                "lifo",
+                "sensitivity",
+                "scaling",
+                "majorize-ext",
+                "granularity",
+                "robustness",
+                "fleet",
             ] {
                 println!("──────────────────────────────────────── {c}");
                 run_command(c, opts)?;
@@ -273,10 +297,12 @@ mod tests {
 
     #[test]
     fn parse_opts_all_flags() {
-        let args: Vec<String> = ["--csv", "--hard", "--trials", "42", "--max-n", "128", "--seed", "7"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--csv", "--hard", "--trials", "42", "--max-n", "128", "--seed", "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = parse_opts(&args).unwrap();
         assert!(o.csv && o.hard);
         assert_eq!(o.trials, Some(42));
@@ -299,10 +325,24 @@ mod tests {
 
     #[test]
     fn every_quick_command_runs() {
-        let opts = Opts { csv: false, trials: Some(50), max_n: Some(8), seed: Some(1), hard: false };
+        let opts = Opts {
+            csv: false,
+            trials: Some(50),
+            max_n: Some(8),
+            seed: Some(1),
+            hard: false,
+        };
         for c in [
-            "params", "table3", "table4", "fig3", "fig4", "minorize", "protocol", "gantt",
-            "lifo", "sensitivity",
+            "params",
+            "table3",
+            "table4",
+            "fig3",
+            "fig4",
+            "minorize",
+            "protocol",
+            "gantt",
+            "lifo",
+            "sensitivity",
         ] {
             run_command(c, &opts).unwrap_or_else(|e| panic!("{c}: {e}"));
         }

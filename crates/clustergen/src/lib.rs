@@ -102,6 +102,7 @@ pub fn sample_speeds(rng: &mut StdRng, cfg: GenConfig, shape: Shape) -> Vec<f64>
 /// Draws one random [`Profile`] (sorted slowest-first).
 pub fn random_profile(rng: &mut StdRng, cfg: GenConfig, shape: Shape) -> Profile {
     Profile::from_unsorted(sample_speeds(rng, cfg, shape))
+        // hetero-check: allow(expect) — sample_speeds clamps every draw into [cfg.lo, 1] with cfg.lo > 0
         .expect("sampled speeds are positive and finite")
 }
 
@@ -182,7 +183,11 @@ pub struct EqualMeanPairGen {
 impl EqualMeanPairGen {
     /// New generator.
     pub fn new(cfg: GenConfig, shape1: Shape, shape2: Shape) -> Self {
-        EqualMeanPairGen { cfg, shape1, shape2 }
+        EqualMeanPairGen {
+            cfg,
+            shape1,
+            shape2,
+        }
     }
 
     /// The configuration.
@@ -200,10 +205,18 @@ impl EqualMeanPairGen {
             let Some(adj2) = adjust_to_mean(raw2, mean, self.cfg.lo) else {
                 continue;
             };
+            // hetero-check: allow(expect) — sample_speeds keeps draws in [cfg.lo, 1], cfg.lo > 0
             let p1 = Profile::from_unsorted(raw1).expect("valid speeds");
+            // hetero-check: allow(expect) — adjust_to_mean clamps into [lo, 1] and returned Some, so speeds are valid
             let p2 = Profile::from_unsorted(adj2).expect("valid speeds");
             let (var1, var2) = (p1.variance(), p2.variance());
-            return Some(EqualMeanPair { p1, p2, mean, var1, var2 });
+            return Some(EqualMeanPair {
+                p1,
+                p2,
+                mean,
+                var1,
+                var2,
+            });
         }
         None
     }
@@ -243,7 +256,11 @@ mod tests {
                 .unwrap()
                 .variance()
         };
-        let (vc, vu, vb) = (var(Shape::Concentrated), var(Shape::Uniform), var(Shape::Bimodal));
+        let (vc, vu, vb) = (
+            var(Shape::Concentrated),
+            var(Shape::Uniform),
+            var(Shape::Bimodal),
+        );
         assert!(vc < vu && vu < vb, "{vc} < {vu} < {vb} violated");
     }
 

@@ -48,7 +48,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::EmptyProfile => write!(f, "profile must contain at least one computer"),
             ModelError::InvalidRho { index, value } => {
-                write!(f, "ρ[{index}] = {value} is not finite and strictly positive")
+                write!(
+                    f,
+                    "ρ[{index}] = {value} is not finite and strictly positive"
+                )
             }
             ModelError::NotSorted { index } => write!(
                 f,
@@ -61,7 +64,10 @@ impl fmt::Display for ModelError {
                 write!(f, "speedup argument {name} = {value} is out of range")
             }
             ModelError::IndexOutOfRange { index, n } => {
-                write!(f, "computer index {index} out of range for an {n}-computer cluster")
+                write!(
+                    f,
+                    "computer index {index} out of range for an {n}-computer cluster"
+                )
             }
         }
     }
@@ -75,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_specific() {
-        let e = ModelError::InvalidRho { index: 3, value: -0.5 };
+        let e = ModelError::InvalidRho {
+            index: 3,
+            value: -0.5,
+        };
         assert!(e.to_string().contains("ρ[3]"));
         let e = ModelError::IndexOutOfRange { index: 9, n: 4 };
         assert!(e.to_string().contains('9'));

@@ -10,6 +10,7 @@
 //! bisection on the log residual ([`hecr_bisect`]) — and each serves as an
 //! oracle for the other in the test suite.
 
+use crate::numeric::kahan_sum;
 use crate::{ModelError, Params, Profile};
 
 /// The HECR `ρ_C` of a cluster, by the Proposition 1 closed form:
@@ -28,30 +29,34 @@ pub fn hecr(params: &Params, profile: &Profile) -> Result<f64, ModelError> {
     let (a, b, td) = (params.a(), params.b(), params.tau_delta());
     let n = profile.n() as f64;
     // ln Π r_i with r_i = 1 − (A−τδ)/(Bρ_i + A), each factor via ln_1p.
-    let mut log_inner = 0.0f64;
-    for &rho in profile.rhos() {
-        log_inner += (-(a - td) / (b * rho + a)).ln_1p();
-    }
+    let log_inner = log_residual(params, profile.rhos());
     // 1 − inner^{1/n}, stable whether inner is ≈ 1 or ≈ 0.
     let one_minus_d = -(log_inner / n).exp_m1();
     if !(one_minus_d > 0.0 && one_minus_d.is_finite()) {
-        return Err(ModelError::InvalidParam { name: "1 - D", value: one_minus_d });
+        return Err(ModelError::InvalidParam {
+            name: "1 - D",
+            value: one_minus_d,
+        });
     }
     Ok((a - td) / (b * one_minus_d) - a / b)
 }
 
-/// [`hecr`] when `X(P)` has already been computed.
+/// The Proposition 1 closed form when `X(P)` has already been computed.
 pub fn hecr_of_x(params: &Params, x: f64, n: usize) -> Result<f64, ModelError> {
     let (a, b, td) = (params.a(), params.b(), params.tau_delta());
     let inner = 1.0 - (a - td) * x;
     if !(inner > 0.0 && inner < 1.0) {
-        return Err(ModelError::InvalidParam { name: "X(P)", value: x });
+        return Err(ModelError::InvalidParam {
+            name: "X(P)",
+            value: x,
+        });
     }
     let d = inner.powf(1.0 / n as f64);
     Ok((a - td) / (b * (1.0 - d)) - a / b)
 }
 
-/// `ln Π_i (Bρ_i + τδ)/(Bρ_i + A)` — the log *residual* of a profile.
+/// `ln Π_i (Bρ_i + τδ)/(Bρ_i + A)` — the log *residual* of a profile
+/// (the product telescoped out of the §2.2 X-measure).
 ///
 /// `X(P) = (1 − e^{log_residual})/(A − τδ)`, so the residual is a strictly
 /// *decreasing* transform of `X`: comparing residuals compares powers with
@@ -61,15 +66,14 @@ pub fn hecr_of_x(params: &Params, x: f64, n: usize) -> Result<f64, ModelError> {
 /// communication-dominated parameters.
 pub fn log_residual(params: &Params, rhos: &[f64]) -> f64 {
     let (a, b, td) = (params.a(), params.b(), params.tau_delta());
-    rhos.iter()
-        .map(|&rho| (-(a - td) / (b * rho + a)).ln_1p())
-        .sum()
+    kahan_sum(rhos.iter().map(|&rho| (-(a - td) / (b * rho + a)).ln_1p()))
 }
 
 /// The HECR by bisection: exploits that the log residual of `⟨ρ,…,ρ⟩` is
 /// strictly increasing in `ρ`, and finds `ρ` whose homogeneous cluster
 /// matches the profile's residual to relative tolerance `tol`. Searches
-/// rather than inverts — the independent oracle for the closed form.
+/// rather than inverts — the independent oracle for the Proposition 1
+/// closed form.
 pub fn hecr_bisect(params: &Params, profile: &Profile, tol: f64) -> f64 {
     let n = profile.n() as f64;
     // Per-computer residual target: ln r(ρ_C) = log_residual(P)/n.
@@ -183,7 +187,10 @@ mod tests {
             assert!(ratio > prev_ratio, "advantage grows with n");
             prev_ratio = ratio;
         }
-        assert!(prev_ratio > 4.0, "n = 32 ratio exceeds 4 (paper: 'more than 4')");
+        assert!(
+            prev_ratio > 4.0,
+            "n = 32 ratio exceeds 4 (paper: 'more than 4')"
+        );
     }
 
     #[test]

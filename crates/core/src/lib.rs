@@ -64,6 +64,7 @@ mod params;
 mod profile;
 
 pub mod hecr;
+pub mod numeric;
 pub mod selection;
 pub mod speedup;
 pub mod xmeasure;

@@ -30,13 +30,22 @@ impl Params {
     /// `0 < δ ≤ 1`, all finite.
     pub fn new(tau: f64, pi: f64, delta: f64) -> Result<Self, ModelError> {
         if !(tau.is_finite() && tau > 0.0) {
-            return Err(ModelError::InvalidParam { name: "tau", value: tau });
+            return Err(ModelError::InvalidParam {
+                name: "tau",
+                value: tau,
+            });
         }
         if !(pi.is_finite() && pi >= 0.0) {
-            return Err(ModelError::InvalidParam { name: "pi", value: pi });
+            return Err(ModelError::InvalidParam {
+                name: "pi",
+                value: pi,
+            });
         }
         if !(delta.is_finite() && delta > 0.0 && delta <= 1.0) {
-            return Err(ModelError::InvalidParam { name: "delta", value: delta });
+            return Err(ModelError::InvalidParam {
+                name: "delta",
+                value: delta,
+            });
         }
         Ok(Params { tau, pi, delta })
     }
@@ -47,13 +56,21 @@ impl Params {
     ///
     /// These are the values behind Tables 2–4 of the paper.
     pub fn paper_table1() -> Self {
-        Params { tau: 1e-6, pi: 1e-5, delta: 1.0 }
+        Params {
+            tau: 1e-6,
+            pi: 1e-5,
+            delta: 1.0,
+        }
     }
 
     /// Table 2's *fine* task variant: the same wall-clock rates against
     /// 0.1 s tasks, so in task-time units τ = 10⁻⁵, π = 10⁻⁴, δ = 1.
     pub fn paper_table1_fine() -> Self {
-        Params { tau: 1e-5, pi: 1e-4, delta: 1.0 }
+        Params {
+            tau: 1e-5,
+            pi: 1e-4,
+            delta: 1.0,
+        }
     }
 
     /// The parameter set that reproduces the paper's Figures 3–4.
@@ -62,7 +79,11 @@ impl Params {
     /// at ρ = 1/16 (see DESIGN.md §5, substitution S2): τ = 0.2, π = 0.01,
     /// δ = 1 in task-time units gives `Aτδ/B² ≈ 0.0404`.
     pub fn fig34() -> Self {
-        Params { tau: 0.2, pi: 0.01, delta: 1.0 }
+        Params {
+            tau: 0.2,
+            pi: 0.01,
+            delta: 1.0,
+        }
     }
 
     /// Network transit rate τ (time per work unit).

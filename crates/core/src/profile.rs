@@ -55,7 +55,7 @@ impl Profile {
                 return Err(ModelError::InvalidRho { index, value });
             }
         }
-        rhos.sort_by(|a, b| b.partial_cmp(a).expect("finite by validation"));
+        rhos.sort_by(|a, b| b.total_cmp(a));
         Self::new(rhos)
     }
 
@@ -75,6 +75,7 @@ impl Profile {
     pub fn uniform_spread(n: usize) -> Self {
         assert!(n >= 1, "cluster must have at least one computer");
         let rhos = (1..=n).map(|i| 1.0 - (i as f64 - 1.0) / n as f64).collect();
+        // hetero-check: allow(expect) — ρ_i = (n−i+1)/n is strictly positive and nonincreasing for every i ≤ n
         Self::new(rhos).expect("family is valid by construction")
     }
 
@@ -83,6 +84,7 @@ impl Profile {
     pub fn harmonic(n: usize) -> Self {
         assert!(n >= 1, "cluster must have at least one computer");
         let rhos = (1..=n).map(|i| 1.0 / i as f64).collect();
+        // hetero-check: allow(expect) — ρ_i = 1/i is strictly positive and nonincreasing for every i ≤ n
         Self::new(rhos).expect("family is valid by construction")
     }
 
@@ -114,11 +116,13 @@ impl Profile {
 
     /// ρ of the fastest computer (the smallest value).
     pub fn fastest(&self) -> f64 {
+        // hetero-check: allow(expect) — every constructor rejects empty profiles
         *self.rhos.last().expect("profiles are nonempty")
     }
 
     /// `true` iff the slowest computer has ρ = 1 (the paper's convention).
     pub fn is_normalized(&self) -> bool {
+        // hetero-check: allow(float-eq) — normalization means ρ1 is *exactly* 1, a definitional sentinel
         self.rhos[0] == 1.0
     }
 
@@ -132,13 +136,14 @@ impl Profile {
 
     /// Arithmetic mean of the ρ-values.
     pub fn mean(&self) -> f64 {
-        self.rhos.iter().sum::<f64>() / self.n() as f64
+        crate::numeric::kahan_sum(self.rhos.iter().copied()) / self.n() as f64
     }
 
     /// Population variance of the ρ-values (the paper's `VAR(P)`, Eq. 7).
     pub fn variance(&self) -> f64 {
         let mean = self.mean();
-        self.rhos.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / self.n() as f64
+        crate::numeric::kahan_sum(self.rhos.iter().map(|r| (r - mean) * (r - mean)))
+            / self.n() as f64
     }
 
     /// `true` iff `self` *minorizes* `other` (§4): same size, every
@@ -146,11 +151,7 @@ impl Profile {
     /// Proposition 2 a minorizing cluster always outperforms.
     pub fn minorizes(&self, other: &Profile) -> bool {
         self.n() == other.n()
-            && self
-                .rhos
-                .iter()
-                .zip(&other.rhos)
-                .all(|(a, b)| a <= b)
+            && self.rhos.iter().zip(&other.rhos).all(|(a, b)| a <= b)
             && self.rhos.iter().zip(&other.rhos).any(|(a, b)| a < b)
     }
 
@@ -199,6 +200,31 @@ mod tests {
     fn from_unsorted_sorts_slowest_first() {
         let p = Profile::from_unsorted(vec![0.25, 1.0, 0.5]).unwrap();
         assert_eq!(p.rhos(), &[1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn from_unsorted_rejects_negative_zero() {
+        // -0.0 is not a valid speed (ρ must be strictly positive), and it
+        // must be caught by validation rather than surprise the total_cmp
+        // sort (which orders -0.0 before +0.0).
+        assert!(matches!(
+            Profile::from_unsorted(vec![1.0, -0.0]),
+            Err(ModelError::InvalidRho { index: 1, .. })
+        ));
+        assert!(Profile::new(vec![1.0, -0.0]).is_err());
+    }
+
+    #[test]
+    fn sort_comparator_is_total_over_signed_zeros() {
+        // Regression for the partial_cmp(..).expect(..) comparators this
+        // crate used to carry: total_cmp must order mixed signed zeros
+        // deterministically instead of panicking or leaving them unsorted.
+        let mut values = [0.0f64, -0.0, 1.0, -0.0, 0.0];
+        values.sort_by(|a, b| b.total_cmp(a));
+        assert_eq!(values[0], 1.0);
+        // Descending IEEE total order puts +0.0 before -0.0.
+        assert!(values[1].is_sign_positive() && values[2].is_sign_positive());
+        assert!(values[3].is_sign_negative() && values[4].is_sign_negative());
     }
 
     #[test]

@@ -18,7 +18,10 @@ use crate::{ModelError, Params, Profile};
 /// exhaustively against [`best_k_subset`]).
 pub fn fastest_k(profile: &Profile, k: usize) -> Result<Profile, ModelError> {
     if k == 0 || k > profile.n() {
-        return Err(ModelError::IndexOutOfRange { index: k, n: profile.n() });
+        return Err(ModelError::IndexOutOfRange {
+            index: k,
+            n: profile.n(),
+        });
     }
     // Profiles are sorted slowest-first, so the k fastest are the suffix.
     Profile::new(profile.rhos()[profile.n() - k..].to_vec())
@@ -28,7 +31,10 @@ pub fn fastest_k(profile: &Profile, k: usize) -> Result<Profile, ModelError> {
 /// Exponential — for tests and small clusters only.
 pub fn best_k_subset(params: &Params, profile: &Profile, k: usize) -> Result<Profile, ModelError> {
     if k == 0 || k > profile.n() {
-        return Err(ModelError::IndexOutOfRange { index: k, n: profile.n() });
+        return Err(ModelError::IndexOutOfRange {
+            index: k,
+            n: profile.n(),
+        });
     }
     let n = profile.n();
     assert!(n <= 20, "exhaustive subset search is for small clusters");
@@ -47,6 +53,7 @@ pub fn best_k_subset(params: &Params, profile: &Profile, k: usize) -> Result<Pro
             _ => best = Some((x, rhos)),
         }
     }
+    // hetero-check: allow(expect) — with 1 ≤ k ≤ n at least one mask has k bits set, so `best` is set
     let (_, rhos) = best.expect("k ≥ 1 guarantees a subset");
     Profile::from_unsorted(rhos)
 }
@@ -72,7 +79,10 @@ pub fn smallest_fleet_for(
     fraction: f64,
 ) -> Result<usize, ModelError> {
     if !(fraction > 0.0 && fraction <= 1.0) {
-        return Err(ModelError::InvalidParam { name: "fraction", value: fraction });
+        return Err(ModelError::InvalidParam {
+            name: "fraction",
+            value: fraction,
+        });
     }
     let full = x_measure_of_rhos(params, profile.rhos());
     let target = fraction * full;

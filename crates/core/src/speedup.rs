@@ -18,33 +18,45 @@
 use crate::xmeasure::x_measure_of_rhos;
 use crate::{ModelError, Params, Profile};
 
-/// Additively speeds up computer `index` (0-based, slowest first) by `phi`:
-/// its speed becomes `ρ − φ`. Requires `0 < φ < ρ` so the result stays a
-/// valid (positive) speed; the paper's blanket requirement `φ < ρ_n`
-/// guarantees this for every computer at once.
+/// Additively speeds up computer `index` (0-based, slowest first) by `phi`
+/// (§3.1): its speed becomes `ρ − φ`. Requires `0 < φ < ρ` so the result
+/// stays a valid (positive) speed; the paper's blanket requirement
+/// `φ < ρ_n` guarantees this for every computer at once.
 pub fn additive_speedup(profile: &Profile, index: usize, phi: f64) -> Result<Profile, ModelError> {
     if index >= profile.n() {
-        return Err(ModelError::IndexOutOfRange { index, n: profile.n() });
+        return Err(ModelError::IndexOutOfRange {
+            index,
+            n: profile.n(),
+        });
     }
     let rho = profile.rho(index);
     if !(phi.is_finite() && phi > 0.0 && phi < rho) {
-        return Err(ModelError::InvalidSpeedup { name: "phi", value: phi });
+        return Err(ModelError::InvalidSpeedup {
+            name: "phi",
+            value: phi,
+        });
     }
     profile.with_rho(index, rho - phi)
 }
 
 /// Multiplicatively speeds up computer `index` by the factor `psi`
-/// (`0 < ψ < 1`): its speed becomes `ψρ`.
+/// (`0 < ψ < 1`, §3.2): its speed becomes `ψρ`.
 pub fn multiplicative_speedup(
     profile: &Profile,
     index: usize,
     psi: f64,
 ) -> Result<Profile, ModelError> {
     if index >= profile.n() {
-        return Err(ModelError::IndexOutOfRange { index, n: profile.n() });
+        return Err(ModelError::IndexOutOfRange {
+            index,
+            n: profile.n(),
+        });
     }
     if !(psi.is_finite() && psi > 0.0 && psi < 1.0) {
-        return Err(ModelError::InvalidSpeedup { name: "psi", value: psi });
+        return Err(ModelError::InvalidSpeedup {
+            name: "psi",
+            value: psi,
+        });
     }
     profile.with_rho(index, psi * profile.rho(index))
 }
@@ -103,7 +115,8 @@ pub fn best_additive_index(params: &Params, profile: &Profile, phi: f64) -> Opti
 }
 
 /// The index whose multiplicative upgrade by `psi` maximizes the resulting
-/// X-measure, with the paper's tie-break (larger index wins).
+/// X-measure, with the paper's tie-break (larger index wins) — the
+/// empirical counterpart of the Theorem 4 pairwise rule.
 pub fn best_multiplicative_index(params: &Params, profile: &Profile, psi: f64) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for index in 0..profile.n() {
@@ -119,7 +132,7 @@ pub fn best_multiplicative_index(params: &Params, profile: &Profile, psi: f64) -
     best.map(|(i, _)| i)
 }
 
-/// One round of the iterated-upgrade experiment behind Figures 3–4.
+/// One round of the §3.2.2 iterated-upgrade experiment behind Figures 3–4.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GreedyStep {
     /// 1-based round number.
@@ -159,7 +172,10 @@ pub fn greedy_multiplicative(
         }
     }
     if !(psi.is_finite() && psi > 0.0 && psi < 1.0) {
-        return Err(ModelError::InvalidSpeedup { name: "psi", value: psi });
+        return Err(ModelError::InvalidSpeedup {
+            name: "psi",
+            value: psi,
+        });
     }
 
     let mut speeds = initial.to_vec();
@@ -171,13 +187,14 @@ pub fn greedy_multiplicative(
             sorted.copy_from_slice(&speeds);
             sorted[j] *= psi;
             // Sorting makes equal multisets produce bitwise-equal X.
-            sorted.sort_by(|a, b| b.partial_cmp(a).expect("speeds are finite"));
+            sorted.sort_by(|a, b| b.total_cmp(a));
             let x = x_measure_of_rhos(params, &sorted);
             match best {
                 Some((_, bx)) if x < bx => {}
                 _ => best = Some((j, x)),
             }
         }
+        // hetero-check: allow(expect) — the candidate loop over a validated nonempty cluster always sets `best`
         let (chosen, x) = best.expect("nonempty cluster has a best upgrade");
         speeds[chosen] *= psi;
         steps.push(GreedyStep {
@@ -213,10 +230,7 @@ mod tests {
     #[test]
     fn speedups_produce_expected_profiles() {
         let p = Profile::new(vec![1.0, 0.5]).unwrap();
-        assert_eq!(
-            additive_speedup(&p, 0, 0.25).unwrap().rhos(),
-            &[0.75, 0.5]
-        );
+        assert_eq!(additive_speedup(&p, 0, 0.25).unwrap().rhos(), &[0.75, 0.5]);
         assert_eq!(
             multiplicative_speedup(&p, 1, 0.5).unwrap().rhos(),
             &[1.0, 0.25]
@@ -263,8 +277,8 @@ mod tests {
         let pr = Params::fig34();
         let psi = 0.5;
         let cases = [
-            (1.0, 0.5),   // ψρρ = 0.25 > threshold → faster
-            (1.0, 0.0625),// ψρρ ≈ 0.031 < threshold → slower
+            (1.0, 0.5),    // ψρρ = 0.25 > threshold → faster
+            (1.0, 0.0625), // ψρρ ≈ 0.031 < threshold → slower
             (0.0625, 0.03125),
             (1.0, 0.9),
         ];

@@ -18,10 +18,11 @@
 //! orderings is verified in the test suite (and exactly, in
 //! `hetero-symfunc`).
 
+use crate::numeric::KahanSum;
 use crate::{Params, Profile};
 
-/// `X(P)` — the paper's power measure — evaluated in a single fused pass
-/// with Neumaier-compensated summation.
+/// `X(P)` — the paper's power measure (§2.2, Theorem 1) — evaluated in a
+/// single fused pass with Neumaier-compensated summation.
 ///
 /// The `i`-th summand multiplies the running product
 /// `Π_{j<i} (Bρ_j + τδ)/(Bρ_j + A)`, whose factors are all `< 1`; naive
@@ -32,30 +33,23 @@ pub fn x_measure(params: &Params, profile: &Profile) -> f64 {
 }
 
 /// [`x_measure`] on a raw ρ-slice in the *given* order (the order-explicit
-/// `X(P; Σ)` of the paper's proofs; the value is order-independent).
+/// `X(P; Σ)` of Theorem 1's proof; by Theorem 1(2) the value is
+/// order-independent).
 pub fn x_measure_of_rhos(params: &Params, rhos: &[f64]) -> f64 {
     let (a, b, td) = (params.a(), params.b(), params.tau_delta());
     let mut product = 1.0f64; // Π_{j<i} (Bρ_j + τδ)/(Bρ_j + A)
-    let mut sum = 0.0f64;
-    let mut comp = 0.0f64; // Neumaier compensation
+    let mut sum = KahanSum::new();
     for &rho in rhos {
         let denom = b * rho + a;
-        let term = product / denom;
-        // Neumaier update: sum += term, tracking the lost low-order bits.
-        let t = sum + term;
-        comp += if sum.abs() >= term.abs() {
-            (sum - t) + term
-        } else {
-            (term - t) + sum
-        };
-        sum = t;
+        sum.add(product / denom);
         product *= (b * rho + td) / denom;
     }
-    sum + comp
+    sum.value()
 }
 
-/// Naive (uncompensated) evaluation of `X(P)` — kept for the accuracy and
-/// performance ablation in `hetero-bench`; prefer [`x_measure`].
+/// Naive (uncompensated) evaluation of `X(P)` (§2.2) — kept for the
+/// accuracy and performance ablation in `hetero-bench`; prefer
+/// [`x_measure`].
 pub fn x_measure_naive(params: &Params, rhos: &[f64]) -> f64 {
     let (a, b, td) = (params.a(), params.b(), params.tau_delta());
     let mut product = 1.0f64;
@@ -80,7 +74,7 @@ pub fn x_homogeneous(params: &Params, rho: f64, n: usize) -> f64 {
 }
 
 /// The asymptotic work-completion *rate* `W(L;P)/L = 1/(τδ + 1/X(P))`
-/// (work units per time unit).
+/// (Theorem 2, per unit of lifespan).
 pub fn work_rate(params: &Params, profile: &Profile) -> f64 {
     1.0 / (params.tau_delta() + 1.0 / x_measure(params, profile))
 }
@@ -97,8 +91,8 @@ pub fn work_ratio(params: &Params, upgraded: &Profile, original: &Profile) -> f6
     work_rate(params, upgraded) / work_rate(params, original)
 }
 
-/// Upper bound `1/(A−τδ)` that `X(P)` approaches as clusters grow: with
-/// `X` at this supremum the server spends every moment feeding the network.
+/// Upper bound `1/(A−τδ)` that `X(P)` approaches as clusters grow (§2.3):
+/// at this supremum the server spends every moment feeding the network.
 pub fn x_supremum(params: &Params) -> f64 {
     1.0 / (params.a() - params.tau_delta())
 }

@@ -108,7 +108,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt::from_sign_mag(
-            if self.is_zero() { Sign::Zero } else { Sign::Plus },
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Plus
+            },
             self.mag.clone(),
         )
     }
@@ -141,7 +145,11 @@ impl BigInt {
 
 impl From<BigUint> for BigInt {
     fn from(mag: BigUint) -> Self {
-        let sign = if mag.is_zero() { Sign::Zero } else { Sign::Plus };
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Plus
+        };
         BigInt { sign, mag }
     }
 }
@@ -203,9 +211,7 @@ impl Add<&BigInt> for &BigInt {
                 // Opposite signs: subtract the smaller magnitude.
                 match self.mag.cmp(&rhs.mag) {
                     Ordering::Equal => BigInt::zero(),
-                    Ordering::Greater => {
-                        BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag)
-                    }
+                    Ordering::Greater => BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag),
                     Ordering::Less => BigInt::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
                 }
             }
@@ -343,7 +349,7 @@ mod tests {
 
     #[test]
     fn ordering_spans_signs() {
-        let mut vals = vec![int(3), int(-10), int(0), int(7), int(-2)];
+        let mut vals = [int(3), int(-10), int(0), int(7), int(-2)];
         vals.sort();
         let shown: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
         assert_eq!(shown, ["-10", "-2", "0", "3", "7"]);

@@ -63,7 +63,7 @@ impl BigUint {
 
     /// `true` iff the lowest bit is zero (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (`0` for zero).
@@ -102,6 +102,7 @@ impl BigUint {
         }
         // Take the top 64 bits as the significand and scale by the exponent.
         let shift = bits - 64;
+        // hetero-check: allow(expect) — after shifting right by bits−64 exactly 64 bits remain
         let top = (self >> shift).to_u64().expect("top 64 bits fit");
         (top as f64) * (shift as f64).exp2()
     }
@@ -115,10 +116,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let s = u128::from(long[i])
-                + u128::from(*short.get(i).unwrap_or(&0))
-                + u128::from(carry);
+        for (i, limb) in long.iter().enumerate() {
+            let s = u128::from(*limb) + u128::from(*short.get(i).unwrap_or(&0)) + u128::from(carry);
             out.push(s as u64);
             carry = (s >> 64) as u64;
         }
@@ -199,6 +198,7 @@ impl BigUint {
         let z1 = z1
             .checked_sub(&z0)
             .and_then(|v| v.checked_sub(&z2))
+            // hetero-check: allow(expect) — z1 = (a0+a1)(b0+b1) ≥ z0 + z2 holds algebraically for nonnegative limbs
             .expect("karatsuba middle term is nonnegative");
 
         // z2·2^(128·half) + z1·2^(64·half) + z0
@@ -252,6 +252,7 @@ impl BigUint {
     /// Knuth TAOCP vol. 2 Algorithm D (multi-limb division).
     fn divrem_knuth(&self, div: &Self) -> (Self, Self) {
         // Normalize: shift so the divisor's top limb has its high bit set.
+        // hetero-check: allow(unwrap) — divrem rejects zero divisors before dispatching here, so a top limb exists
         let shift = div.limbs.last().unwrap().leading_zeros();
         let u = self << u64::from(shift); // dividend
         let v = div << u64::from(shift); // divisor
@@ -333,6 +334,7 @@ impl BigUint {
             if a < b {
                 std::mem::swap(&mut a, &mut b);
             }
+            // hetero-check: allow(expect) — the swap above establishes a ≥ b
             a = a.checked_sub(&b).expect("a >= b after swap");
             if a.is_zero() {
                 return &b << common;
@@ -356,6 +358,7 @@ impl BigUint {
                 return total + u64::from(l.trailing_zeros());
             }
         }
+        // hetero-check: allow(panic) — the zero assert plus the no-trailing-zero-limb normalization invariant make this branch impossible
         unreachable!("normalized BigUint has a nonzero limb")
     }
 
@@ -474,6 +477,7 @@ impl Sub<&BigUint> for &BigUint {
     type Output = BigUint;
     fn sub(self, rhs: &BigUint) -> BigUint {
         self.checked_sub(rhs)
+            // hetero-check: allow(expect) — the Sub operator documents a panic on underflow; checked_sub is the non-panicking API
             .expect("BigUint subtraction underflow")
     }
 }
@@ -578,9 +582,11 @@ impl fmt::Display for BigUint {
         let mut parts: Vec<u64> = Vec::new();
         while !rest.is_zero() {
             let (q, r) = rest.divrem(&chunk);
+            // hetero-check: allow(expect) — divrem remainders are < 10^19, which fits in u64
             parts.push(r.to_u64().expect("remainder < 10^19"));
             rest = q;
         }
+        // hetero-check: allow(unwrap) — the zero case returned early, so at least one chunk was pushed
         let mut s = parts.pop().unwrap().to_string();
         for p in parts.into_iter().rev() {
             s.push_str(&format!("{p:019}"));
@@ -654,8 +660,12 @@ mod tests {
     #[test]
     fn karatsuba_agrees_with_schoolbook() {
         // Operands well above the threshold.
-        let a_limbs: Vec<u64> = (0..80).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect();
-        let b_limbs: Vec<u64> = (0..75).map(|i| 0xBF58_476D_1CE4_E5B9u64.wrapping_mul(i + 3)).collect();
+        let a_limbs: Vec<u64> = (0..80)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1))
+            .collect();
+        let b_limbs: Vec<u64> = (0..75)
+            .map(|i| 0xBF58_476D_1CE4_E5B9u64.wrapping_mul(i + 3))
+            .collect();
         let a = BigUint::from_limbs(a_limbs.clone());
         let b = BigUint::from_limbs(b_limbs.clone());
         let fast = &a * &b;

@@ -21,6 +21,7 @@ impl Ratio {
     pub fn to_decimal_string(&self, digits: usize) -> String {
         // Scale to an integer: round(self · 10^digits), half-to-even.
         let pow10 = BigUint::from(10u64).pow(
+            // hetero-check: allow(expect) — a digit count beyond u32::MAX cannot be materialized as a String anyway
             u32::try_from(digits).expect("precision fits in u32"),
         );
         let scaled_num = self.numer().magnitude() * &pow10;
@@ -45,7 +46,11 @@ impl Ratio {
             ("0".to_string(), format!("{all:0>digits$}"))
         };
 
-        let sign = if self.is_negative() && !(q.is_zero()) { "-" } else { "" };
+        let sign = if self.is_negative() && !(q.is_zero()) {
+            "-"
+        } else {
+            ""
+        };
         if digits == 0 {
             format!("{sign}{int_part}")
         } else {

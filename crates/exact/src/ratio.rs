@@ -98,11 +98,16 @@ impl Ratio {
         if !v.is_finite() {
             return None;
         }
+        // hetero-check: allow(float-eq) — ±0.0 is an exact sentinel; all other doubles decompose via their bits below
         if v == 0.0 {
             return Some(Self::zero());
         }
         let bits = v.to_bits();
-        let sign = if bits >> 63 == 1 { Sign::Minus } else { Sign::Plus };
+        let sign = if bits >> 63 == 1 {
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
         let exp = ((bits >> 52) & 0x7ff) as i64;
         let frac = bits & ((1u64 << 52) - 1);
         // Significand and unbiased power-of-two exponent.
@@ -208,6 +213,7 @@ impl Ratio {
             // a single rounding overall.
             let scaled = num << 1074u64;
             let (q, r) = scaled.divrem(&self.den);
+            // hetero-check: allow(expect) — a subnormal significand is < 2^53 by the exp_est bound
             let q = q.to_u64().expect("subnormal mantissa fits in u64");
             let twice_r = &r + &r;
             let round_up = match twice_r.cmp(&self.den) {
@@ -229,12 +235,14 @@ impl Ratio {
                 num >> (-shift) as u64
             };
             let (q, r) = scaled.divrem(&self.den);
+            // hetero-check: allow(expect) — the shift is chosen so the quotient has 63–64 bits
             let mut q = q.to_u64().expect("63-64 bit quotient fits in u64");
-            let inexact = !r.is_zero() || (shift < 0 && {
-                // Bits shifted out before the division also count as sticky.
-                let back = &scaled << (-shift) as u64;
-                &back != num
-            });
+            let inexact = !r.is_zero()
+                || (shift < 0 && {
+                    // Bits shifted out before the division also count as sticky.
+                    let back = &scaled << (-shift) as u64;
+                    &back != num
+                });
             if inexact {
                 q |= 1;
             }
@@ -288,10 +296,13 @@ impl FromStr for Ratio {
             None => (rest, "1"),
         };
         let num = BigUint::parse_decimal(num_s).ok_or(ParseRatioError { what: "numerator" })?;
-        let den =
-            BigUint::parse_decimal(den_s).ok_or(ParseRatioError { what: "denominator" })?;
+        let den = BigUint::parse_decimal(den_s).ok_or(ParseRatioError {
+            what: "denominator",
+        })?;
         if den.is_zero() {
-            return Err(ParseRatioError { what: "zero denominator" });
+            return Err(ParseRatioError {
+                what: "zero denominator",
+            });
         }
         let sign = if num.is_zero() { Sign::Zero } else { sign };
         Ok(Ratio::new(BigInt::from_sign_mag(sign, num), den))
@@ -322,8 +333,8 @@ impl Add<&Ratio> for &Ratio {
     type Output = Ratio;
     fn add(self, rhs: &Ratio) -> Ratio {
         // a/b + c/d = (a·d + c·b) / (b·d), reduced by the constructor.
-        let num = &self.num * &BigInt::from(rhs.den.clone())
-            + &rhs.num * &BigInt::from(self.den.clone());
+        let num =
+            &self.num * &BigInt::from(rhs.den.clone()) + &rhs.num * &BigInt::from(self.den.clone());
         Ratio::new(num, &self.den * &rhs.den)
     }
 }
@@ -344,6 +355,8 @@ impl Mul<&Ratio> for &Ratio {
 
 impl Div<&Ratio> for &Ratio {
     type Output = Ratio;
+    // Division is multiplication by the reciprocal; the `*` is the point.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: &Ratio) -> Ratio {
         self * &rhs.recip()
     }
@@ -485,7 +498,17 @@ mod tests {
 
     #[test]
     fn f64_roundtrip_exact() {
-        for v in [0.0, 1.0, -1.0, 0.5, -0.75, 3.5, 1e-300, 123456.789, 2.0f64.powi(-1074)] {
+        for v in [
+            0.0,
+            1.0,
+            -1.0,
+            0.5,
+            -0.75,
+            3.5,
+            1e-300,
+            123456.789,
+            2.0f64.powi(-1074),
+        ] {
             let exact = Ratio::from_f64(v).unwrap();
             assert_eq!(exact.to_f64(), v, "roundtrip {v}");
         }

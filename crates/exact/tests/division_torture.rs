@@ -47,7 +47,12 @@ fn classic_add_back_triggers() {
 fn divisor_high_bit_boundaries() {
     // Normalization shifts depend on the divisor's leading zeros; probe
     // every leading-zero count at the top limb.
-    let a = BigUint::from_limbs(vec![0x0123_4567_89ab_cdef, u64::MAX, 0xfedc_ba98_7654_3210, 7]);
+    let a = BigUint::from_limbs(vec![
+        0x0123_4567_89ab_cdef,
+        u64::MAX,
+        0xfedc_ba98_7654_3210,
+        7,
+    ]);
     for shift in 0..64u64 {
         let d = BigUint::from_limbs(vec![u64::MAX, 1u64 << shift]);
         check_divrem(&a, &d);

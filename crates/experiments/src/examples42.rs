@@ -88,7 +88,16 @@ impl Section4Examples {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "§4 examples — profile statistics vs actual power",
-            &["comparison", "mean1", "mean2", "var1", "var2", "X1", "X2", "winner"],
+            &[
+                "comparison",
+                "mean1",
+                "mean2",
+                "var1",
+                "var2",
+                "X1",
+                "X2",
+                "winner",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

@@ -36,13 +36,20 @@ pub struct FifoLifo {
 /// Runs the comparison on a battery of named profiles.
 pub fn run(params: &Params, lifespan: f64) -> FifoLifo {
     let battery: Vec<(String, Profile)> = vec![
-        ("2× steps ⟨1,1/2,1/4,1/8⟩".into(),
-         Profile::new(vec![1.0, 0.5, 0.25, 0.125]).expect("valid")),
+        (
+            "2× steps ⟨1,1/2,1/4,1/8⟩".into(),
+            Profile::new(vec![1.0, 0.5, 0.25, 0.125]).expect("valid"),
+        ),
         ("harmonic n=6".into(), Profile::harmonic(6)),
         ("uniform spread n=6".into(), Profile::uniform_spread(6)),
-        ("homogeneous n=4".into(), Profile::homogeneous(4, 1.0).expect("valid")),
-        ("one fast outlier ⟨1,1,1,0.05⟩".into(),
-         Profile::new(vec![1.0, 1.0, 1.0, 0.05]).expect("valid")),
+        (
+            "homogeneous n=4".into(),
+            Profile::homogeneous(4, 1.0).expect("valid"),
+        ),
+        (
+            "one fast outlier ⟨1,1,1,0.05⟩".into(),
+            Profile::new(vec![1.0, 1.0, 1.0, 0.05]).expect("valid"),
+        ),
     ];
     let rows = battery
         .into_iter()

@@ -182,12 +182,7 @@ mod tests {
     #[test]
     fn x_increases_every_round() {
         let f = run_paper();
-        let all: Vec<f64> = f
-            .phase1
-            .iter()
-            .chain(&f.phase2)
-            .map(|s| s.step.x)
-            .collect();
+        let all: Vec<f64> = f.phase1.iter().chain(&f.phase2).map(|s| s.step.x).collect();
         for w in all.windows(2) {
             assert!(w[1] > w[0]);
         }

@@ -58,8 +58,14 @@ pub fn run_paper() -> Fleet {
     let battery = vec![
         ("harmonic n=32".to_string(), Profile::harmonic(32)),
         ("harmonic n=1024".to_string(), Profile::harmonic(1024)),
-        ("uniform spread n=32".to_string(), Profile::uniform_spread(32)),
-        ("uniform spread n=1024".to_string(), Profile::uniform_spread(1024)),
+        (
+            "uniform spread n=32".to_string(),
+            Profile::uniform_spread(32),
+        ),
+        (
+            "uniform spread n=1024".to_string(),
+            Profile::uniform_spread(1024),
+        ),
         (
             "homogeneous n=32".to_string(),
             Profile::homogeneous(32, 1.0).expect("valid"),
@@ -119,7 +125,11 @@ mod tests {
         // With identical computers, reaching x % of power needs ~x % of
         // the fleet (X is near-linear in n far from saturation).
         let f = run_paper();
-        let h = f.rows.iter().find(|r| r.name == "homogeneous n=32").unwrap();
+        let h = f
+            .rows
+            .iter()
+            .find(|r| r.name == "homogeneous n=32")
+            .unwrap();
         assert!((h.k50 as f64 - 16.0).abs() <= 1.0);
         assert!(h.k99 >= 31);
     }

@@ -69,7 +69,9 @@ pub fn render_fig2(params: &Params, profile: &Profile, lifespan: f64, width: usi
             name = row.name
         );
     }
-    out.push_str("  key: P pack  w work-xmit  u unpack  C compute  p pack-results  r result-xmit  R recv\n");
+    out.push_str(
+        "  key: P pack  w work-xmit  u unpack  C compute  p pack-results  r result-xmit  R recv\n",
+    );
     out
 }
 

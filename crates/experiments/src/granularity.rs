@@ -126,7 +126,11 @@ mod tests {
         let g = run_paper();
         for r in &g.rows {
             let per_task = r.integral_work / r.granularity;
-            assert!((per_task - per_task.round()).abs() < 1e-6, "g = {}", r.granularity);
+            assert!(
+                (per_task - per_task.round()).abs() < 1e-6,
+                "g = {}",
+                r.granularity
+            );
         }
     }
 

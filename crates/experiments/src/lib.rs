@@ -32,8 +32,8 @@
 
 pub mod examples42;
 pub mod fifo_lifo;
-pub mod fleet;
 pub mod fig34;
+pub mod fleet;
 pub mod gantt;
 pub mod granularity;
 pub mod majorization_ext;

@@ -179,7 +179,13 @@ impl MajorizationExperiment {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Extension — majorization vs the §4.3 bad pairs",
-            &["n", "comparable %", "schur violations", "incomp. accuracy %", "bad pairs"],
+            &[
+                "n",
+                "comparable %",
+                "schur violations",
+                "incomp. accuracy %",
+                "bad pairs",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

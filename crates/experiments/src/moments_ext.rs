@@ -103,7 +103,11 @@ pub fn one_trial(params: &Params, n: usize, trial_seed: u64) -> TrialScore {
     if (x1 - x2).abs() / x1.max(x2) < 1e-13 {
         return TrialScore::default();
     }
-    let truth = if x1 > x2 { Ordering::Greater } else { Ordering::Less };
+    let truth = if x1 > x2 {
+        Ordering::Greater
+    } else {
+        Ordering::Less
+    };
 
     let var_pred = predictors::predict_by_variance(pair.p1.rhos(), pair.p2.rhos());
     let skew_pred = predictors::predict_by_skewness(pair.p1.rhos(), pair.p2.rhos());
@@ -114,11 +118,8 @@ pub fn one_trial(params: &Params, n: usize, trial_seed: u64) -> TrialScore {
     };
     // Scalar heterogeneity indices as predictors: the more heterogeneous
     // cluster is predicted more powerful (the Corollary 1 intuition).
-    let by_index = |f: fn(&[f64]) -> f64| -> Ordering {
-        f(pair.p1.rhos())
-            .partial_cmp(&f(pair.p2.rhos()))
-            .unwrap_or(Ordering::Equal)
-    };
+    let by_index =
+        |f: fn(&[f64]) -> f64| -> Ordering { f(pair.p1.rhos()).total_cmp(&f(pair.p2.rhos())) };
     TrialScore {
         decided: true,
         variance: var_pred == truth,
@@ -149,7 +150,11 @@ pub fn run(config: &MomentsConfig) -> MomentsExperiment {
                 scores.iter().filter(|s| s.decided && s.gini).count(),
                 scores.iter().filter(|s| s.decided && s.entropy).count(),
             );
-            MomentRow { n, decided, correct }
+            MomentRow {
+                n,
+                decided,
+                correct,
+            }
         })
         .collect();
     MomentsExperiment {
@@ -163,7 +168,9 @@ impl MomentsExperiment {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Extension — moment predictors on equal-mean pairs (accuracy %)",
-            &["n", "decided", "variance", "skewness", "var+skew", "gini", "entropy"],
+            &[
+                "n", "decided", "variance", "skewness", "var+skew", "gini", "entropy",
+            ],
         );
         for r in &self.rows {
             let pct = |c: usize| fmt_f(100.0 * c as f64 / r.decided.max(1) as f64, 1);

@@ -51,10 +51,7 @@ pub fn run(params: &Params, profile: &Profile, lifespans: &[f64]) -> ProtocolChe
     // Theorem 1(2): permutations of the startup order.
     let last = *lifespans.last().expect("nonempty lifespans");
     let n = profile.n();
-    let mut orders: Vec<Vec<usize>> = vec![
-        (0..n).collect(),
-        (0..n).rev().collect(),
-    ];
+    let mut orders: Vec<Vec<usize>> = vec![(0..n).collect(), (0..n).rev().collect()];
     // An interleaved order as a third witness.
     let mut inter: Vec<usize> = (0..n).step_by(2).collect();
     inter.extend((1..n).step_by(2));
@@ -81,11 +78,7 @@ pub fn run(params: &Params, profile: &Profile, lifespans: &[f64]) -> ProtocolChe
 /// Default configuration: the Table 4 cluster across three lifespans.
 pub fn run_paper() -> ProtocolCheck {
     let profile = Profile::new(vec![1.0, 0.5, 1.0 / 3.0, 0.25]).expect("valid");
-    run(
-        &Params::paper_table1(),
-        &profile,
-        &[60.0, 3600.0, 86_400.0],
-    )
+    run(&Params::paper_table1(), &profile, &[60.0, 3600.0, 86_400.0])
 }
 
 impl ProtocolCheck {
@@ -93,7 +86,13 @@ impl ProtocolCheck {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Theorems 1–2 on the simulator — completed work by lifespan",
-            &["L", "simulated (FIFO)", "Theorem 2", "equal split", "∝ speed"],
+            &[
+                "L",
+                "simulated (FIFO)",
+                "Theorem 2",
+                "equal split",
+                "∝ speed",
+            ],
         );
         for &(l, sim, closed, equal, prop) in &self.rows {
             t.row(vec![

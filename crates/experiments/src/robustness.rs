@@ -221,7 +221,10 @@ mod tests {
         // The mean makespan overrun grows with ε; a deadline-bound
         // operator must shave the planned lifespan by about that factor.
         let r = run(&quick());
-        assert!((r.rows[0].mean_overrun - 1.0).abs() < 1e-9, "exact plan is exact");
+        assert!(
+            (r.rows[0].mean_overrun - 1.0).abs() < 1e-9,
+            "exact plan is exact"
+        );
         for w in r.rows.windows(2) {
             assert!(w[1].mean_overrun >= w[0].mean_overrun - 1e-9);
         }

@@ -75,7 +75,14 @@ impl Scaling {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Scaling §2.5 to n = 2¹⁶ — saturation of the X-measure",
-            &["n", "X(C1)", "X(C2)", "HECR C1", "HECR C2", "C2 % of supremum"],
+            &[
+                "n",
+                "X(C1)",
+                "X(C2)",
+                "HECR C1",
+                "HECR C2",
+                "C2 % of supremum",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

@@ -67,7 +67,14 @@ impl Table3 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Table 3 — HECRs for the sample heterogeneous clusters",
-            &["n", "C1 (ours)", "C1 (paper)", "C2 (ours)", "C2 (paper)", "C1/C2"],
+            &[
+                "n",
+                "C1 (ours)",
+                "C1 (paper)",
+                "C2 (ours)",
+                "C2 (paper)",
+                "C1/C2",
+            ],
         );
         for r in &self.rows {
             let paper = PAPER_VALUES.iter().find(|(n, _, _)| *n == r.n);
@@ -102,7 +109,10 @@ mod tests {
     fn advantage_grows_with_size() {
         let t = run_paper();
         assert!(t.rows.windows(2).all(|w| w[1].advantage > w[0].advantage));
-        assert!(t.rows.last().unwrap().advantage > 4.0, "paper: 'more than 4'");
+        assert!(
+            t.rows.last().unwrap().advantage > 4.0,
+            "paper: 'more than 4'"
+        );
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub struct Table4 {
 pub fn run(params: &Params, base: &Profile, phi: f64) -> Table4 {
     let rows = (0..base.n())
         .map(|index| {
-            let upgraded = speedup::additive_speedup(base, index, phi)
-                .expect("φ < every ρ by construction");
+            let upgraded =
+                speedup::additive_speedup(base, index, phi).expect("φ < every ρ by construction");
             let ratio = work_ratio(params, &upgraded, base);
             Table4Row {
                 index,

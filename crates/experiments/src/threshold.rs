@@ -79,7 +79,12 @@ const SHAPE_COMBOS: [(Shape, Shape); 4] = [
 ];
 
 /// One trial for a given shape combination.
-fn one_trial(params: &Params, n: usize, shapes: (Shape, Shape), trial_seed: u64) -> Option<GapSample> {
+fn one_trial(
+    params: &Params,
+    n: usize,
+    shapes: (Shape, Shape),
+    trial_seed: u64,
+) -> Option<GapSample> {
     let mut rng = rng_from_seed(trial_seed);
     let gen = EqualMeanPairGen::new(GenConfig::new(n), shapes.0, shapes.1);
     let pair = gen.sample(&mut rng)?;
@@ -221,8 +226,14 @@ mod tests {
         };
         let small = acc(&|s: &GapSample| s.gap <= mid);
         let large = acc(&|s: &GapSample| s.gap > mid);
-        assert!(large >= small, "large-gap accuracy {large} < small-gap {small}");
-        assert!((large - 1.0).abs() < 1e-12, "gaps above θ are always correct");
+        assert!(
+            large >= small,
+            "large-gap accuracy {large} < small-gap {small}"
+        );
+        assert!(
+            (large - 1.0).abs() < 1e-12,
+            "gaps above θ are always correct"
+        );
     }
 
     #[test]

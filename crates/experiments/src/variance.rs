@@ -149,7 +149,12 @@ pub fn run(config: &VarianceConfig) -> VarianceExperiment {
             // RNG streams.
             let size_seed = seed::derive(config.seed, n as u64);
             let outcomes = exec.map(&trial_ids, |_, &t| {
-                one_trial(&config.params, n, config.generator, seed::derive(size_seed, t))
+                one_trial(
+                    &config.params,
+                    n,
+                    config.generator,
+                    seed::derive(size_seed, t),
+                )
             });
             let bad = outcomes.iter().filter(|o| **o == TrialOutcome::Bad).count();
             let ties = outcomes.iter().filter(|o| **o == TrialOutcome::Tie).count();
@@ -261,7 +266,10 @@ mod tests {
         let hard = run(&cfg).rows[0].bad_fraction;
         cfg.generator = PairGenerator::DiverseShapes;
         let easy = run(&cfg).rows[0].bad_fraction;
-        assert!(easy < hard, "diverse {easy} should beat same-uniform {hard}");
+        assert!(
+            easy < hard,
+            "diverse {easy} should beat same-uniform {hard}"
+        );
         assert!(hard > 0.23 && easy < 0.23, "paper's plateau is bracketed");
     }
 

@@ -131,6 +131,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
+                // hetero-check: allow(float-eq) — exact-zero sparsity skip; any nonzero (however tiny) must multiply
                 if aik == 0.0 {
                     continue;
                 }
@@ -206,7 +207,8 @@ impl Lu {
             // Partial pivoting: largest |entry| in column k at/below row k.
             let (pivot_row, pivot_val) = (k..n)
                 .map(|r| (r, lu[(r, k)]))
-                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                // hetero-check: allow(expect) — k < n, so the range k..n is never empty
                 .expect("nonempty range");
             if pivot_val.abs() <= PIVOT_EPS * scale {
                 return Err(LinalgError::Singular { pivot: k });
@@ -282,11 +284,7 @@ mod tests {
     #[test]
     fn known_3x3_system() {
         // From any linear-algebra text: unique solution (1, 2, 3).
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let b = a.mul_vec(&[1.0, 2.0, 3.0]);
         let x = lu_solve(&a, &b).unwrap();
         for (xi, expect) in x.iter().zip([1.0, 2.0, 3.0]) {

@@ -125,8 +125,8 @@ impl Executor {
                                 break;
                             }
                             let end = (start + chunk).min(n);
-                            for i in start..end {
-                                local.push((i, f(&mut state, i, &items[i])));
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                local.push((i, f(&mut state, i, item)));
                             }
                         }
                         local
@@ -135,9 +135,11 @@ impl Executor {
                 .collect();
             handles
                 .into_iter()
+                // hetero-check: allow(expect) — join fails only if the worker panicked; re-raising is the intended behavior
                 .map(|h| h.join().expect("hetero-par worker panicked"))
                 .collect()
         })
+        // hetero-check: allow(expect) — the scope errs only when a child panicked, which must propagate
         .expect("crossbeam scope failed");
 
         // Scatter into input order.
@@ -150,6 +152,7 @@ impl Executor {
             }
         }
         out.into_iter()
+            // hetero-check: allow(expect) — the work-stealing cursor hands out each index exactly once, so every slot is filled
             .map(|r| r.expect("every index produced exactly once"))
             .collect()
     }
@@ -194,8 +197,8 @@ impl Executor {
                                 break;
                             }
                             let end = (start + chunk).min(n);
-                            for i in start..end {
-                                acc = combine(acc, f(i, &items[i]));
+                            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                                acc = combine(acc, f(i, item));
                             }
                         }
                         acc
@@ -204,11 +207,13 @@ impl Executor {
                 .collect();
             handles
                 .into_iter()
+                // hetero-check: allow(expect) — join fails only if the worker panicked; re-raising is the intended behavior
                 .map(|h| h.join().expect("hetero-par worker panicked"))
                 .collect()
         })
+        // hetero-check: allow(expect) — the scope errs only when a child panicked, which must propagate
         .expect("crossbeam scope failed");
-        partials.into_iter().fold(identity, |a, b| combine(a, b))
+        partials.into_iter().fold(identity, combine)
     }
 }
 

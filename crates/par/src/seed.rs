@@ -55,7 +55,10 @@ mod tests {
         let mut seen = HashSet::new();
         for root in 0..20u64 {
             for index in 0..200u64 {
-                assert!(seen.insert(derive(root, index)), "collision at ({root},{index})");
+                assert!(
+                    seen.insert(derive(root, index)),
+                    "collision at ({root},{index})"
+                );
             }
         }
     }
@@ -75,7 +78,10 @@ mod tests {
         let base = mix(0x1234_5678_9abc_def0);
         let flipped = mix(0x1234_5678_9abc_def1);
         let differing = (base ^ flipped).count_ones();
-        assert!((20..=44).contains(&differing), "poor avalanche: {differing}");
+        assert!(
+            (20..=44).contains(&differing),
+            "poor avalanche: {differing}"
+        );
     }
 
     #[test]

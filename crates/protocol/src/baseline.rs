@@ -47,6 +47,7 @@ pub fn weighted_plan(
             lifespan,
         };
         let run = execute(params, profile, &plan);
+        // hetero-check: allow(expect) — weights.len() == profile.n() ≥ 1 was validated above, so the run is nonempty
         run.last_arrival().expect("nonempty plan").get() <= lifespan
     };
 
@@ -123,7 +124,9 @@ mod tests {
         let profile = Profile::new(vec![1.0, 0.5, 0.25, 0.125]).unwrap();
         let lifespan = 500.0;
         let optimal = fifo_plan(&p, &profile, lifespan).unwrap().total_work();
-        let equal = equal_split_plan(&p, &profile, lifespan).unwrap().total_work();
+        let equal = equal_split_plan(&p, &profile, lifespan)
+            .unwrap()
+            .total_work();
         let prop = speed_proportional_plan(&p, &profile, lifespan)
             .unwrap()
             .total_work();
@@ -144,8 +147,13 @@ mod tests {
         let profile = Profile::homogeneous(4, 1.0).unwrap();
         let lifespan = 100.0;
         let optimal = fifo_plan(&p, &profile, lifespan).unwrap().total_work();
-        let equal = equal_split_plan(&p, &profile, lifespan).unwrap().total_work();
-        assert!((optimal - equal).abs() / optimal < 1e-3, "{optimal} vs {equal}");
+        let equal = equal_split_plan(&p, &profile, lifespan)
+            .unwrap()
+            .total_work();
+        assert!(
+            (optimal - equal).abs() / optimal < 1e-3,
+            "{optimal} vs {equal}"
+        );
     }
 
     #[test]

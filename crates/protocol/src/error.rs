@@ -36,10 +36,16 @@ impl fmt::Display for ProtocolError {
                 write!(f, "lifespan {lifespan} must be positive and finite")
             }
             ProtocolError::InvalidOrder => {
-                write!(f, "startup order must be a permutation of the computer indices")
+                write!(
+                    f,
+                    "startup order must be a permutation of the computer indices"
+                )
             }
             ProtocolError::InfeasibleOrders => {
-                write!(f, "order pair admits no gap-free schedule with positive allocations")
+                write!(
+                    f,
+                    "order pair admits no gap-free schedule with positive allocations"
+                )
             }
             ProtocolError::CommunicationBound { a_times_x } => {
                 write!(

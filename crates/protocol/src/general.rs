@@ -193,7 +193,10 @@ mod tests {
                 }
             }
         }
-        assert!(feasible >= perms.len(), "at least the FIFO pairs are feasible");
+        assert!(
+            feasible >= perms.len(),
+            "at least the FIFO pairs are feasible"
+        );
     }
 
     #[test]

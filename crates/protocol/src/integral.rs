@@ -64,7 +64,9 @@ pub fn integral_fifo_plan(
     granularity: f64,
 ) -> Result<IntegralPlan, ProtocolError> {
     if !(granularity.is_finite() && granularity > 0.0) {
-        return Err(ProtocolError::InvalidLifespan { lifespan: granularity });
+        return Err(ProtocolError::InvalidLifespan {
+            lifespan: granularity,
+        });
     }
     let divisible = fifo_plan(params, profile, lifespan)?;
     let divisible_work = divisible.total_work();
@@ -81,22 +83,19 @@ pub fn integral_fifo_plan(
             work: tasks.iter().map(|&t| t as f64 * granularity).collect(),
             lifespan,
         };
+        // hetero-check: allow(float-eq) — whole-task allocations sum to exactly 0.0 iff every task count is 0
         if plan.total_work() == 0.0 {
             return true;
         }
         let run = execute(params, profile, &plan);
-        run.last_arrival().map_or(true, |t| t.get() <= lifespan)
+        run.last_arrival().is_none_or(|t| t.get() <= lifespan)
     };
     debug_assert!(completes(&tasks), "floor-rounding keeps feasibility");
 
     // Greedy hand-back: try to add one task to each position, fastest
     // (largest allocation) first, until nothing fits.
     let mut order_by_alloc: Vec<usize> = (0..tasks.len()).collect();
-    order_by_alloc.sort_by(|&a, &b| {
-        divisible.work[b]
-            .partial_cmp(&divisible.work[a])
-            .expect("finite")
-    });
+    order_by_alloc.sort_by(|&a, &b| divisible.work[b].total_cmp(&divisible.work[a]));
     let mut progress = true;
     while progress {
         progress = false;

@@ -93,9 +93,7 @@ mod tests {
         let slow = Profile::new(vec![1.0, 0.5]).unwrap();
         let fast = Profile::new(vec![1.0, 0.25]).unwrap();
         let work = 1000.0;
-        assert!(
-            min_lifespan(&p, &fast, work).unwrap() < min_lifespan(&p, &slow, work).unwrap()
-        );
+        assert!(min_lifespan(&p, &fast, work).unwrap() < min_lifespan(&p, &slow, work).unwrap());
     }
 
     #[test]

@@ -26,13 +26,34 @@ pub struct Stage {
 pub fn fig1_stages(params: &Params, rho: f64, w: f64) -> Vec<Stage> {
     let (pi, tau, delta) = (params.pi(), params.tau(), params.delta());
     vec![
-        Stage { label: "π0·w (server packages)", duration: pi * w },
-        Stage { label: "τ·w (work transits)", duration: tau * w },
-        Stage { label: "πi·w (worker unpackages)", duration: pi * rho * w },
-        Stage { label: "ρi·w (worker computes)", duration: rho * w },
-        Stage { label: "πi·δw (worker packages)", duration: pi * rho * delta * w },
-        Stage { label: "τ·δw (results transit)", duration: tau * delta * w },
-        Stage { label: "π0·δw (server unpackages)", duration: pi * delta * w },
+        Stage {
+            label: "π0·w (server packages)",
+            duration: pi * w,
+        },
+        Stage {
+            label: "τ·w (work transits)",
+            duration: tau * w,
+        },
+        Stage {
+            label: "πi·w (worker unpackages)",
+            duration: pi * rho * w,
+        },
+        Stage {
+            label: "ρi·w (worker computes)",
+            duration: rho * w,
+        },
+        Stage {
+            label: "πi·δw (worker packages)",
+            duration: pi * rho * delta * w,
+        },
+        Stage {
+            label: "τ·δw (results transit)",
+            duration: tau * delta * w,
+        },
+        Stage {
+            label: "π0·δw (server unpackages)",
+            duration: pi * delta * w,
+        },
     ]
 }
 
@@ -57,13 +78,16 @@ pub fn gantt_rows(run: &Execution, n: usize) -> Vec<GanttRow> {
         }
     };
     let mut rows: Vec<GanttRow> = (0..=n + 1)
-        .map(|e| GanttRow { name: name_of(e), spans: Vec::new() })
+        .map(|e| GanttRow {
+            name: name_of(e),
+            spans: Vec::new(),
+        })
         .collect();
     for span in run.trace.spans() {
         rows[span.entity].spans.push(span.clone());
     }
     for row in &mut rows {
-        row.spans.sort_by(|a, b| a.start.cmp(&b.start));
+        row.spans.sort_by_key(|s| s.start);
     }
     rows
 }
@@ -91,7 +115,10 @@ mod tests {
     fn fig1_compute_stage_dominates_for_coarse_tasks() {
         let p = Params::paper_table1();
         let stages = fig1_stages(&p, 1.0, 1.0);
-        let compute = stages.iter().find(|s| s.label.contains("computes")).unwrap();
+        let compute = stages
+            .iter()
+            .find(|s| s.label.contains("computes"))
+            .unwrap();
         for s in &stages {
             if s.label != compute.label {
                 assert!(compute.duration > 100.0 * s.duration, "{}", s.label);

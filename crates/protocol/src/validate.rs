@@ -47,10 +47,7 @@ pub fn validate(_params: &Params, profile: &Profile, run: &Execution) -> Vec<Vio
     let chan = channel_entity(profile.n());
 
     // 1. Single message in transit.
-    if let Some((a, b)) = run
-        .trace
-        .find_labelled_conflict(|l| l.starts_with("xmit:"))
-    {
+    if let Some((a, b)) = run.trace.find_labelled_conflict(|l| l.starts_with("xmit:")) {
         out.push(Violation::ChannelConflict {
             labels: (a.label.clone(), b.label.clone()),
         });

@@ -76,6 +76,7 @@ where
         if next > horizon {
             break;
         }
+        // hetero-check: allow(expect) — peek_time just returned Some, and nothing pops between
         let (t, ev) = queue.pop().expect("peeked event exists");
         last = Some(t);
         handler(state, queue, t, ev);
@@ -121,7 +122,9 @@ mod tests {
             q.schedule_at(SimTime::new(f64::from(i)), i);
         }
         let mut seen = Vec::new();
-        run_until(&mut seen, &mut q, SimTime::new(4.0), |s, _, _, ev| s.push(ev));
+        run_until(&mut seen, &mut q, SimTime::new(4.0), |s, _, _, ev| {
+            s.push(ev)
+        });
         assert_eq!(seen, [0, 1, 2, 3, 4]);
         assert_eq!(q.len(), 5);
         // Boundary event at exactly the horizon is included.

@@ -52,9 +52,9 @@ impl Eq for SimTime {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime is always finite")
+        // total_cmp agrees with partial_cmp on the finite values the
+        // constructor admits, and is total by construction.
+        self.0.total_cmp(&other.0)
     }
 }
 

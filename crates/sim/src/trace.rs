@@ -48,7 +48,13 @@ impl Trace {
     ///
     /// # Panics
     /// Panics when `end < start`.
-    pub fn record(&mut self, entity: usize, label: impl Into<String>, start: SimTime, end: SimTime) {
+    pub fn record(
+        &mut self,
+        entity: usize,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
         assert!(end >= start, "span ends before it starts");
         self.spans.push(Span {
             entity,
@@ -131,9 +137,24 @@ mod tests {
 
     #[test]
     fn overlap_semantics_are_open_interval() {
-        let a = Span { entity: 0, label: "a".into(), start: t(0.0), end: t(1.0) };
-        let b = Span { entity: 0, label: "b".into(), start: t(1.0), end: t(2.0) };
-        let c = Span { entity: 0, label: "c".into(), start: t(0.5), end: t(1.5) };
+        let a = Span {
+            entity: 0,
+            label: "a".into(),
+            start: t(0.0),
+            end: t(1.0),
+        };
+        let b = Span {
+            entity: 0,
+            label: "b".into(),
+            start: t(1.0),
+            end: t(2.0),
+        };
+        let c = Span {
+            entity: 0,
+            label: "c".into(),
+            start: t(0.5),
+            end: t(1.5),
+        };
         assert!(!a.overlaps(&b)); // touching endpoints do not overlap
         assert!(a.overlaps(&c));
         assert!(c.overlaps(&b));

@@ -32,11 +32,7 @@ pub fn certify_comparison(params: &ExactParams, p1: &[Ratio], p2: &[Ratio]) -> O
 /// the paper's convention). Computers with `ρ ≤ φ` are not upgradable.
 ///
 /// Returns `None` when no computer can absorb the upgrade.
-pub fn certify_best_additive(
-    params: &ExactParams,
-    rhos: &[Ratio],
-    phi: &Ratio,
-) -> Option<usize> {
+pub fn certify_best_additive(params: &ExactParams, rhos: &[Ratio], phi: &Ratio) -> Option<usize> {
     let mut best: Option<(usize, Ratio)> = None;
     for i in 0..rhos.len() {
         let upgraded = &rhos[i] - phi;
@@ -91,16 +87,14 @@ pub fn x_homogeneous_exact(params: &ExactParams, rho: &Ratio, n: usize) -> Ratio
 ///
 /// # Panics
 /// Panics when `width` is not positive or the profile is empty.
-pub fn certify_hecr_bracket(
-    params: &ExactParams,
-    rhos: &[Ratio],
-    width: &Ratio,
-) -> (Ratio, Ratio) {
+pub fn certify_hecr_bracket(params: &ExactParams, rhos: &[Ratio], width: &Ratio) -> (Ratio, Ratio) {
     assert!(!rhos.is_empty(), "empty profile");
     assert!(width.is_positive(), "bracket width must be positive");
     let n = rhos.len();
     let target = x_exact(params, rhos);
+    // hetero-check: allow(expect) — the assert above rejects empty profiles, so min exists
     let mut lo = rhos.iter().min().expect("nonempty").clone(); // fastest
+                                                               // hetero-check: allow(expect) — the assert above rejects empty profiles, so max exists
     let mut hi = rhos.iter().max().expect("nonempty").clone(); // slowest
     debug_assert!(x_homogeneous_exact(params, &lo, n) >= target);
     debug_assert!(x_homogeneous_exact(params, &hi, n) <= target);
@@ -136,10 +130,8 @@ mod tests {
         let p1 = rational_profile(&[(1, 1), (1, 2), (1, 4)]);
         let p2 = rational_profile(&[(1, 1), (1, 3), (1, 3)]);
         let exact = certify_comparison(&ep, &p1, &p2);
-        let f1 = hetero_core::xmeasure::x_measure(
-            &fp,
-            &Profile::new(vec![1.0, 0.5, 0.25]).unwrap(),
-        );
+        let f1 =
+            hetero_core::xmeasure::x_measure(&fp, &Profile::new(vec![1.0, 0.5, 0.25]).unwrap());
         let f2 = hetero_core::xmeasure::x_measure(
             &fp,
             &Profile::new(vec![1.0, 1.0 / 3.0, 1.0 / 3.0]).unwrap(),
@@ -182,7 +174,10 @@ mod tests {
         let fast = rational_profile(&[(1, 16), (1, 16), (1, 16), (1, 16)]);
         assert_eq!(certify_best_multiplicative(&fig, &fast, &psi), Some(3));
         // Degenerate ψ values refuse.
-        assert_eq!(certify_best_multiplicative(&fig, &slow, &Ratio::one()), None);
+        assert_eq!(
+            certify_best_multiplicative(&fig, &slow, &Ratio::one()),
+            None
+        );
     }
 
     #[test]
@@ -195,10 +190,8 @@ mod tests {
             &[(1, 1), (1, 2), (1, 3), (1, 4), (1, 5)],
         ] {
             let rhos = rational_profile(fracs);
-            let f64_profile = Profile::from_unsorted(
-                rhos.iter().map(|r| r.to_f64()).collect(),
-            )
-            .unwrap();
+            let f64_profile =
+                Profile::from_unsorted(rhos.iter().map(|r| r.to_f64()).collect()).unwrap();
             let phi_exact = Ratio::from_frac(1, 100);
             let exact = certify_best_additive(&ep, &rhos, &phi_exact).unwrap();
             let float = speedup::best_additive_index(&fp, &f64_profile, 0.01).unwrap();

@@ -77,9 +77,7 @@ pub fn power_sums<T: Num>(values: &[T], max_k: usize) -> Vec<T> {
     out.push(T::from_usize(values.len()));
     let mut powers: Vec<T> = values.to_vec();
     for _ in 1..=max_k {
-        let sum = powers
-            .iter()
-            .fold(T::zero(), |acc, p| acc.add_ref(p));
+        let sum = powers.iter().fold(T::zero(), |acc, p| acc.add_ref(p));
         out.push(sum);
         for (p, v) in powers.iter_mut().zip(values) {
             *p = p.mul_ref(v);
@@ -138,8 +136,14 @@ mod tests {
         let v = [2.0, 3.0, 5.0, 7.0];
         let e = elementary_all(&v);
         assert_eq!(e[1], 17.0);
-        assert_eq!(e[2], 2.0 * 3.0 + 2.0 * 5.0 + 2.0 * 7.0 + 3.0 * 5.0 + 3.0 * 7.0 + 5.0 * 7.0);
-        assert_eq!(e[3], 2.0 * 3.0 * 5.0 + 2.0 * 3.0 * 7.0 + 2.0 * 5.0 * 7.0 + 3.0 * 5.0 * 7.0);
+        assert_eq!(
+            e[2],
+            2.0 * 3.0 + 2.0 * 5.0 + 2.0 * 7.0 + 3.0 * 5.0 + 3.0 * 7.0 + 5.0 * 7.0
+        );
+        assert_eq!(
+            e[3],
+            2.0 * 3.0 * 5.0 + 2.0 * 3.0 * 7.0 + 2.0 * 5.0 * 7.0 + 3.0 * 5.0 * 7.0
+        );
         assert_eq!(e[4], 210.0);
     }
 

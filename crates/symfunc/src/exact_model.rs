@@ -29,8 +29,11 @@ impl ExactParams {
     /// Converts a f64 [`Params`] exactly (every finite double is rational).
     pub fn from_params(p: &Params) -> Self {
         ExactParams {
+            // hetero-check: allow(expect) — Params validates τ, π, δ finite at construction
             tau: Ratio::from_f64(p.tau()).expect("params are finite"),
+            // hetero-check: allow(expect) — Params validates τ, π, δ finite at construction
             pi: Ratio::from_f64(p.pi()).expect("params are finite"),
+            // hetero-check: allow(expect) — Params validates τ, π, δ finite at construction
             delta: Ratio::from_f64(p.delta()).expect("params are finite"),
         }
     }
@@ -62,6 +65,7 @@ pub fn exact_rhos(profile: &Profile) -> Vec<Ratio> {
     profile
         .rhos()
         .iter()
+        // hetero-check: allow(expect) — Profile constructors reject non-finite speeds
         .map(|&r| Ratio::from_f64(r).expect("profile speeds are finite"))
         .collect()
 }
@@ -89,11 +93,7 @@ pub fn work_rate_exact(params: &ExactParams, rhos: &[Ratio]) -> Ratio {
 
 /// Exactly compares the power of two clusters: `Ordering::Greater` means
 /// the first completes strictly more work (larger X).
-pub fn compare_power(
-    params: &ExactParams,
-    rhos1: &[Ratio],
-    rhos2: &[Ratio],
-) -> std::cmp::Ordering {
+pub fn compare_power(params: &ExactParams, rhos1: &[Ratio], rhos2: &[Ratio]) -> std::cmp::Ordering {
     x_exact(params, rhos1).cmp(&x_exact(params, rhos2))
 }
 
@@ -137,10 +137,7 @@ mod tests {
         ] {
             let exact = x_exact(&ep, &exact_rhos(&profile)).to_f64();
             let float = xmeasure::x_measure(&fp, &profile);
-            assert!(
-                (exact - float).abs() / exact < 1e-12,
-                "{exact} vs {float}"
-            );
+            assert!((exact - float).abs() / exact < 1e-12, "{exact} vs {float}");
         }
     }
 

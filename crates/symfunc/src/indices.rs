@@ -14,12 +14,14 @@
 //! under the paper's normalization (rescaling all speeds), which is what
 //! makes them comparable across clusters measured in different units.
 
+use hetero_core::numeric::kahan_sum;
+
 /// Standard deviation divided by the mean. Zero iff homogeneous.
 pub fn coefficient_of_variation(rhos: &[f64]) -> f64 {
     assert!(!rhos.is_empty(), "index of empty profile");
     let n = rhos.len() as f64;
-    let mean = rhos.iter().sum::<f64>() / n;
-    let var = rhos.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / n;
+    let mean = kahan_sum(rhos.iter().copied()) / n;
+    let var = kahan_sum(rhos.iter().map(|r| (r - mean) * (r - mean))) / n;
     var.sqrt() / mean
 }
 
@@ -30,17 +32,14 @@ pub fn gini(rhos: &[f64]) -> f64 {
     assert!(!rhos.is_empty(), "index of empty profile");
     let n = rhos.len();
     let mut sorted = rhos.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let total: f64 = sorted.iter().sum();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let total = kahan_sum(sorted.iter().copied());
+    // hetero-check: allow(float-eq) — nonnegative speeds sum to exactly 0.0 only when all are 0; guards the 0/0 below
     if total == 0.0 {
         return 0.0;
     }
     // Gini = (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n with 1-based ranks.
-    let weighted: f64 = sorted
-        .iter()
-        .enumerate()
-        .map(|(i, x)| (i + 1) as f64 * x)
-        .sum();
+    let weighted = kahan_sum(sorted.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x));
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 
@@ -53,18 +52,15 @@ pub fn shannon_entropy_deficit(rhos: &[f64]) -> f64 {
     if n == 1 {
         return 0.0;
     }
-    let total: f64 = rhos.iter().sum();
-    let h: f64 = rhos
-        .iter()
-        .map(|r| {
-            let p = r / total;
-            if p > 0.0 {
-                -p * p.ln()
-            } else {
-                0.0
-            }
-        })
-        .sum();
+    let total = kahan_sum(rhos.iter().copied());
+    let h = kahan_sum(rhos.iter().map(|r| {
+        let p = r / total;
+        if p > 0.0 {
+            -p * p.ln()
+        } else {
+            0.0
+        }
+    }));
     1.0 - h / (n as f64).ln()
 }
 
@@ -103,7 +99,9 @@ mod tests {
     #[test]
     fn scale_invariance() {
         let scaled: Vec<f64> = WILD.iter().map(|r| r * 0.37).collect();
-        assert!((coefficient_of_variation(&WILD) - coefficient_of_variation(&scaled)).abs() < 1e-12);
+        assert!(
+            (coefficient_of_variation(&WILD) - coefficient_of_variation(&scaled)).abs() < 1e-12
+        );
         assert!((gini(&WILD) - gini(&scaled)).abs() < 1e-12);
         assert!((shannon_entropy_deficit(&WILD) - shannon_entropy_deficit(&scaled)).abs() < 1e-12);
         assert!((speed_range_ratio(&WILD) - speed_range_ratio(&scaled)).abs() < 1e-9);

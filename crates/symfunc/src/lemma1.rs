@@ -180,14 +180,22 @@ mod tests {
 
     #[test]
     fn beta_closed_form() {
-        let fp = FieldParams { a: 2.0f64, b: 3.0, tau_delta: 1.0 };
+        let fp = FieldParams {
+            a: 2.0f64,
+            b: 3.0,
+            tau_delta: 1.0,
+        };
         // n = 3: β = [A³, BA², B²A, B³] = [8, 12, 18, 27].
         assert_eq!(beta_coefficients(&fp, 3), vec![8.0, 12.0, 18.0, 27.0]);
     }
 
     #[test]
     fn alpha_closed_form_small() {
-        let fp = FieldParams { a: 2.0f64, b: 3.0, tau_delta: 1.0 };
+        let fp = FieldParams {
+            a: 2.0f64,
+            b: 3.0,
+            tau_delta: 1.0,
+        };
         // n = 2: α_0 = A + τδ = 3, α_1 = B = 3.
         assert_eq!(alpha_coefficients(&fp, 2), vec![3.0, 3.0]);
         // n = 3: α_0 = A² + A·τδ + τδ² = 7, α_1 = B(A + τδ) = 9, α_2 = B² = 9.
@@ -217,7 +225,9 @@ mod tests {
         let (i, j) = (1usize, 3usize);
         let alphas = alpha_coefficients(&fp, n);
         let betas = beta_coefficients(&fp, n);
-        let diff = alphas[i].mul_ref(&betas[j]).sub_ref(&alphas[j].mul_ref(&betas[i]));
+        let diff = alphas[i]
+            .mul_ref(&betas[j])
+            .sub_ref(&alphas[j].mul_ref(&betas[i]));
         let mut expect = Ratio::zero();
         for k in (n - j)..=(n - 1 - i) {
             let term = pow(&fp.a, 2 * n - 1 - k - i - j).mul_ref(&pow(&fp.tau_delta, k));

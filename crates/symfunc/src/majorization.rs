@@ -28,13 +28,17 @@ use crate::Num;
 /// # Panics
 /// Panics when the slices have different lengths.
 pub fn majorizes<T: Num>(x: &[T], y: &[T]) -> bool {
-    assert_eq!(x.len(), y.len(), "majorization compares equal-length vectors");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "majorization compares equal-length vectors"
+    );
     if x.is_empty() {
         return true;
     }
     let desc = |v: &[T]| -> Vec<T> {
         let mut s = v.to_vec();
-        s.sort_by(|a, b| b.partial_cmp(a).expect("totally ordered"));
+        s.sort_by(|a, b| b.total_cmp_ref(a));
         s
     };
     let (xs, ys) = (desc(x), desc(y));
@@ -58,7 +62,7 @@ pub fn strictly_majorizes<T: Num>(x: &[T], y: &[T]) -> bool {
     }
     let desc = |v: &[T]| -> Vec<T> {
         let mut s = v.to_vec();
-        s.sort_by(|a, b| b.partial_cmp(a).expect("totally ordered"));
+        s.sort_by(|a, b| b.total_cmp_ref(a));
         s
     };
     desc(x) != desc(y)
@@ -88,7 +92,11 @@ pub fn robin_hood_transfer<T: Num>(v: &[T], amount: &T) -> Vec<T> {
     }
     let gap = out[hi].sub_ref(&out[lo]);
     let half_gap = gap.div_ref(&T::from_usize(2));
-    let step = if *amount < half_gap { amount.clone() } else { half_gap };
+    let step = if *amount < half_gap {
+        amount.clone()
+    } else {
+        half_gap
+    };
     out[hi] = out[hi].sub_ref(&step);
     out[lo] = out[lo].add_ref(&step);
     out
@@ -115,6 +123,19 @@ mod tests {
         assert!(!majorizes(&c, &b) && !majorizes(&b, &a));
         // Order-insensitive.
         assert!(majorizes(&[0.0, 0.0, 3.0], &[1.0, 0.0, 2.0]));
+    }
+
+    #[test]
+    fn signed_zeros_do_not_break_the_sort() {
+        // The descending sort inside majorizes() uses the total order, so
+        // vectors mixing -0.0 and +0.0 compare deterministically (they are
+        // numerically equal, and -0.0 == 0.0 holds for the sum check).
+        assert!(majorizes(&[1.0, -0.0, 0.0], &[0.0, 1.0, -0.0]));
+        // -0.0 and +0.0 are numerically equal, so this pair is not strict.
+        assert!(!strictly_majorizes(&[1.0, -0.0], &[1.0, 0.0]));
+        // Reflexivity survives signed zeros.
+        let v = [0.5, -0.0, 0.5];
+        assert!(majorizes(&v, &v));
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub fn kurtosis_excess(values: &[f64]) -> f64 {
 /// stability at large `n`.
 pub fn geometric_mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geometric mean of empty slice");
-    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    let log_sum = hetero_core::numeric::kahan_sum(values.iter().map(|v| v.ln()));
     (log_sum / values.len() as f64).exp()
 }
 
@@ -138,14 +138,23 @@ mod tests {
     #[test]
     fn central_moments() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert!((central_moment(&v, 1)).abs() < 1e-15, "first central moment is 0");
+        assert!(
+            (central_moment(&v, 1)).abs() < 1e-15,
+            "first central moment is 0"
+        );
         assert!((central_moment(&v, 2) - 1.25).abs() < 1e-15);
     }
 
     #[test]
     fn skewness_signs() {
-        assert!(skewness(&[0.1, 0.1, 0.1, 1.0]) > 0.5, "right tail → positive");
-        assert!(skewness(&[1.0, 1.0, 1.0, 0.1]) < -0.5, "left tail → negative");
+        assert!(
+            skewness(&[0.1, 0.1, 0.1, 1.0]) > 0.5,
+            "right tail → positive"
+        );
+        assert!(
+            skewness(&[1.0, 1.0, 1.0, 0.1]) < -0.5,
+            "left tail → negative"
+        );
         let sym = [0.2, 0.5, 0.8];
         assert!(skewness(&sym).abs() < 1e-12);
         assert_eq!(skewness(&[0.4, 0.4]), 0.0, "degenerate variance → 0");

@@ -23,6 +23,10 @@ pub trait Num: Clone + PartialEq + PartialOrd {
     fn div_ref(&self, other: &Self) -> Self;
     /// Embeds a small nonnegative integer.
     fn from_usize(v: usize) -> Self;
+    /// A *total* order suitable for sorting: `f64` uses IEEE 754
+    /// `total_cmp` (never panics, orders NaN deterministically), exact
+    /// types their `Ord`.
+    fn total_cmp_ref(&self, other: &Self) -> std::cmp::Ordering;
 }
 
 impl Num for f64 {
@@ -46,6 +50,9 @@ impl Num for f64 {
     }
     fn from_usize(v: usize) -> Self {
         v as f64
+    }
+    fn total_cmp_ref(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_cmp(other)
     }
 }
 
@@ -71,6 +78,9 @@ impl Num for Ratio {
     fn from_usize(v: usize) -> Self {
         Ratio::from_int(v as i64)
     }
+    fn total_cmp_ref(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp(other)
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +94,8 @@ mod tests {
         assert_eq!(two.mul_ref(&two), T::from_usize(4));
         assert_eq!(T::from_usize(4).div_ref(&two), two);
         assert!(T::zero() < T::one());
+        assert_eq!(T::zero().total_cmp_ref(&T::one()), std::cmp::Ordering::Less);
+        assert_eq!(two.total_cmp_ref(&two), std::cmp::Ordering::Equal);
     }
 
     #[test]

@@ -35,7 +35,11 @@ use crate::Num;
 /// Panics when the profiles have different sizes (the system compares
 /// same-`n` clusters).
 pub fn prop3_dominates<T: Num>(p1: &[T], p2: &[T]) -> bool {
-    assert_eq!(p1.len(), p2.len(), "Proposition 3 compares equal-size clusters");
+    assert_eq!(
+        p1.len(),
+        p2.len(),
+        "Proposition 3 compares equal-size clusters"
+    );
     let f1 = elementary_all(p1);
     let f2 = elementary_all(p2);
     let n = p1.len();
@@ -93,7 +97,7 @@ pub fn predict_by_mean<T: Num>(p1: &[T], p2: &[T]) -> Ordering {
 pub fn predict_by_skewness(p1: &[f64], p2: &[f64]) -> Ordering {
     let s1 = moments::skewness(p1);
     let s2 = moments::skewness(p2);
-    s1.partial_cmp(&s2).unwrap_or(Ordering::Equal)
+    s1.total_cmp(&s2)
 }
 
 /// Theorem 5(1) as a checkable implication: if `p1` and `p2` share a mean
@@ -200,7 +204,10 @@ mod tests {
     fn skewness_predictor_orders() {
         let fast_heavy = [1.0f64, 0.2, 0.2, 0.2]; // long slow tail → positive skew
         let slow_heavy = [1.0f64, 1.0, 1.0, 0.2];
-        assert_eq!(predict_by_skewness(&fast_heavy, &slow_heavy), Ordering::Greater);
+        assert_eq!(
+            predict_by_skewness(&fast_heavy, &slow_heavy),
+            Ordering::Greater
+        );
     }
 
     #[test]

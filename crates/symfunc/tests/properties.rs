@@ -55,7 +55,7 @@ proptest! {
         let half = &sum1 / &Ratio::from_int(2);
         let e = &half * &Ratio::new(
             hetero_exact::BigInt::from(i64::try_from(c.min(d)).unwrap()),
-            hetero_exact::BigUint::from(u64::from(c.max(d).max(1)) + c.min(d)),
+            hetero_exact::BigUint::from(c.max(d).max(1) + c.min(d)),
         );
         let p2 = vec![&half + &e, &half - &e];
         prop_assume!(p2[1].is_positive());

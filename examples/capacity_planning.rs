@@ -36,7 +36,10 @@ fn main() {
                 farm.rho(i),
                 work_ratio(&params, &upgraded, &farm)
             ),
-            Err(_) => println!("  upgrade node {i} (ρ = {:.2}): not possible (ρ ≤ φ)", farm.rho(i)),
+            Err(_) => println!(
+                "  upgrade node {i} (ρ = {:.2}): not possible (ρ ≤ φ)",
+                farm.rho(i)
+            ),
         }
     }
     let best = best_additive_index(&params, &farm, phi).expect("some node upgradable");

@@ -47,7 +47,7 @@ fn main() {
             cluster.rho(i),
             new_l / 3600.0
         );
-        if best.map_or(true, |(_, s)| saved_min > s) {
+        if best.is_none_or(|(_, s)| saved_min > s) {
             best = Some((i, saved_min));
         }
     }
@@ -58,8 +58,6 @@ fn main() {
     // Duality sanity: running the CEP for the computed lifespan returns
     // exactly the batch size.
     let cep_work = hetero_core::xmeasure::work(&params, &cluster, lifespan);
-    println!(
-        "\nduality check: CEP({lifespan:.0} s) completes {cep_work:.1} units (= batch)."
-    );
+    println!("\nduality check: CEP({lifespan:.0} s) completes {cep_work:.1} units (= batch).");
     assert!((cep_work - batch).abs() / batch < 1e-10);
 }

@@ -58,7 +58,10 @@ fn main() {
     let plan = alloc::fifo_plan(&params, &fleet, lifespan).expect("valid plan");
     let run = exec::execute(&params, &fleet, &plan);
     let violations = validate::validate(&params, &fleet, &run);
-    assert!(violations.is_empty(), "protocol invariants hold: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "protocol invariants hold: {violations:?}"
+    );
 
     let total = run.work_completed_by(lifespan);
     println!(
@@ -68,12 +71,9 @@ fn main() {
     );
 
     // Per-volunteer assignments: fastest gets the most, slowest the least.
-    let mut assignments: Vec<(usize, f64)> = plan
-        .order
-        .iter()
-        .map(|&i| (i, plan.work_for(i)))
-        .collect();
-    assignments.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mut assignments: Vec<(usize, f64)> =
+        plan.order.iter().map(|&i| (i, plan.work_for(i))).collect();
+    assignments.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top volunteers by assignment:");
     for &(i, w) in assignments.iter().take(3) {
         println!("  volunteer {i:2} (ρ = {:.3}) ← {w:.0} units", fleet.rho(i));

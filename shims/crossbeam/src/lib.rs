@@ -1,0 +1,97 @@
+//! Offline shim for `crossbeam`: only `crossbeam::thread::scope` and
+//! `Scope::spawn`, layered over `std::thread::scope` (stable since Rust
+//! 1.63). The spawned closure receives a `&Scope` argument for API
+//! parity with crossbeam; panics in workers propagate when joined, and
+//! `scope` itself returns `Ok` unless the closure panics (matching how
+//! the workspace uses the `Result`).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle; spawned threads may borrow from the enclosing
+    /// environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope (so it
+        /// can spawn further threads, as in crossbeam).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-environment threads can be
+    /// spawned; all are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    let data = &data;
+                    scope.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        data[i]
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<usize>()
+        })
+        .expect("scope runs");
+        assert_eq!(total, 10);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panics_surface_on_join() {
+        let caught = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .expect("scope itself survives");
+        assert!(caught);
+    }
+}

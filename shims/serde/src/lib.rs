@@ -1,0 +1,13 @@
+//! Offline shim for `serde`: the workspace only *derives* `Serialize` /
+//! `Deserialize` (no serializer is ever instantiated), so the traits are
+//! markers and the derives expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

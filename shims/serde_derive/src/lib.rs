@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the serde shim: the
+//! workspace derives the traits but never serializes, so expanding to an
+//! empty token stream is sufficient.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (the shim trait has no items to implement).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (the shim trait has no items to implement).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

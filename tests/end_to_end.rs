@@ -29,7 +29,10 @@ fn generate_measure_plan_execute_validate() {
         let run = exec::execute(&params, &fleet, &plan);
 
         // Validate invariants and Theorem 2 agreement.
-        assert!(validate::validate(&params, &fleet, &run).is_empty(), "n = {n}");
+        assert!(
+            validate::validate(&params, &fleet, &run).is_empty(),
+            "n = {n}"
+        );
         let done = run.work_completed_by(lifespan);
         let closed = xmeasure::work(&params, &fleet, lifespan);
         assert!((done - closed).abs() / closed < 1e-9, "n = {n}");

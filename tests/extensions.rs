@@ -52,14 +52,19 @@ fn certified_hecr_bracket_sandwiches_both_f64_implementations() {
     let exact_params = ExactParams::from_params(&params);
     let cluster = Profile::new(vec![1.0, 0.5, 1.0 / 3.0]).unwrap();
     let rhos = hetero_symfunc::exact_model::exact_rhos(&cluster);
-    let (lo, hi) = certify::certify_hecr_bracket(&exact_params, &rhos, &Ratio::from_frac(1, 10_000_000));
+    let (lo, hi) =
+        certify::certify_hecr_bracket(&exact_params, &rhos, &Ratio::from_frac(1, 10_000_000));
     let closed = hetero_core::hecr::hecr(&params, &cluster).unwrap();
     let bisect = hetero_core::hecr::hecr_bisect(&params, &cluster, 1e-12);
     for v in [closed, bisect] {
         assert!(lo.to_f64() - 1e-7 <= v && v <= hi.to_f64() + 1e-7);
     }
     // Render the certified bounds exactly — no float in the loop.
-    let report = format!("ρ_C ∈ [{}, {}]", lo.to_decimal_string(8), hi.to_decimal_string(8));
+    let report = format!(
+        "ρ_C ∈ [{}, {}]",
+        lo.to_decimal_string(8),
+        hi.to_decimal_string(8)
+    );
     assert!(report.contains("ρ_C ∈ [0."));
 }
 

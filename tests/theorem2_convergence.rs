@@ -20,9 +20,7 @@ fn simulated_work_equals_closed_form_across_lifespans() {
             "L = {lifespan}: simulated {done} vs closed {closed}"
         );
         // And the rate W/L is lifespan-independent.
-        assert!(
-            (done / lifespan - xmeasure::work_rate(&params, &profile)).abs() < 1e-9,
-        );
+        assert!((done / lifespan - xmeasure::work_rate(&params, &profile)).abs() < 1e-9,);
     }
 }
 

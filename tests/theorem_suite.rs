@@ -149,7 +149,10 @@ fn theorem5_part1_dominance_with_equal_means_forces_variance_order() {
         let p2: Vec<Ratio> = p2.iter().map(|&(n, d)| Ratio::from_frac(n, d)).collect();
         assert_eq!(moments::mean(&p1), moments::mean(&p2));
         assert!(predictors::prop3_dominates(&p1, &p2));
-        assert!(moments::variance(&p1) > moments::variance(&p2), "Theorem 5(1)");
+        assert!(
+            moments::variance(&p1) > moments::variance(&p2),
+            "Theorem 5(1)"
+        );
     }
 }
 

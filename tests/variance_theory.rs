@@ -2,9 +2,9 @@
 //! predictor's exactness at n = 2, its degradation at larger n, and the
 //! threshold structure.
 
+use hetero_core::Params;
 use hetero_experiments::threshold::{self, ThresholdConfig};
 use hetero_experiments::variance::{self, PairGenerator, TrialOutcome, VarianceConfig};
-use hetero_core::Params;
 
 #[test]
 fn n2_biconditional_over_many_seeds() {
@@ -85,9 +85,24 @@ fn threshold_separates_errors_from_large_gaps() {
         let n = it.len() as f64;
         it.iter().sum::<f64>() / n
     };
-    let err_gaps = mean(e.samples.iter().filter(|s| !s.correct).map(|s| s.gap).collect());
-    let ok_gaps = mean(e.samples.iter().filter(|s| s.correct).map(|s| s.gap).collect());
-    assert!(err_gaps < ok_gaps, "errors are small-gap: {err_gaps} vs {ok_gaps}");
+    let err_gaps = mean(
+        e.samples
+            .iter()
+            .filter(|s| !s.correct)
+            .map(|s| s.gap)
+            .collect(),
+    );
+    let ok_gaps = mean(
+        e.samples
+            .iter()
+            .filter(|s| s.correct)
+            .map(|s| s.gap)
+            .collect(),
+    );
+    assert!(
+        err_gaps < ok_gaps,
+        "errors are small-gap: {err_gaps} vs {ok_gaps}"
+    );
 }
 
 #[test]
