@@ -1,0 +1,59 @@
+//! Bench — greedy upgrade rounds at growing n: the xengine-backed
+//! `greedy_multiplicative` versus the pre-engine from-scratch candidate
+//! rescan it replaced (re-sort + full re-evaluation per candidate).
+//!
+//! The before/after pair at each size feeds `BENCH_pr2.json`; the
+//! acceptance bar is ≥5× at n = 16384.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::xmeasure::x_measure_of_rhos;
+use hetero_core::{speedup, Params, Profile};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [64, 1024, 16_384];
+const PSI: f64 = 0.5;
+
+/// One greedy round exactly as implemented before the xengine: per
+/// candidate, copy the speeds, apply the upgrade, re-sort, re-evaluate.
+fn from_scratch_round(params: &Params, speeds: &[f64]) -> (usize, f64) {
+    let mut sorted = vec![0.0f64; speeds.len()];
+    let mut best: Option<(usize, f64)> = None;
+    for j in 0..speeds.len() {
+        sorted.copy_from_slice(speeds);
+        sorted[j] *= PSI;
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let x = x_measure_of_rhos(params, &sorted);
+        match best {
+            Some((_, bx)) if x < bx => {}
+            _ => best = Some((j, x)),
+        }
+    }
+    best.expect("nonempty cluster")
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    let mut group = c.benchmark_group("greedy/incremental_round");
+    group.sample_size(10);
+    for n in SIZES {
+        let speeds = Profile::harmonic(n).rhos().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(speedup::greedy_multiplicative(&params, &speeds, PSI, 1).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("greedy/from_scratch_round");
+    group.sample_size(3);
+    for n in SIZES {
+        let speeds = Profile::harmonic(n).rhos().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(from_scratch_round(&params, &speeds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench — the incremental xengine's O(1) replacement query against a
+//! from-scratch `x_measure_of_rhos` re-evaluation, across cluster sizes.
+//!
+//! The query cost must be flat in n while the from-scratch baseline grows
+//! linearly; the ratio at n = 16384 is the headline number recorded in
+//! `BENCH_pr2.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::xengine::XScan;
+use hetero_core::xmeasure::x_measure_of_rhos;
+use hetero_core::{Params, Profile};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [64, 1024, 16_384];
+
+fn bench_replace(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    let mut group = c.benchmark_group("xengine/replace_o1");
+    for n in SIZES {
+        let scan = XScan::from_profile(&params, &Profile::harmonic(n));
+        let k = n / 2;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(scan.replace(black_box(k), black_box(0.123)).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("xengine/replace_scratch_baseline");
+    for n in SIZES {
+        let mut rhos = Profile::harmonic(n).rhos().to_vec();
+        let k = n / 2;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                rhos[k] = black_box(0.123);
+                black_box(x_measure_of_rhos(&params, &rhos))
+            })
+        });
+    }
+    group.finish();
+
+    // The O(n) accepted-upgrade path and the O(n) one-time build.
+    let mut group = c.benchmark_group("xengine/commit");
+    for n in SIZES {
+        let mut scan = XScan::from_profile(&params, &Profile::harmonic(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                scan.commit(black_box(n / 2), black_box(0.123)).unwrap();
+                black_box(scan.x())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replace);
+criterion_main!(benches);

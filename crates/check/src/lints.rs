@@ -50,6 +50,7 @@ const ANCHOR_FILES: &[&str] = &[
     "crates/core/src/xmeasure.rs",
     "crates/core/src/hecr.rs",
     "crates/core/src/speedup.rs",
+    "crates/core/src/xengine.rs",
 ];
 
 /// Classifies a forward-slash path relative to the workspace root.

@@ -19,7 +19,10 @@
 //!   moments [--trials N]    extension: scoring moment + index predictors
 //!   lifo                    Theorem 1 quantified: FIFO vs LIFO vs heuristics
 //!   sensitivity             extension: τ sweep across the three regimes
-//!   scaling                 extension: §2.5 families up to n = 2¹⁶
+//!   scaling [--bench-scaling] [--trials R] [--max-n N]
+//!                           extension: §2.5 families up to n = 2¹⁶; with
+//!                           --bench-scaling, time greedy rounds at growing
+//!                           n (incremental xengine vs from-scratch)
 //!   majorize-ext [--trials N] [--seed S]
 //!                           extension: majorization explains the bad pairs
 //!   granularity             extension: integral-task quantization cost
@@ -46,6 +49,7 @@ struct Opts {
     max_n: Option<usize>,
     seed: Option<u64>,
     hard: bool,
+    bench_scaling: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -55,12 +59,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_n: None,
         seed: None,
         hard: false,
+        bench_scaling: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => opts.csv = true,
             "--hard" => opts.hard = true,
+            "--bench-scaling" => opts.bench_scaling = true,
             "--trials" => {
                 let v = it.next().ok_or("--trials needs a value")?;
                 opts.trials = Some(v.parse().map_err(|_| format!("bad --trials {v}"))?);
@@ -161,6 +167,27 @@ fn cmd_threshold(opts: &Opts) {
     );
 }
 
+fn bench_sizes(max_n: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut n = 64;
+    while n <= max_n {
+        sizes.push(n);
+        n *= 4;
+    }
+    if sizes.last() != Some(&max_n) && max_n >= 64 {
+        sizes.push(max_n);
+    }
+    sizes
+}
+
+fn cmd_bench_scaling(opts: &Opts) {
+    let sizes = bench_sizes(opts.max_n.unwrap_or(16_384).max(64));
+    let rounds = opts.trials.unwrap_or(8);
+    let rows = scaling::greedy_bench(&Params::paper_table1(), &sizes, rounds);
+    print_table(&scaling::greedy_bench_table(&rows), opts.csv);
+    println!("(per-round time of the xengine-backed greedy vs re-evaluating every candidate from scratch)");
+}
+
 fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
     match cmd {
         "params" => cmd_params(opts),
@@ -205,7 +232,13 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             print_table(&robustness::run(&cfg).table(), opts.csv);
         }
         "sensitivity" => print_table(&sensitivity::run_paper().table(), opts.csv),
-        "scaling" => print_table(&scaling::run_paper().table(), opts.csv),
+        "scaling" => {
+            if opts.bench_scaling {
+                cmd_bench_scaling(opts);
+            } else {
+                print_table(&scaling::run_paper().table(), opts.csv)
+            }
+        }
         "majorize-ext" => {
             let cfg = majorization_ext::MajorizationConfig {
                 trials: opts.trials.unwrap_or(2000),
@@ -265,7 +298,7 @@ fn main() -> ExitCode {
              protocol gantt moments lifo sensitivity scaling majorize-ext \
              granularity robustness fleet all"
         );
-        println!("options:  --csv --trials N --max-n N --seed S --hard");
+        println!("options:  --csv --trials N --max-n N --seed S --hard --bench-scaling");
         return ExitCode::SUCCESS;
     }
     let opts = match parse_opts(rest) {
@@ -291,23 +324,51 @@ mod tests {
     #[test]
     fn parse_opts_defaults() {
         let o = parse_opts(&[]).unwrap();
-        assert!(!o.csv && !o.hard);
+        assert!(!o.csv && !o.hard && !o.bench_scaling);
         assert!(o.trials.is_none() && o.max_n.is_none() && o.seed.is_none());
     }
 
     #[test]
     fn parse_opts_all_flags() {
         let args: Vec<String> = [
-            "--csv", "--hard", "--trials", "42", "--max-n", "128", "--seed", "7",
+            "--csv",
+            "--hard",
+            "--bench-scaling",
+            "--trials",
+            "42",
+            "--max-n",
+            "128",
+            "--seed",
+            "7",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         let o = parse_opts(&args).unwrap();
-        assert!(o.csv && o.hard);
+        assert!(o.csv && o.hard && o.bench_scaling);
         assert_eq!(o.trials, Some(42));
         assert_eq!(o.max_n, Some(128));
         assert_eq!(o.seed, Some(7));
+    }
+
+    #[test]
+    fn bench_sizes_grow_to_and_include_max() {
+        assert_eq!(bench_sizes(16_384), vec![64, 256, 1024, 4096, 16_384]);
+        assert_eq!(bench_sizes(100), vec![64, 100]);
+        assert_eq!(bench_sizes(64), vec![64]);
+    }
+
+    #[test]
+    fn bench_scaling_command_runs() {
+        let opts = Opts {
+            csv: true,
+            trials: Some(1),
+            max_n: Some(64),
+            seed: None,
+            hard: false,
+            bench_scaling: true,
+        };
+        run_command("scaling", &opts).unwrap();
     }
 
     #[test]
@@ -331,6 +392,7 @@ mod tests {
             max_n: Some(8),
             seed: Some(1),
             hard: false,
+            bench_scaling: false,
         };
         for c in [
             "params",

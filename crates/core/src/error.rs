@@ -41,6 +41,14 @@ pub enum ModelError {
         /// The profile size.
         n: usize,
     },
+    /// An exhaustive subset search was asked to enumerate more subsets
+    /// than it can address.
+    SubsetSearchTooLarge {
+        /// The requested cluster size.
+        n: usize,
+        /// The largest supported cluster size.
+        max: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -69,6 +77,12 @@ impl fmt::Display for ModelError {
                     "computer index {index} out of range for an {n}-computer cluster"
                 )
             }
+            ModelError::SubsetSearchTooLarge { n, max } => {
+                write!(
+                    f,
+                    "exhaustive subset search supports at most {max} computers, got {n}"
+                )
+            }
         }
     }
 }
@@ -89,5 +103,8 @@ mod tests {
         let e = ModelError::IndexOutOfRange { index: 9, n: 4 };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
+        let e = ModelError::SubsetSearchTooLarge { n: 80, max: 63 };
+        assert!(e.to_string().contains("80"));
+        assert!(e.to_string().contains("63"));
     }
 }

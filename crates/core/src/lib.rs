@@ -34,6 +34,9 @@
 //!   generates the paper's Figures 3–4.
 //! * [`selection`] — cluster composition: optimal sub-clusters, marginal
 //!   gains, and fleet sizing against the X-measure's saturation.
+//! * [`xengine`] — the incremental X-measure engine: prefix/suffix
+//!   decomposition of the Theorem 2 sum for O(1) single-ρ what-if
+//!   evaluation, powering the optimization loops above.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@ pub mod hecr;
 pub mod numeric;
 pub mod selection;
 pub mod speedup;
+pub mod xengine;
 pub mod xmeasure;
 
 pub use error::ModelError;

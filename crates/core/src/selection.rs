@@ -6,10 +6,17 @@
 //! `k` fastest computers (sort both subsets — each rank of the fastest-`k`
 //! subset is at least as fast), so by minorization the **`k` fastest are
 //! always an optimal `k`-subset**. [`best_k_subset`] verifies that claim
-//! empirically by exhaustive search (for testing); [`marginal_gains`]
-//! quantifies the diminishing returns that the X-measure's saturation at
-//! `1/(A−τδ)` imposes; [`smallest_fleet_for`] inverts the curve.
+//! empirically by exhaustive search over a Gray-code subset walk (for
+//! testing); [`marginal_gains`] quantifies the diminishing returns that
+//! the X-measure's saturation at `1/(A−τδ)` imposes; [`smallest_fleet_for`]
+//! inverts the curve. The fleet-curve functions read all `n` sub-cluster
+//! X-values off one backward [`XScan`](crate::xengine::XScan) suffix scan
+//! instead of `n` full evaluations.
 
+use std::cmp::Ordering;
+
+use crate::numeric::KahanSum;
+use crate::xengine::XScan;
 use crate::xmeasure::{x_measure_of_rhos, x_supremum};
 use crate::{ModelError, Params, Profile};
 
@@ -27,44 +34,105 @@ pub fn fastest_k(profile: &Profile, k: usize) -> Result<Profile, ModelError> {
     Profile::new(profile.rhos()[profile.n() - k..].to_vec())
 }
 
-/// Exhaustively finds a `k`-subset maximizing X (first-found among ties).
-/// Exponential — for tests and small clusters only.
+/// The largest cluster [`best_k_subset`] can enumerate (its subset masks
+/// are `u64` bit-sets).
+pub const MAX_SUBSET_SEARCH_N: usize = 63;
+
+/// Exhaustively finds a `k`-subset maximizing X (smallest mask — i.e.
+/// first in ascending-mask order — among exact ties). Exponential — for
+/// tests and small clusters only; clusters beyond
+/// [`MAX_SUBSET_SEARCH_N`] return [`ModelError::SubsetSearchTooLarge`].
+///
+/// The walk follows a binary-reflected Gray code, so consecutive subsets
+/// differ in one element: a stack of per-element prefix states
+/// (compensated partial sum plus prefix product) is patched from the
+/// toggled element onward, making each subset's X cost amortized O(1)
+/// instead of O(n). Mapping the counter's most-toggled bit to the *last*
+/// element keeps the patch short. Each visited subset's value is produced
+/// by exactly the operation sequence of
+/// [`x_measure_of_rhos`](crate::xmeasure::x_measure_of_rhos) over its
+/// elements in ascending index order, so results — including tie
+/// resolution — are bit-identical to the straightforward per-mask rescan.
 pub fn best_k_subset(params: &Params, profile: &Profile, k: usize) -> Result<Profile, ModelError> {
-    if k == 0 || k > profile.n() {
-        return Err(ModelError::IndexOutOfRange {
-            index: k,
-            n: profile.n(),
+    let n = profile.n();
+    if k == 0 || k > n {
+        return Err(ModelError::IndexOutOfRange { index: k, n });
+    }
+    if n > MAX_SUBSET_SEARCH_N {
+        return Err(ModelError::SubsetSearchTooLarge {
+            n,
+            max: MAX_SUBSET_SEARCH_N,
         });
     }
-    let n = profile.n();
-    assert!(n <= 20, "exhaustive subset search is for small clusters");
-    let mut best: Option<(f64, Vec<f64>)> = None;
-    for mask in 0u32..(1 << n) {
-        if mask.count_ones() as usize != k {
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let d: Vec<f64> = profile.rhos().iter().map(|&rho| b * rho + a).collect();
+    let r: Vec<f64> = profile
+        .rhos()
+        .iter()
+        .zip(&d)
+        .map(|(&rho, &denom)| (b * rho + td) / denom)
+        .collect();
+    // Level j holds the (sum, product) state after elements 0..j of the
+    // current subset, exactly as x_measure_of_rhos would leave them.
+    let mut included = vec![false; n];
+    let mut sums = vec![KahanSum::new(); n + 1];
+    let mut prods = vec![1.0f64; n + 1];
+    let mut mask = 0u64;
+    let mut count = 0usize;
+    let mut best: Option<(f64, u64)> = None;
+    for i in 1..(1u64 << n) {
+        // Binary-reflected Gray step i toggles counter bit tz(i); mapping
+        // it to element n−1−tz(i) means the cheapest (last) element
+        // toggles every other step.
+        let e = n - 1 - i.trailing_zeros() as usize;
+        included[e] = !included[e];
+        mask ^= 1u64 << e;
+        count = if included[e] { count + 1 } else { count - 1 };
+        for j in e..n {
+            let mut sum = sums[j];
+            let mut prod = prods[j];
+            if included[j] {
+                sum.add(prod / d[j]);
+                prod *= r[j];
+            }
+            sums[j + 1] = sum;
+            prods[j + 1] = prod;
+        }
+        if count != k {
             continue;
         }
-        let rhos: Vec<f64> = (0..n)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| profile.rho(i))
-            .collect();
-        let x = x_measure_of_rhos(params, &rhos);
-        match &best {
-            Some((bx, _)) if x <= *bx => {}
-            _ => best = Some((x, rhos)),
+        let x = sums[n].value();
+        let better = match best {
+            None => true,
+            Some((bx, bmask)) => x > bx || (x.total_cmp(&bx) == Ordering::Equal && mask < bmask),
+        };
+        if better {
+            best = Some((x, mask));
         }
     }
-    // hetero-check: allow(expect) — with 1 ≤ k ≤ n at least one mask has k bits set, so `best` is set
-    let (_, rhos) = best.expect("k ≥ 1 guarantees a subset");
+    // hetero-check: allow(expect) — with 1 ≤ k ≤ n at least one subset has k elements, so `best` is set
+    let (_, bmask) = best.expect("k ≥ 1 guarantees a subset");
+    let rhos: Vec<f64> = (0..n)
+        .filter(|i| bmask & (1u64 << i) != 0)
+        .map(|i| profile.rho(i))
+        .collect();
     Profile::from_unsorted(rhos)
 }
 
 /// The X-measure of the `k`-fastest sub-cluster, for `k = 1…n` (index
 /// `k − 1`), plus the marginal gain of each additional (slower) computer.
+///
+/// Profiles are sorted slowest-first, so the `k` fastest are the length-`k`
+/// suffix and all `n` values fall out of one backward
+/// [`XScan::suffix_measures`] pass — O(n) total instead of `n` full
+/// evaluations.
 pub fn marginal_gains(params: &Params, profile: &Profile) -> Vec<(f64, f64)> {
-    let mut out = Vec::with_capacity(profile.n());
+    let n = profile.n();
+    let suffix_x = XScan::from_profile(params, profile).suffix_measures();
+    let mut out = Vec::with_capacity(n);
     let mut prev = 0.0;
-    for k in 1..=profile.n() {
-        let x = x_measure_of_rhos(params, &profile.rhos()[profile.n() - k..]);
+    for k in 1..=n {
+        let x = suffix_x[n - k];
         out.push((x, x - prev));
         prev = x;
     }
@@ -84,14 +152,17 @@ pub fn smallest_fleet_for(
             value: fraction,
         });
     }
-    let full = x_measure_of_rhos(params, profile.rhos());
-    let target = fraction * full;
-    for k in 1..=profile.n() {
-        if x_measure_of_rhos(params, &profile.rhos()[profile.n() - k..]) >= target {
+    // One suffix scan answers every fleet size at once (see
+    // marginal_gains); entry 0 is the full cluster.
+    let n = profile.n();
+    let suffix_x = XScan::from_profile(params, profile).suffix_measures();
+    let target = fraction * suffix_x[0];
+    for k in 1..=n {
+        if suffix_x[n - k] >= target {
             return Ok(k);
         }
     }
-    Ok(profile.n())
+    Ok(n)
 }
 
 /// How close the full cluster sits to the server's feeding limit
@@ -139,6 +210,82 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The pre-Gray-code implementation, verbatim apart from the mask
+    /// width: rescan every mask in ascending order, keep the first
+    /// maximizer. The Gray walk must reproduce it bit for bit.
+    fn masked_rescan_reference(params: &Params, profile: &Profile, k: usize) -> Profile {
+        let n = profile.n();
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for mask in 0u64..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let rhos: Vec<f64> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| profile.rho(i))
+                .collect();
+            let x = x_measure_of_rhos(params, &rhos);
+            match &best {
+                Some((bx, _)) if x <= *bx => {}
+                _ => best = Some((x, rhos)),
+            }
+        }
+        Profile::from_unsorted(best.unwrap().1).unwrap()
+    }
+
+    #[test]
+    fn gray_walk_matches_the_masked_rescan_for_all_small_clusters() {
+        let pr = params();
+        for n in 1..=12usize {
+            // A distinct-speed family and a duplicate-heavy family (the
+            // latter forces exact X ties between different subsets).
+            let distinct = Profile::uniform_spread(n);
+            let duplicated = Profile::from_unsorted(
+                (0..n)
+                    .map(|i| 1.0 / ((i / 2) + 1) as f64)
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            for profile in [&distinct, &duplicated] {
+                for k in 1..=n {
+                    let gray = best_k_subset(&pr, profile, k).unwrap();
+                    let reference = masked_rescan_reference(&pr, profile, k);
+                    assert_eq!(
+                        gray.rhos(),
+                        reference.rhos(),
+                        "n = {n}, k = {k} on {:?}",
+                        profile.rhos()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_search_errors_instead_of_panicking_on_large_clusters() {
+        let pr = params();
+        let p = Profile::harmonic(64);
+        assert!(matches!(
+            best_k_subset(&pr, &p, 3),
+            Err(ModelError::SubsetSearchTooLarge { n: 64, max: 63 })
+        ));
+        // k-bound validation still comes first.
+        assert!(matches!(
+            best_k_subset(&pr, &Profile::harmonic(4), 0),
+            Err(ModelError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn subset_search_handles_clusters_beyond_the_old_u32_cap() {
+        // n = 21 overflowed the old `assert!(n <= 20)` guard; the u64
+        // Gray walk handles it and still finds the fastest-k optimum.
+        let pr = params();
+        let p = Profile::harmonic(21);
+        let best = best_k_subset(&pr, &p, 20).unwrap();
+        assert_eq!(best.rhos(), fastest_k(&p, 20).unwrap().rhos());
     }
 
     #[test]

@@ -14,8 +14,18 @@
 //! The [`greedy_multiplicative`] engine iterates "upgrade the best single
 //! computer" and reproduces the paper's Figures 3–4, including the phase
 //! transition between fastest-first and slowest-first regimes.
+//!
+//! All candidate evaluation goes through the incremental
+//! [`XScan`](crate::xengine::XScan) engine: one O(n) scan per round
+//! answers every single-computer what-if in O(1), so a greedy round costs
+//! amortized O(n) instead of the O(n²·log n) of re-evaluating each
+//! candidate profile from scratch. Candidates whose upgraded clusters have
+//! identical speed *multisets* share one evaluation, so the paper's
+//! tie-break ("speed up the computer with the larger index") stays exact.
 
-use crate::xmeasure::x_measure_of_rhos;
+use std::cmp::Ordering;
+
+use crate::xengine::XScan;
 use crate::{ModelError, Params, Profile};
 
 /// Additively speeds up computer `index` (0-based, slowest first) by `phi`
@@ -100,12 +110,30 @@ pub fn theorem4_choice(params: &Params, rho_i: f64, rho_j: f64, psi: f64) -> The
 /// Only computers with `ρ > φ` are eligible (others cannot be sped up by
 /// `φ` and keep a positive speed).
 pub fn best_additive_index(params: &Params, profile: &Profile, phi: f64) -> Option<usize> {
+    if !(phi.is_finite() && phi > 0.0) {
+        return None;
+    }
+    let scan = XScan::from_profile(params, profile);
     let mut best: Option<(usize, f64)> = None;
+    let mut prev: Option<(f64, f64)> = None;
     for index in 0..profile.n() {
-        let Ok(candidate) = additive_speedup(profile, index, phi) else {
+        let rho = profile.rho(index);
+        if phi >= rho {
             continue;
+        }
+        // Equal-ρ computers yield identical upgraded multisets; sharing
+        // the first occurrence's O(1) what-if value keeps their X-values
+        // bitwise equal, so the larger-index tie-break stays exact.
+        let x = match prev {
+            Some((prho, px)) if prho.total_cmp(&rho) == Ordering::Equal => px,
+            _ => {
+                let Ok(x) = scan.replace(index, rho - phi) else {
+                    continue;
+                };
+                x
+            }
         };
-        let x = x_measure_of_rhos(params, candidate.rhos());
+        prev = Some((rho, x));
         match best {
             Some((_, bx)) if x < bx => {}
             _ => best = Some((index, x)),
@@ -118,12 +146,25 @@ pub fn best_additive_index(params: &Params, profile: &Profile, phi: f64) -> Opti
 /// X-measure, with the paper's tie-break (larger index wins) — the
 /// empirical counterpart of the Theorem 4 pairwise rule.
 pub fn best_multiplicative_index(params: &Params, profile: &Profile, psi: f64) -> Option<usize> {
+    if !(psi.is_finite() && psi > 0.0 && psi < 1.0) {
+        return None;
+    }
+    let scan = XScan::from_profile(params, profile);
     let mut best: Option<(usize, f64)> = None;
+    let mut prev: Option<(f64, f64)> = None;
     for index in 0..profile.n() {
-        let Ok(candidate) = multiplicative_speedup(profile, index, psi) else {
-            continue;
+        let rho = profile.rho(index);
+        // See best_additive_index: equal-ρ candidates share one value.
+        let x = match prev {
+            Some((prho, px)) if prho.total_cmp(&rho) == Ordering::Equal => px,
+            _ => {
+                let Ok(x) = scan.replace(index, psi * rho) else {
+                    continue;
+                };
+                x
+            }
         };
-        let x = x_measure_of_rhos(params, candidate.rhos());
+        prev = Some((rho, x));
         match best {
             Some((_, bx)) if x < bx => {}
             _ => best = Some((index, x)),
@@ -154,9 +195,14 @@ pub struct GreedyStep {
 /// computer by `psi`, selects the one with the largest work production,
 /// and on ties "chooses to speed up the computer with the larger index".
 ///
-/// Candidate X-values are computed on a sorted copy of the speeds so that
-/// candidates with identical speed *multisets* compare exactly equal and
-/// the tie-break is deterministic.
+/// Each round maintains one [`XScan`] over the sorted speeds and answers
+/// every candidate with an O(1) [`XScan::replace`] query — amortized O(n)
+/// per round instead of `n` from-scratch evaluations. Candidates with
+/// identical speed *multisets* are routed through the same scan position,
+/// so they compare exactly equal and the tie-break is deterministic; the
+/// recorded per-round `X` comes from the rebuilt scan's forward pass and
+/// is bit-identical to evaluating the sorted post-upgrade profile from
+/// scratch.
 pub fn greedy_multiplicative(
     params: &Params,
     initial: &[f64],
@@ -180,28 +226,46 @@ pub fn greedy_multiplicative(
 
     let mut speeds = initial.to_vec();
     let mut steps = Vec::with_capacity(rounds);
-    let mut sorted = vec![0.0f64; speeds.len()];
+    let mut sorted = speeds.clone();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let mut scan = XScan::new(params, &sorted)?;
+    // Per-round memo of candidate X-values, keyed by scan position.
+    let mut cand_x: Vec<Option<f64>> = vec![None; speeds.len()];
     for round in 1..=rounds {
+        cand_x.iter_mut().for_each(|c| *c = None);
         let mut best: Option<(usize, f64)> = None;
-        for j in 0..speeds.len() {
-            sorted.copy_from_slice(&speeds);
-            sorted[j] *= psi;
-            // Sorting makes equal multisets produce bitwise-equal X.
-            sorted.sort_by(|a, b| b.total_cmp(a));
-            let x = x_measure_of_rhos(params, &sorted);
+        for (j, &v) in speeds.iter().enumerate() {
+            // All computers sharing speed `v` produce the same upgraded
+            // multiset; evaluating them at `v`'s first position in the
+            // sorted scan makes their X-values bitwise equal, keeping the
+            // paper's larger-index tie-break deterministic.
+            let p = sorted.partition_point(|&s| s > v);
+            let x = match cand_x[p] {
+                Some(x) => x,
+                None => {
+                    let Ok(x) = scan.replace(p, v * psi) else {
+                        continue;
+                    };
+                    cand_x[p] = Some(x);
+                    x
+                }
+            };
             match best {
                 Some((_, bx)) if x < bx => {}
                 _ => best = Some((j, x)),
             }
         }
         // hetero-check: allow(expect) — the candidate loop over a validated nonempty cluster always sets `best`
-        let (chosen, x) = best.expect("nonempty cluster has a best upgrade");
+        let (chosen, _) = best.expect("nonempty cluster has a best upgrade");
         speeds[chosen] *= psi;
+        sorted.copy_from_slice(&speeds);
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        scan.rebuild(&sorted)?;
         steps.push(GreedyStep {
             round,
             chosen,
             speeds: speeds.clone(),
-            x,
+            x: scan.x(),
         });
     }
     Ok(steps)

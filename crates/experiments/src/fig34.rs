@@ -9,6 +9,11 @@
 //!
 //! Phase 2 (Figure 4): with every computer now "very fast", condition (2)
 //! takes over and the *slowest* computer is upgraded each round.
+//!
+//! Candidate evaluation inside [`greedy_multiplicative`] runs on the
+//! incremental `hetero_core::xengine` scan (O(1) per candidate); the
+//! chosen computers and reported X-values are bit-identical to the
+//! from-scratch rescan it replaced, so these figures are unaffected.
 
 use hetero_core::speedup::{greedy_multiplicative, theorem4_choice, GreedyStep, Theorem4Choice};
 use hetero_core::Params;

@@ -7,7 +7,11 @@
 //! past a few thousand computers the *server*, not the cluster, limits
 //! production, and the HECR's decline stalls accordingly.
 
-use hetero_core::{hecr, xmeasure, Params, Profile};
+use std::hint::black_box;
+use std::time::Instant;
+
+use hetero_core::xengine::XScan;
+use hetero_core::{hecr, speedup, xmeasure, Params, Profile};
 
 use crate::render::{fmt_f, Table};
 
@@ -40,13 +44,23 @@ pub struct Scaling {
 /// Runs the sweep over the given sizes.
 pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
     let sup = xmeasure::x_supremum(params);
+    // The harmonic family is nested — ⟨1, 1/2, …, 1/n⟩ is a prefix of
+    // ⟨1, 1/2, …, 1/2n⟩ — so one xengine scan over the largest size
+    // yields every smaller size's X as a prefix snapshot, bit-identical
+    // to evaluating each from scratch. (C1 is not nested: its spread
+    // depends on n, so it is evaluated per size.)
+    let max_n = sizes.iter().copied().max().unwrap_or(0);
+    let c2_scan = (max_n > 0).then(|| XScan::from_profile(params, &Profile::harmonic(max_n)));
     let rows = sizes
         .iter()
         .map(|&n| {
             let c1 = Profile::uniform_spread(n);
             let c2 = Profile::harmonic(n);
             let x1 = xmeasure::x_measure(params, &c1);
-            let x2 = xmeasure::x_measure(params, &c2);
+            let x2 = c2_scan
+                .as_ref()
+                .and_then(|scan| scan.prefix_x(n))
+                .unwrap_or_else(|| xmeasure::x_measure(params, &c2));
             ScalingRow {
                 n,
                 x_c1: x1,
@@ -68,6 +82,91 @@ pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
 pub fn run_paper() -> Scaling {
     let sizes: Vec<usize> = (3..=16).map(|k| 1usize << k).collect();
     run(&Params::paper_table1(), &sizes)
+}
+
+/// One row of the `--bench-scaling` greedy-round timing comparison.
+#[derive(Debug, Clone)]
+pub struct GreedyBenchRow {
+    /// Cluster size.
+    pub n: usize,
+    /// Greedy rounds timed on the incremental engine.
+    pub rounds: usize,
+    /// Per-round wall time of the xengine-backed greedy, in µs.
+    pub incremental_us: f64,
+    /// Wall time of one pre-engine round (re-sort and re-evaluate every
+    /// candidate from scratch), in µs.
+    pub from_scratch_us: f64,
+    /// `from_scratch_us / incremental_us`.
+    pub speedup: f64,
+}
+
+/// Times greedy upgrade rounds at growing cluster sizes, comparing the
+/// incremental xengine path against the pre-engine from-scratch candidate
+/// rescan — the `--bench-scaling` demonstration that needs no criterion.
+pub fn greedy_bench(params: &Params, sizes: &[usize], rounds: usize) -> Vec<GreedyBenchRow> {
+    let rounds = rounds.max(1);
+    let psi = 0.5;
+    sizes
+        .iter()
+        .map(|&n| {
+            let speeds = Profile::harmonic(n).rhos().to_vec();
+
+            let start = Instant::now();
+            let steps = speedup::greedy_multiplicative(params, &speeds, psi, rounds)
+                .expect("harmonic speeds are valid");
+            black_box(&steps);
+            let incremental_us = start.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+            // One round the old way: per candidate, copy, re-sort, and
+            // evaluate the whole profile from scratch.
+            let start = Instant::now();
+            let mut sorted = vec![0.0f64; n];
+            let mut best = f64::NEG_INFINITY;
+            for j in 0..n {
+                sorted.copy_from_slice(&speeds);
+                sorted[j] *= psi;
+                sorted.sort_by(|a, b| b.total_cmp(a));
+                let x = xmeasure::x_measure_of_rhos(params, &sorted);
+                if x > best {
+                    best = x;
+                }
+            }
+            black_box(best);
+            let from_scratch_us = start.elapsed().as_secs_f64() * 1e6;
+
+            GreedyBenchRow {
+                n,
+                rounds,
+                incremental_us,
+                from_scratch_us,
+                speedup: from_scratch_us / incremental_us.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// ASCII rendering of a [`greedy_bench`] run.
+pub fn greedy_bench_table(rows: &[GreedyBenchRow]) -> Table {
+    let mut t = Table::new(
+        "Greedy upgrade rounds — incremental xengine vs from-scratch rescan",
+        &[
+            "n",
+            "rounds",
+            "incremental µs/round",
+            "from-scratch µs/round",
+            "speedup",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.n.to_string(),
+            r.rounds.to_string(),
+            fmt_f(r.incremental_us, 1),
+            fmt_f(r.from_scratch_us, 1),
+            format!("{}x", fmt_f(r.speedup, 1)),
+        ]);
+    }
+    t
 }
 
 impl Scaling {
@@ -163,5 +262,25 @@ mod tests {
         let s = run(&Params::paper_table1(), &[8, 4096]).table().to_ascii();
         assert!(s.contains("supremum"));
         assert!(s.contains("4096"));
+    }
+
+    #[test]
+    fn greedy_bench_times_both_paths() {
+        let rows = greedy_bench(&Params::paper_table1(), &[64, 512], 2);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.incremental_us > 0.0 && r.incremental_us.is_finite());
+            assert!(r.from_scratch_us > 0.0 && r.from_scratch_us.is_finite());
+        }
+        // At n = 512 a from-scratch round does ~n full evaluations plus n
+        // sorts; the engine does one. Even noisy timers show the gap.
+        assert!(
+            rows[1].speedup > 1.0,
+            "n = 512 speedup was {}",
+            rows[1].speedup
+        );
+        let ascii = greedy_bench_table(&rows).to_ascii();
+        assert!(ascii.contains("speedup"));
+        assert!(ascii.contains("512"));
     }
 }

@@ -12,7 +12,7 @@
 //! together with an accuracy-by-gap histogram.
 
 use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, Shape};
-use hetero_core::xmeasure::x_measure;
+use hetero_core::xengine::x_pair;
 use hetero_core::Params;
 use hetero_par::{seed, Executor};
 
@@ -92,8 +92,9 @@ fn one_trial(
     if gap.abs() < 1e-12 {
         return None;
     }
-    let x1 = x_measure(params, &pair.p1);
-    let x2 = x_measure(params, &pair.p2);
+    // Both clusters of the pair in one interleaved xengine pass
+    // (bit-identical to two x_measure calls, ~2× fewer stalls).
+    let (x1, x2) = x_pair(params, pair.p1.rhos(), pair.p2.rhos());
     if (x1 - x2).abs() / x1.max(x2) < 1e-13 {
         return None;
     }

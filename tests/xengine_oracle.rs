@@ -1,0 +1,59 @@
+//! Cross-check of the incremental xengine against the exact rational
+//! oracle in `hetero-symfunc`: an O(1) replacement query must agree with
+//! the mathematically exact X-measure of the updated cluster — not merely
+//! with another f64 evaluation that could share its rounding errors.
+
+use hetero_core::xengine::XScan;
+use hetero_core::Params;
+use hetero_exact::Ratio;
+use hetero_symfunc::exact_model::{x_exact, ExactParams};
+use proptest::prelude::*;
+
+/// Speeds spread over ~8 decades, small denominators kept by drawing
+/// dyadic mantissas (exact arithmetic cost stays bounded).
+fn spread_rho() -> impl Strategy<Value = f64> {
+    (1.0f64..2.0, -26i32..1).prop_map(|(m, e)| m * (e as f64).exp2())
+}
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+fn exact_x_of(params: &Params, rhos: &[f64]) -> f64 {
+    let ep = ExactParams::from_params(params);
+    let exact: Vec<Ratio> = rhos
+        .iter()
+        .map(|&r| Ratio::from_f64(r).expect("finite"))
+        .collect();
+    x_exact(&ep, &exact).to_f64()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn replacement_queries_match_the_exact_oracle(
+        rhos in prop::collection::vec(spread_rho(), 1..9),
+        which in any::<prop::sample::Index>(),
+        new_rho in spread_rho(),
+    ) {
+        let params = Params::paper_table1();
+        let mut scan = XScan::new(&params, &rhos).unwrap();
+        let k = which.index(rhos.len());
+
+        // O(1) incremental answer vs the exact rational evaluation of the
+        // updated cluster.
+        let incremental = scan.replace(k, new_rho).unwrap();
+        let mut updated = rhos;
+        updated[k] = new_rho;
+        let exact = exact_x_of(&params, &updated);
+        prop_assert!(
+            rel_err(incremental, exact) <= 1e-12,
+            "k = {k}: incremental {incremental} vs exact {exact}"
+        );
+
+        // The committed scan must agree just as tightly.
+        scan.commit(k, new_rho).unwrap();
+        prop_assert!(rel_err(scan.x(), exact) <= 1e-12);
+    }
+}
