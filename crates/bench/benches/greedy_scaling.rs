@@ -44,6 +44,26 @@ fn bench_greedy(c: &mut Criterion) {
     }
     group.finish();
 
+    // Same workload with metric collection switched on: the gap between
+    // this group and `greedy/incremental_round` is the enabled-path cost
+    // of hetero-obs (counter bumps + kahan histogram); the gap between
+    // `greedy/incremental_round` and the pre-obs baseline is the
+    // disabled-path cost (one relaxed atomic load per hook, ≤2% bar —
+    // both recorded in BENCH_pr3.json).
+    let mut group = c.benchmark_group("greedy/incremental_round_obs_on");
+    group.sample_size(10);
+    for n in SIZES {
+        let speeds = Profile::harmonic(n).rhos().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            hetero_obs::reset();
+            hetero_obs::enable();
+            b.iter(|| black_box(speedup::greedy_multiplicative(&params, &speeds, PSI, 1).unwrap()));
+            hetero_obs::disable();
+            hetero_obs::reset();
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("greedy/from_scratch_round");
     group.sample_size(3);
     for n in SIZES {

@@ -26,6 +26,23 @@ fn bench_replace(c: &mut Criterion) {
     }
     group.finish();
 
+    // Enabled-path overhead of the replace counter (one relaxed
+    // fetch_add per query) — paired with `xengine/replace_o1` for
+    // BENCH_pr3.json.
+    let mut group = c.benchmark_group("xengine/replace_o1_obs_on");
+    for n in SIZES {
+        let scan = XScan::from_profile(&params, &Profile::harmonic(n));
+        let k = n / 2;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            hetero_obs::reset();
+            hetero_obs::enable();
+            b.iter(|| black_box(scan.replace(black_box(k), black_box(0.123)).unwrap()));
+            hetero_obs::disable();
+            hetero_obs::reset();
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("xengine/replace_scratch_baseline");
     for n in SIZES {
         let mut rhos = Profile::harmonic(n).rhos().to_vec();

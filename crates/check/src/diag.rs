@@ -27,6 +27,8 @@ pub enum Lint {
     PaperAnchor,
     /// `Profile { .. }` / `Params { .. }` literals outside their modules.
     ConstructorDiscipline,
+    /// `println!` / `eprintln!` / `print!` / `eprint!` in library code.
+    PrintInLib,
     /// An allow comment without a justification.
     AllowMissingReason,
 }
@@ -43,6 +45,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::CratePolicy,
     Lint::PaperAnchor,
     Lint::ConstructorDiscipline,
+    Lint::PrintInLib,
     Lint::AllowMissingReason,
 ];
 
@@ -60,6 +63,7 @@ impl Lint {
             Lint::CratePolicy => "crate-policy",
             Lint::PaperAnchor => "paper-anchor",
             Lint::ConstructorDiscipline => "constructor-discipline",
+            Lint::PrintInLib => "print-in-lib",
             Lint::AllowMissingReason => "allow-missing-reason",
         }
     }

@@ -22,6 +22,9 @@
 //! - **Constructor discipline** — `Profile` / `Params` are built through
 //!   validated constructors, never struct literals
 //!   (`constructor-discipline`).
+//! - **Stdio discipline** — no `println!` / `eprintln!` / `print!` /
+//!   `eprint!` in library crates (`print-in-lib`): libraries return data
+//!   or record metrics through `hetero-obs`; only binaries present.
 //!
 //! Findings are suppressible only with an inline
 //! `// hetero-check: allow(<lint>) — <reason>` comment; the reason is

@@ -114,6 +114,7 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
             cx.naked_sum(&mut raw);
             cx.unwrap_expect(&mut raw, &chained);
             cx.panics(&mut raw);
+            cx.print_in_lib(&mut raw);
             cx.indexing(&mut raw);
             cx.crate_policy(src, &mut raw);
             cx.paper_anchor(src, &mut raw);
@@ -493,6 +494,42 @@ impl<'a> Cx<'a> {
         }
     }
 
+    /// `println!` / `eprintln!` / `print!` / `eprint!` in library code.
+    /// Libraries must return data and let binaries decide how to present
+    /// it; ad-hoc printing bypasses the structured observability layer
+    /// (`hetero-obs`) and corrupts machine-readable CLI output.
+    fn print_in_lib(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i)
+                || tok.kind != TokenKind::Ident
+                || !matches!(
+                    tok.text.as_str(),
+                    "println" | "print" | "eprintln" | "eprint"
+                )
+            {
+                continue;
+            }
+            if self.text(i + 1) != "!" {
+                continue;
+            }
+            // `writeln!`-style targets are fine; a preceding `.` means this
+            // is a method/field named e.g. `print`, not the macro.
+            if i > 0 && self.text(i - 1) == "." {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::PrintInLib,
+                tok,
+                format!(
+                    "`{}!` in library code writes to the process's stdio behind the \
+                     caller's back; return the text, or record it through hetero-obs",
+                    tok.text
+                ),
+            );
+        }
+    }
+
     /// Expression indexing (advisory).
     fn indexing(&self, out: &mut Vec<Diagnostic>) {
         for (i, tok) in self.tokens.iter().enumerate() {
@@ -699,6 +736,36 @@ mod tests {
         assert!(lints_of(LIB, src).is_empty());
         let live = "fn f(x: Option<u8>) { x.unwrap(); }";
         assert!(lints_of(LIB, live).iter().any(|(l, _)| *l == Lint::Unwrap));
+    }
+
+    #[test]
+    fn print_in_lib_fires_on_macros_only() {
+        let src = "pub fn f(x: f64) { println!(\"{x}\"); }";
+        assert!(lints_of(LIB, src)
+            .iter()
+            .any(|(l, _)| *l == Lint::PrintInLib));
+        let eprint = "pub fn f(x: f64) { eprintln!(\"{x}\"); }";
+        assert!(lints_of(LIB, eprint)
+            .iter()
+            .any(|(l, _)| *l == Lint::PrintInLib));
+        // A method named `print` is not the macro.
+        let method = "pub fn f(d: &Doc) { d.print(); }";
+        assert!(lints_of(LIB, method)
+            .iter()
+            .all(|(l, _)| *l != Lint::PrintInLib));
+        // `writeln!` to a buffer is the sanctioned idiom.
+        let writeln = "pub fn f(out: &mut String, x: f64) { let _ = writeln!(out, \"{x}\"); }";
+        assert!(lints_of(LIB, writeln)
+            .iter()
+            .all(|(l, _)| *l != Lint::PrintInLib));
+        // Binaries may print; that is their job.
+        let bin = "fn main() { println!(\"hi\"); }";
+        assert!(lints_of("crates/cli/src/main.rs", bin)
+            .iter()
+            .all(|(l, _)| *l != Lint::PrintInLib));
+        // Test modules are exempt like every other lint.
+        let test = "#[cfg(test)]\nmod tests {\n fn f() { println!(\"dbg\"); }\n}";
+        assert!(lints_of(LIB, test).is_empty());
     }
 
     #[test]

@@ -113,6 +113,8 @@ fn violations_fixture_fires_every_deny_lint() {
     ));
     // The reason-less allow comment does NOT waive the unwrap under it.
     assert!(has(&d, "unwrap", "crates/demo/src/allow.rs", 6));
+    assert!(has(&d, "print-in-lib", "crates/demo/src/print.rs", 4));
+    assert!(has(&d, "print-in-lib", "crates/demo/src/print.rs", 5));
     // Missing headers are reported once per header.
     let policy = d
         .iter()
@@ -127,7 +129,7 @@ fn violations_fixture_fires_every_deny_lint() {
         .expect("indexing reported");
     assert_eq!(level, "warn");
 
-    assert_eq!(summary_num(&r, "violations"), 12);
+    assert_eq!(summary_num(&r, "violations"), 14);
     assert_eq!(summary_num(&r, "warnings"), 1);
     assert_eq!(summary_num(&r, "exit_code"), 1);
 }

@@ -1,0 +1,6 @@
+//! Stdio printing from library code.
+
+pub fn report(x: f64) {
+    println!("x = {x}");
+    eprintln!("warning: {x}");
+}

@@ -33,13 +33,30 @@
 //!
 //! Add `--csv` to any table-producing command to print CSV instead of the
 //! aligned ASCII table.
+//!
+//! Observability (see DESIGN.md "Observability"):
+//!
+//! ```text
+//!   --obs                   print a metrics summary + run manifest after
+//!                           the command's normal output
+//!   --obs-json PATH         write the metric stream as JSON lines
+//!                           (one {event, name, value} object per line)
+//!   --obs-trace PATH        write a Chrome trace-event JSON file
+//!                           (load in Perfetto / chrome://tracing):
+//!                           `protocol` exports the Figure 1 execution,
+//!                           `gantt` the Figure 2 execution, any other
+//!                           command its per-command wall spans
+//! ```
+//!
+//! `--obs-json` and `--obs-trace` imply `--obs` collection.
 
 use std::process::ExitCode;
 
 use hetero_core::Params;
 use hetero_experiments::{
     examples42, fifo_lifo, fig34, fleet, gantt, granularity, majorization_ext, moments_ext,
-    protocol_check, robustness, scaling, sensitivity, table3, table4, threshold, variance,
+    obs_export, protocol_check, robustness, scaling, sensitivity, table3, table4, threshold,
+    variance,
 };
 
 /// Parsed command-line options.
@@ -50,6 +67,17 @@ struct Opts {
     seed: Option<u64>,
     hard: bool,
     bench_scaling: bool,
+    obs: bool,
+    obs_json: Option<String>,
+    obs_trace: Option<String>,
+}
+
+impl Opts {
+    /// Whether metric collection should be switched on for this run
+    /// (`--obs-json`/`--obs-trace` imply `--obs`).
+    fn obs_active(&self) -> bool {
+        self.obs || self.obs_json.is_some() || self.obs_trace.is_some()
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -60,6 +88,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: None,
         hard: false,
         bench_scaling: false,
+        obs: false,
+        obs_json: None,
+        obs_trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -67,6 +98,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--csv" => opts.csv = true,
             "--hard" => opts.hard = true,
             "--bench-scaling" => opts.bench_scaling = true,
+            "--obs" => opts.obs = true,
+            "--obs-json" => {
+                let v = it.next().ok_or("--obs-json needs a path")?;
+                opts.obs_json = Some(v.clone());
+            }
+            "--obs-trace" => {
+                let v = it.next().ok_or("--obs-trace needs a path")?;
+                opts.obs_trace = Some(v.clone());
+            }
             "--trials" => {
                 let v = it.next().ok_or("--trials needs a value")?;
                 opts.trials = Some(v.parse().map_err(|_| format!("bad --trials {v}"))?);
@@ -286,6 +326,62 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the Chrome trace document for `--obs-trace`: the Figure 1
+/// execution for `protocol`, the Figure 2 execution for `gantt`, and the
+/// per-command wall spans for everything else.
+fn obs_trace_document(cmd: &str, snapshot: &hetero_obs::Snapshot) -> String {
+    let p = Params::paper_table1();
+    match cmd {
+        "protocol" => {
+            let run = obs_export::fig1_execution(&p);
+            obs_export::execution_to_chrome(&run, 1)
+        }
+        "gantt" => {
+            let profile = hetero_core::Profile::new(vec![1.0, 0.5, 1.0 / 3.0]).expect("valid");
+            let run = obs_export::fig2_execution(&p, &profile, 100.0);
+            obs_export::execution_to_chrome(&run, profile.n())
+        }
+        _ => hetero_obs::chrome::wall_spans_to_chrome(&snapshot.spans),
+    }
+}
+
+/// Drains the collector into the requested sinks after an instrumented run.
+fn obs_finalize(cmd: &str, opts: &Opts, wall_ms: f64) -> Result<(), String> {
+    let snapshot = hetero_obs::snapshot();
+    let p = Params::paper_table1();
+    let mut counters = snapshot.counters.clone();
+    counters.extend(snapshot.gauges.iter().cloned());
+    let manifest = hetero_obs::RunManifest {
+        command: cmd.to_string(),
+        seed: opts.seed.unwrap_or(0),
+        trials: opts.trials.unwrap_or(0),
+        max_n: opts.max_n.unwrap_or(0),
+        params: vec![
+            ("tau".to_string(), p.tau()),
+            ("pi".to_string(), p.pi()),
+            ("delta".to_string(), p.delta()),
+        ],
+        wall_ms,
+        counters,
+    };
+    if opts.obs {
+        println!();
+        print!("{}", snapshot.summary());
+        print!("{}", manifest.footer());
+    }
+    if let Some(path) = &opts.obs_json {
+        let mut stream = snapshot.to_jsonl();
+        stream.push_str(&manifest.to_jsonl_line());
+        stream.push('\n');
+        std::fs::write(path, stream).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.obs_trace {
+        let doc = obs_trace_document(cmd, &snapshot);
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -298,7 +394,10 @@ fn main() -> ExitCode {
              protocol gantt moments lifo sensitivity scaling majorize-ext \
              granularity robustness fleet all"
         );
-        println!("options:  --csv --trials N --max-n N --seed S --hard --bench-scaling");
+        println!(
+            "options:  --csv --trials N --max-n N --seed S --hard --bench-scaling \
+             --obs --obs-json PATH --obs-trace PATH"
+        );
         return ExitCode::SUCCESS;
     }
     let opts = match parse_opts(rest) {
@@ -308,7 +407,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_command(cmd, &opts) {
+    if opts.obs_active() {
+        hetero_obs::reset();
+        hetero_obs::enable();
+    }
+    let wall_start = std::time::Instant::now();
+    let result = {
+        let span = hetero_obs::timed(format!("cmd.{cmd}"));
+        let r = run_command(cmd, &opts);
+        span.finish();
+        r
+    };
+    let result = result.and_then(|()| {
+        if opts.obs_active() {
+            obs_finalize(cmd, &opts, wall_start.elapsed().as_secs_f64() * 1e3)
+        } else {
+            Ok(())
+        }
+    });
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -324,8 +441,24 @@ mod tests {
     #[test]
     fn parse_opts_defaults() {
         let o = parse_opts(&[]).unwrap();
-        assert!(!o.csv && !o.hard && !o.bench_scaling);
+        assert!(!o.csv && !o.hard && !o.bench_scaling && !o.obs);
         assert!(o.trials.is_none() && o.max_n.is_none() && o.seed.is_none());
+        assert!(o.obs_json.is_none() && o.obs_trace.is_none());
+        assert!(!o.obs_active());
+    }
+
+    #[test]
+    fn obs_sinks_imply_collection() {
+        let o = parse_opts(&["--obs-json".into(), "out.jsonl".into()]).unwrap();
+        assert!(!o.obs && o.obs_active());
+        assert_eq!(o.obs_json.as_deref(), Some("out.jsonl"));
+        let o = parse_opts(&["--obs-trace".into(), "trace.json".into()]).unwrap();
+        assert!(!o.obs && o.obs_active());
+        assert_eq!(o.obs_trace.as_deref(), Some("trace.json"));
+        let o = parse_opts(&["--obs".into()]).unwrap();
+        assert!(o.obs && o.obs_active());
+        assert!(parse_opts(&["--obs-json".into()]).is_err());
+        assert!(parse_opts(&["--obs-trace".into()]).is_err());
     }
 
     #[test]
@@ -367,6 +500,9 @@ mod tests {
             seed: None,
             hard: false,
             bench_scaling: true,
+            obs: false,
+            obs_json: None,
+            obs_trace: None,
         };
         run_command("scaling", &opts).unwrap();
     }
@@ -393,6 +529,9 @@ mod tests {
             seed: Some(1),
             hard: false,
             bench_scaling: false,
+            obs: false,
+            obs_json: None,
+            obs_trace: None,
         };
         for c in [
             "params",

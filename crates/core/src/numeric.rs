@@ -44,6 +44,14 @@ impl KahanSum {
     pub fn value(&self) -> f64 {
         self.sum + self.comp
     }
+
+    /// The accumulated compensation term — the rounding error a naive sum
+    /// would have discarded so far. Its magnitude is the observable "how
+    /// much did compensation matter" signal exported to the observability
+    /// histogram.
+    pub fn compensation(&self) -> f64 {
+        self.comp
+    }
 }
 
 /// Neumaier-compensated sum of a sequence of terms.

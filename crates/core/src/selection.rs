@@ -110,6 +110,8 @@ pub fn best_k_subset(params: &Params, profile: &Profile, k: usize) -> Result<Pro
             best = Some((x, mask));
         }
     }
+    // The Gray walk visits every nonempty subset exactly once.
+    hetero_obs::counters::SELECTION_SUBSET_NODES.add((1u64 << n) - 1);
     // hetero-check: allow(expect) — with 1 ≤ k ≤ n at least one subset has k elements, so `best` is set
     let (_, bmask) = best.expect("k ≥ 1 guarantees a subset");
     let rhos: Vec<f64> = (0..n)

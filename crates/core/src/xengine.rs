@@ -128,6 +128,7 @@ impl XScan {
         }
         self.rhos.clear();
         self.rhos.extend_from_slice(rhos);
+        hetero_obs::counters::XENGINE_REBUILD.bump();
         self.recompute();
         Ok(())
     }
@@ -164,6 +165,12 @@ impl XScan {
         for i in (0..n).rev() {
             tail.add(self.s[i] / self.d[i]);
             self.suffix[i] = tail.value();
+        }
+        if hetero_obs::enabled() {
+            // How much the Neumaier compensation mattered for this pass:
+            // |comp| bucketed on a log10 axis from 1e-30 up to 1.
+            let comp = acc.compensation().abs().max(1e-30).log10();
+            hetero_obs::observe_hist("xengine.kahan_comp_log10", comp, -30.0, 0.0, 30);
         }
     }
 
@@ -209,6 +216,7 @@ impl XScan {
                 value: rho,
             });
         }
+        hetero_obs::counters::XENGINE_REPLACE.bump();
         let denom = self.b * rho + self.a;
         let ratio = (self.b * rho + self.td) / denom;
         let mut acc = KahanSum::new();
@@ -233,6 +241,7 @@ impl XScan {
             });
         }
         self.rhos[k] = rho;
+        hetero_obs::counters::XENGINE_COMMIT.bump();
         self.recompute();
         Ok(())
     }

@@ -13,6 +13,7 @@
 //! | [`examples42`] | §4 opening example + Corollary 1 demonstrations |
 //! | [`protocol_check`] | Theorems 1–2 validated behaviourally on the DES |
 //! | [`gantt`] | Figures 1–2 — action/time diagrams |
+//! | [`obs_export`] | Figures 1–2 — Chrome trace-event JSON (`--obs-trace`) |
 //! | [`moments_ext`] | companion-paper extension: scoring moment predictors |
 //! | [`fifo_lifo`] | Theorem 1 quantified: FIFO vs LIFO vs heuristics |
 //! | [`sensitivity`] | extension: τ sweep across the three regimes |
@@ -38,6 +39,7 @@ pub mod gantt;
 pub mod granularity;
 pub mod majorization_ext;
 pub mod moments_ext;
+pub mod obs_export;
 pub mod protocol_check;
 pub mod render;
 pub mod robustness;

@@ -134,6 +134,10 @@ pub fn one_trial(params: &Params, n: usize, trial_seed: u64) -> TrialScore {
 pub fn run(config: &MomentsConfig) -> MomentsExperiment {
     let exec = Executor::new(config.threads);
     let trial_ids: Vec<u64> = (0..config.trials as u64).collect();
+    hetero_obs::count(
+        "trials.moments",
+        (config.trials * config.sizes.len()) as u64,
+    );
     let rows = config
         .sizes
         .iter()

@@ -1,0 +1,108 @@
+//! Observability export — the paper's **Figures 1–2** executions as
+//! Chrome trace-event JSON (`hetero-cli ... --obs-trace PATH`).
+//!
+//! [`gantt`](crate::gantt) renders the same executions as ASCII; this
+//! module re-runs them and hands the resulting [`exec::Execution`] traces
+//! to [`hetero_obs::chrome`], so the Gantt rows of Figure 1 (server,
+//! worker, channel) open directly in Perfetto / `chrome://tracing` with
+//! the same entity names the ASCII timeline uses (`C0`, `C1`, …, `net`).
+
+use hetero_core::{Params, Profile};
+use hetero_protocol::alloc::Plan;
+use hetero_protocol::{alloc, exec};
+
+/// The single-remote-computer execution behind Figure 1 (ρ = 0.5,
+/// w = 100 work units — the same operating point `gantt::render_fig1`
+/// prints).
+///
+/// The lifespan is set far beyond the makespan so the run is shaped by
+/// the work allocation alone, exactly like the closed-form seven-stage
+/// pipeline of `timeline::fig1_stages`.
+pub fn fig1_execution(params: &Params) -> exec::Execution {
+    let profile = Profile::new(vec![0.5]).expect("ρ = 0.5 is a valid rho");
+    let plan = Plan {
+        order: vec![0],
+        work: vec![100.0],
+        lifespan: 1e9,
+    };
+    exec::execute(params, &profile, &plan)
+}
+
+/// The FIFO execution behind Figure 2: `fifo_plan` sized for `lifespan`
+/// on `profile`, then run on the DES (same construction as
+/// `gantt::render_fig2`).
+pub fn fig2_execution(params: &Params, profile: &Profile, lifespan: f64) -> exec::Execution {
+    let plan = alloc::fifo_plan(params, profile, lifespan).expect("valid plan");
+    exec::execute(params, profile, &plan)
+}
+
+/// Converts an executed run over `n` remote computers into a Chrome
+/// trace-event JSON document.
+///
+/// Entity naming matches `timeline::gantt_rows`: entity 0 is the server
+/// (`C0`), entities `1..=n` are the remote computers (`C1`…`Cn`), and
+/// entity `n + 1` is the communication channel (`net`).
+pub fn execution_to_chrome(run: &exec::Execution, n: usize) -> String {
+    let names: Vec<String> = (0..=n + 1)
+        .map(|entity| {
+            if entity == exec::SERVER {
+                "C0".to_string()
+            } else if entity == exec::channel_entity(n) {
+                "net".to_string()
+            } else {
+                format!("C{entity}")
+            }
+        })
+        .collect();
+    hetero_obs::chrome::sim_trace_to_chrome(&run.trace, &names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_execution_reproduces_the_seven_stage_pipeline() {
+        let p = Params::paper_table1();
+        let run = fig1_execution(&p);
+        // One remote computer: server, worker, channel all have spans.
+        let entities: std::collections::BTreeSet<usize> =
+            run.trace.spans().iter().map(|s| s.entity).collect();
+        assert!(entities.contains(&0), "server must act");
+        assert!(entities.contains(&1), "worker must act");
+        assert!(entities.contains(&2), "channel must act");
+        assert_eq!(run.plan.work, vec![100.0]);
+    }
+
+    #[test]
+    fn chrome_export_names_rows_like_the_ascii_timeline() {
+        let p = Params::paper_table1();
+        let profile = Profile::new(vec![1.0, 0.5, 0.25]).unwrap();
+        let run = fig2_execution(&p, &profile, 100.0);
+        let doc = execution_to_chrome(&run, profile.n());
+        for name in ["\"C0\"", "\"C1\"", "\"C2\"", "\"C3\"", "\"net\""] {
+            assert!(doc.contains(name), "trace must name row {name}");
+        }
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\""));
+        // Valid JSON end to end.
+        hetero_obs::json::parse(&doc).expect("chrome doc parses");
+    }
+
+    #[test]
+    fn fig1_chrome_trace_is_loadable_json_with_complete_events() {
+        let p = Params::paper_table1();
+        let run = fig1_execution(&p);
+        let doc = execution_to_chrome(&run, 1);
+        let v = hetero_obs::json::parse(&doc).expect("parses");
+        let events = v.get("traceEvents").expect("has traceEvents").clone();
+        let hetero_obs::json::Value::Arr(items) = events else {
+            panic!("traceEvents must be an array");
+        };
+        let complete = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        // Figure 1 has seven stages across the three entities.
+        assert_eq!(complete, 7, "seven complete events expected");
+    }
+}

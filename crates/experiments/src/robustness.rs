@@ -120,6 +120,10 @@ pub fn one_trial(params: &Params, n: usize, epsilon: f64, trial_seed: u64) -> (f
 pub fn run(config: &RobustnessConfig) -> Robustness {
     let exec = Executor::new(config.threads);
     let trial_ids: Vec<u64> = (0..config.trials as u64).collect();
+    hetero_obs::count(
+        "trials.robustness",
+        (config.trials * config.epsilons.len()) as u64,
+    );
     let rows = config
         .epsilons
         .iter()

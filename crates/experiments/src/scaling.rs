@@ -51,6 +51,25 @@ pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
     // depends on n, so it is evaluated per size.)
     let max_n = sizes.iter().copied().max().unwrap_or(0);
     let c2_scan = (max_n > 0).then(|| XScan::from_profile(params, &Profile::harmonic(max_n)));
+    // Observability probe: a same-rho replacement at the last slot is an
+    // identity query, so it exercises the O(1) replace path (and its
+    // counter) without perturbing the sweep. Self-consistency of the
+    // engine is recorded as a relative-error metric.
+    if hetero_obs::enabled() {
+        if let Some(scan) = c2_scan.as_ref() {
+            let last = scan.n() - 1;
+            let rho = scan.rhos()[last];
+            if let Ok(x_probe) = scan.replace(last, rho) {
+                let x = scan.x();
+                let rel = if x.abs() > 0.0 {
+                    ((x_probe - x) / x).abs()
+                } else {
+                    (x_probe - x).abs()
+                };
+                hetero_obs::observe("xengine.replace_identity_rel_err", rel);
+            }
+        }
+    }
     let rows = sizes
         .iter()
         .map(|&n| {

@@ -108,6 +108,10 @@ fn one_trial(
 pub fn run(config: &ThresholdConfig) -> ThresholdExperiment {
     let exec = Executor::new(config.threads);
     let trial_ids: Vec<u64> = (0..config.trials_per_combo as u64).collect();
+    hetero_obs::count(
+        "trials.threshold",
+        (config.trials_per_combo * config.sizes.len() * SHAPE_COMBOS.len()) as u64,
+    );
     let mut samples = Vec::new();
     for &n in &config.sizes {
         for (combo_idx, &shapes) in SHAPE_COMBOS.iter().enumerate() {

@@ -142,6 +142,10 @@ pub fn one_trial(
 pub fn run(config: &VarianceConfig) -> VarianceExperiment {
     let exec = Executor::new(config.threads);
     let trial_ids: Vec<u64> = (0..config.trials as u64).collect();
+    hetero_obs::count(
+        "trials.variance",
+        (config.trials * config.sizes.len()) as u64,
+    );
     let rows = config
         .sizes
         .iter()

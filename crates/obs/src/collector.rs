@@ -1,0 +1,285 @@
+//! The metric store: counters, gauges, value statistics, histograms, and
+//! wall-clock spans, plus the immutable [`Snapshot`] view handed to sinks.
+//!
+//! All maps are `BTreeMap`s so every snapshot (and therefore every sink
+//! rendering) is deterministically ordered — a prerequisite for the
+//! golden-file and same-seed-determinism tests.
+
+use std::collections::BTreeMap;
+
+use hetero_sim::stats::{FixedHistogram, OnlineStats};
+
+/// One completed RAII wall-clock span (microseconds since the process
+/// observability epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallSpan {
+    /// Span name (e.g. `cli.fig3`).
+    pub name: String,
+    /// Start offset from the observability epoch, in µs.
+    pub start_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+}
+
+/// The mutable metric store behind the global handle.
+///
+/// Usually accessed through the crate-level free functions
+/// ([`count`](crate::count), [`observe`](crate::observe), …); constructed
+/// directly only in tests and single-threaded tools.
+#[derive(Debug, Default)]
+pub struct Collector {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    values: BTreeMap<String, OnlineStats>,
+    hists: BTreeMap<String, FixedHistogram>,
+    spans: Vec<WallSpan>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotone counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Raises the named high-water-mark gauge to at least `v`.
+    pub fn gauge_max(&mut self, name: &str, v: u64) {
+        if let Some(slot) = self.gauges.get_mut(name) {
+            *slot = (*slot).max(v);
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Folds one observation into the named Welford accumulator. NaN
+    /// observations are dropped (they would poison the statistics).
+    pub fn observe(&mut self, name: &str, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        if let Some(stats) = self.values.get_mut(name) {
+            stats.push(v);
+        } else {
+            let mut stats = OnlineStats::new();
+            stats.push(v);
+            self.values.insert(name.to_string(), stats);
+        }
+    }
+
+    /// Buckets one observation into the named fixed-width histogram,
+    /// created on first use over `[lo, hi)` with `buckets` bins. Later
+    /// calls keep the first range; NaN and invalid ranges are dropped.
+    pub fn observe_hist(&mut self, name: &str, v: f64, lo: f64, hi: f64, buckets: usize) {
+        if v.is_nan() {
+            return;
+        }
+        if let Some(h) = self.hists.get_mut(name) {
+            h.push(v);
+            return;
+        }
+        // NaN bounds fall through to the refusal branch.
+        let range_ok = matches!(hi.partial_cmp(&lo), Some(std::cmp::Ordering::Greater));
+        if !range_ok || buckets == 0 {
+            return; // FixedHistogram::new would panic; refuse quietly
+        }
+        let mut h = FixedHistogram::new(lo, hi, buckets);
+        h.push(v);
+        self.hists.insert(name.to_string(), h);
+    }
+
+    /// Appends one completed wall-clock span.
+    pub fn record_span(&mut self, span: WallSpan) {
+        self.spans.push(span);
+    }
+
+    /// A deterministic snapshot, folding in the static hot counters
+    /// (name → value pairs) alongside the dynamic ones.
+    pub fn snapshot(&self, hot: &[(&'static str, u64)]) -> Snapshot {
+        let mut counters: BTreeMap<String, u64> = self.counters.clone();
+        for &(name, v) in hot {
+            if let Some(slot) = counters.get_mut(name) {
+                *slot += v;
+            } else {
+                counters.insert(name.to_string(), v);
+            }
+        }
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: self.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        ValueStats {
+                            count: s.count(),
+                            mean: s.mean(),
+                            stddev: s.stddev(),
+                            min: s.min(),
+                            max: s.max(),
+                        },
+                    )
+                })
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistSnapshot {
+                            total: h.total(),
+                            buckets: h.iter().collect(),
+                        },
+                    )
+                })
+                .collect(),
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+/// Summary statistics of one observed value stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+/// Bucketed view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistSnapshot {
+    /// Total observations recorded.
+    pub total: u64,
+    /// `(bucket_lo, count)` pairs in range order.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// An immutable, deterministically ordered view of the collector. All
+/// sequences are sorted by metric name (spans stay in recording order).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotone counters (dynamic and static, merged), sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// High-water-mark gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Welford value statistics, sorted by name.
+    pub values: Vec<(String, ValueStats)>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<(String, HistSnapshot)>,
+    /// Completed wall-clock spans, in recording order.
+    pub spans: Vec<WallSpan>,
+}
+
+impl Snapshot {
+    /// The value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The value of a gauge (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Counters and gauges merged into one ordered list — the
+    /// wall-clock-free portion of a run, used by the same-seed
+    /// determinism test (two identical runs must produce identical
+    /// fingerprints, timings excluded).
+    pub fn counter_fingerprint(&self) -> Vec<(String, u64)> {
+        let mut out = self.counters.clone();
+        out.extend(self.gauges.iter().cloned());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge_hot() {
+        let mut c = Collector::new();
+        c.count("a", 2);
+        c.count("a", 3);
+        c.count("b", 1);
+        let snap = c.snapshot(&[("a", 10), ("z", 4)]);
+        assert_eq!(snap.counter("a"), 15);
+        assert_eq!(snap.counter("b"), 1);
+        assert_eq!(snap.counter("z"), 4);
+        assert_eq!(snap.counter("missing"), 0);
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["a", "b", "z"], "sorted by name");
+    }
+
+    #[test]
+    fn gauge_keeps_the_maximum() {
+        let mut c = Collector::new();
+        c.gauge_max("hw", 3);
+        c.gauge_max("hw", 7);
+        c.gauge_max("hw", 5);
+        assert_eq!(c.snapshot(&[]).gauge("hw"), 7);
+    }
+
+    #[test]
+    fn observe_folds_welford_and_drops_nan() {
+        let mut c = Collector::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            c.observe("x", v);
+        }
+        c.observe("x", f64::NAN);
+        let snap = c.snapshot(&[]);
+        let (_, s) = &snap.values[0];
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!((s.min, s.max), (1.0, 4.0));
+    }
+
+    #[test]
+    fn histogram_first_range_wins_and_bad_range_refused() {
+        let mut c = Collector::new();
+        c.observe_hist("h", 0.1, 0.0, 1.0, 4);
+        c.observe_hist("h", 0.9, 5.0, 6.0, 2); // later range ignored
+        c.observe_hist("bad", 1.0, 1.0, 1.0, 4); // would panic in new()
+        let snap = c.snapshot(&[]);
+        assert_eq!(snap.hists.len(), 1);
+        let (name, h) = &snap.hists[0];
+        assert_eq!(name, "h");
+        assert_eq!(h.total, 2);
+        assert_eq!(h.buckets.len(), 4);
+    }
+
+    #[test]
+    fn fingerprint_merges_counters_and_gauges() {
+        let mut c = Collector::new();
+        c.count("n", 2);
+        c.gauge_max("g", 9);
+        let fp = c.snapshot(&[]).counter_fingerprint();
+        assert_eq!(fp, vec![("n".to_string(), 2), ("g".to_string(), 9)]);
+    }
+}

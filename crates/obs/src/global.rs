@@ -1,0 +1,145 @@
+//! The process-wide collector handle and its no-op fast path.
+//!
+//! Library code is instrumented unconditionally; whether the telemetry is
+//! live is a process-level switch. Disabled is the default and must cost
+//! almost nothing: [`enabled`] is one relaxed atomic load, and every
+//! other entry point returns before touching the mutex when the switch is
+//! off. The collector itself lives in a `OnceLock<Mutex<_>>` — shims-only
+//! builds have no `parking_lot`, and contention is irrelevant because the
+//! hot paths use the static [`counters`](crate::counters) instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::collector::{Collector, Snapshot, WallSpan};
+use crate::counters;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn cell() -> &'static Mutex<Collector> {
+    static CELL: OnceLock<Mutex<Collector>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Collector::new()))
+}
+
+/// The observability epoch: all wall-span offsets are relative to this
+/// instant, first pinned by [`enable`].
+fn epoch() -> Instant {
+    static CELL: OnceLock<Instant> = OnceLock::new();
+    *CELL.get_or_init(Instant::now)
+}
+
+fn lock() -> MutexGuard<'static, Collector> {
+    // A panic while the lock is held can only poison metric data, which
+    // the next reset clears — recover the guard instead of propagating.
+    cell().lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// `true` iff telemetry is live. One relaxed atomic load — the no-op
+/// fast path that keeps disabled overhead within the ≤2% budget.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns telemetry on (and pins the span epoch on first use).
+pub fn enable() {
+    let _ = epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns telemetry off. Instrumentation becomes a no-op again; collected
+/// data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clears all collected data, including the static hot counters. Works
+/// regardless of the enable flag.
+pub fn reset() {
+    for c in counters::all() {
+        c.clear();
+    }
+    *lock() = Collector::new();
+}
+
+/// Adds `delta` to a named monotone counter (no-op while disabled).
+pub fn count(name: &str, delta: u64) {
+    if enabled() {
+        lock().count(name, delta);
+    }
+}
+
+/// Raises a named high-water-mark gauge to at least `v` (no-op while
+/// disabled).
+pub fn gauge_max(name: &str, v: u64) {
+    if enabled() {
+        lock().gauge_max(name, v);
+    }
+}
+
+/// Folds one observation into a named Welford accumulator (no-op while
+/// disabled; NaN dropped).
+pub fn observe(name: &str, v: f64) {
+    if enabled() {
+        lock().observe(name, v);
+    }
+}
+
+/// Buckets one observation into a named fixed-width histogram created on
+/// first use over `[lo, hi)` (no-op while disabled; NaN and empty ranges
+/// dropped).
+pub fn observe_hist(name: &str, v: f64, lo: f64, hi: f64, buckets: usize) {
+    if enabled() {
+        lock().observe_hist(name, v, lo, hi, buckets);
+    }
+}
+
+/// A deterministic snapshot of everything collected so far (readable
+/// regardless of the enable flag).
+pub fn snapshot() -> Snapshot {
+    let hot: Vec<(&'static str, u64)> = counters::all()
+        .iter()
+        .map(|c| (c.name(), c.get()))
+        .collect();
+    lock().snapshot(&hot)
+}
+
+/// Starts an RAII wall-clock span; the span is recorded when the guard
+/// drops. While disabled this neither reads the clock nor allocates.
+pub fn timed(name: impl Into<String>) -> TimedSpan {
+    if enabled() {
+        TimedSpan {
+            live: Some((name.into(), Instant::now())),
+        }
+    } else {
+        TimedSpan { live: None }
+    }
+}
+
+/// Guard returned by [`timed`]; records the span on drop.
+#[derive(Debug)]
+pub struct TimedSpan {
+    live: Option<(String, Instant)>,
+}
+
+impl TimedSpan {
+    /// Ends the span now instead of at scope exit.
+    pub fn finish(self) {}
+}
+
+impl Drop for TimedSpan {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.live.take() {
+            let dur_us = start.elapsed().as_secs_f64() * 1e6;
+            // `duration_since` saturates to zero for pre-epoch instants,
+            // so a span racing `enable()` cannot panic here.
+            let start_us = start.duration_since(epoch()).as_secs_f64() * 1e6;
+            lock().record_span(WallSpan {
+                name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}

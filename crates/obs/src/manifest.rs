@@ -1,0 +1,139 @@
+//! The run manifest: the reproducibility footer written alongside CSV and
+//! JSONL output so future bench regressions are diffable — which command
+//! ran, with which seed and parameters, how long it took, and what the
+//! counters said.
+
+use std::fmt::Write as _;
+
+use crate::json::Value;
+
+/// One run's provenance record.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// The CLI command (e.g. `fig3`, `all`).
+    pub command: String,
+    /// RNG seed in effect.
+    pub seed: u64,
+    /// Monte-Carlo trials per point.
+    pub trials: usize,
+    /// Largest cluster size swept.
+    pub max_n: usize,
+    /// Named model parameters (e.g. `tau`, `pi`, `delta`).
+    pub params: Vec<(String, f64)>,
+    /// Total wall time of the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Counter and gauge totals at the end of the run.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunManifest {
+    /// The manifest as one JSONL event line (same `{event, name, value}`
+    /// contract as the rest of the stream; `event` is `"manifest"`).
+    pub fn to_jsonl_line(&self) -> String {
+        let value = Value::Obj(vec![
+            ("seed".into(), Value::Num(self.seed as f64)),
+            ("trials".into(), Value::Num(self.trials as f64)),
+            ("max_n".into(), Value::Num(self.max_n as f64)),
+            (
+                "params".into(),
+                Value::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("wall_ms".into(), Value::Num(self.wall_ms)),
+            (
+                "counters".into(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        Value::Obj(vec![
+            ("event".into(), Value::Str("manifest".into())),
+            ("name".into(), Value::Str(self.command.clone())),
+            ("value".into(), value),
+        ])
+        .render()
+    }
+
+    /// The human-readable footer printed after a `--obs` run.
+    pub fn footer(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "── run manifest ──");
+        let _ = writeln!(out, "  command  {}", self.command);
+        let _ = writeln!(out, "  seed     {}", self.seed);
+        let _ = writeln!(out, "  trials   {}", self.trials);
+        let _ = writeln!(out, "  max_n    {}", self.max_n);
+        for (k, v) in &self.params {
+            let _ = writeln!(out, "  param    {k} = {v}");
+        }
+        let _ = writeln!(out, "  wall     {:.3} ms", self.wall_ms);
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "  counter  {k} = {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            command: "fig3".into(),
+            seed: 42,
+            trials: 1000,
+            max_n: 32,
+            params: vec![("tau".into(), 2.5), ("delta".into(), 0.1)],
+            wall_ms: 12.75,
+            counters: vec![("xengine.replace".into(), 57_344)],
+        }
+    }
+
+    #[test]
+    fn manifest_line_satisfies_the_stream_contract() {
+        let line = sample().to_jsonl_line();
+        crate::sink::validate_jsonl_line(&line).unwrap();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(
+            v.get("event").and_then(json::Value::as_str),
+            Some("manifest")
+        );
+        assert_eq!(v.get("name").and_then(json::Value::as_str), Some("fig3"));
+        let val = v.get("value").expect("value");
+        assert_eq!(val.get("seed").and_then(json::Value::as_f64), Some(42.0));
+        assert_eq!(
+            val.get("params")
+                .and_then(|p| p.get("tau"))
+                .and_then(json::Value::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(
+            val.get("counters")
+                .and_then(|c| c.get("xengine.replace"))
+                .and_then(json::Value::as_f64),
+            Some(57_344.0)
+        );
+    }
+
+    #[test]
+    fn footer_lists_every_field() {
+        let f = sample().footer();
+        for needle in [
+            "command  fig3",
+            "seed     42",
+            "tau = 2.5",
+            "xengine.replace = 57344",
+        ] {
+            assert!(f.contains(needle), "footer missing {needle}:\n{f}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration tests for the process-global collector handle.
+//!
+//! The handle is process-wide state and the test harness is
+//! multi-threaded, so every test that toggles it serializes on one lock.
+
+use std::sync::Mutex;
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn disabled_calls_are_no_ops() {
+    let _g = serialized();
+    hetero_obs::disable();
+    hetero_obs::reset();
+    hetero_obs::count("noop.counter", 5);
+    hetero_obs::gauge_max("noop.gauge", 5);
+    hetero_obs::observe("noop.value", 1.0);
+    hetero_obs::observe_hist("noop.hist", 1.0, 0.0, 2.0, 2);
+    hetero_obs::counters::XENGINE_REPLACE.bump();
+    drop(hetero_obs::timed("noop.span"));
+    let snap = hetero_obs::snapshot();
+    assert_eq!(snap.counter("noop.counter"), 0);
+    assert_eq!(snap.counter("xengine.replace"), 0);
+    assert!(snap.values.is_empty());
+    assert!(snap.hists.is_empty());
+    assert!(snap.spans.is_empty());
+}
+
+#[test]
+fn enabled_collects_and_reset_clears() {
+    let _g = serialized();
+    hetero_obs::enable();
+    hetero_obs::reset();
+    hetero_obs::count("api.counter", 2);
+    hetero_obs::count("api.counter", 3);
+    hetero_obs::gauge_max("api.gauge", 7);
+    hetero_obs::gauge_max("api.gauge", 4);
+    hetero_obs::observe("api.value", 1.5);
+    hetero_obs::observe_hist("api.hist", 0.5, 0.0, 1.0, 4);
+    hetero_obs::counters::XENGINE_REPLACE.bump();
+    hetero_obs::counters::SELECTION_SUBSET_NODES.add(10);
+    {
+        let _span = hetero_obs::timed("api.span");
+    }
+    let snap = hetero_obs::snapshot();
+    assert_eq!(snap.counter("api.counter"), 5);
+    assert_eq!(snap.gauge("api.gauge"), 7);
+    assert_eq!(snap.counter("xengine.replace"), 1);
+    assert_eq!(snap.counter("selection.subset_nodes"), 10);
+    assert_eq!(snap.values.len(), 1);
+    assert_eq!(snap.hists.len(), 1);
+    assert_eq!(snap.spans.len(), 1);
+    assert_eq!(snap.spans[0].name, "api.span");
+    assert!(snap.spans[0].dur_us >= 0.0);
+
+    hetero_obs::reset();
+    let snap = hetero_obs::snapshot();
+    assert!(snap.counters.iter().all(|&(_, v)| v == 0));
+    assert!(snap.spans.is_empty());
+    hetero_obs::disable();
+}
+
+#[test]
+fn fingerprint_is_deterministic_across_identical_runs() {
+    let _g = serialized();
+    let run = || {
+        hetero_obs::enable();
+        hetero_obs::reset();
+        for i in 0..17u64 {
+            hetero_obs::count("det.counter", i % 3);
+            hetero_obs::gauge_max("det.gauge", (i * 7) % 11);
+        }
+        hetero_obs::counters::XENGINE_COMMIT.add(9);
+        let fp = hetero_obs::snapshot().counter_fingerprint();
+        hetero_obs::disable();
+        fp
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn timed_span_survives_mid_flight_disable() {
+    let _g = serialized();
+    hetero_obs::enable();
+    hetero_obs::reset();
+    let span = hetero_obs::timed("api.mid_flight");
+    hetero_obs::disable();
+    span.finish();
+    let snap = hetero_obs::snapshot();
+    assert_eq!(snap.spans.len(), 1, "live span records even after disable");
+    hetero_obs::reset();
+}

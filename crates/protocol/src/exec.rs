@@ -201,6 +201,10 @@ pub fn execute(params: &Params, profile: &Profile, plan: &Plan) -> Execution {
         }
     });
 
+    if hetero_obs::enabled() {
+        observe_execution(&state, &queue, n);
+    }
+
     Execution {
         trace: state.trace,
         arrivals: state
@@ -210,6 +214,42 @@ pub fn execute(params: &Params, profile: &Profile, plan: &Plan) -> Execution {
             .map(|a| a.expect("every position's results arrive"))
             .collect(),
         plan: plan.clone(),
+    }
+}
+
+/// Folds one finished execution into the global collector: simulator
+/// load, resource utilization per entity, and per-phase span timing
+/// (send = server packaging + work transit; compute = the worker's
+/// `Bρw` block; receive = result transit + server unpackaging).
+fn observe_execution(state: &ExecState, queue: &EventQueue<Event>, n: usize) {
+    hetero_obs::count("sim.events", queue.dispatched());
+    hetero_obs::gauge_max("sim.queue_high_water", queue.high_water() as u64);
+    let horizon = state.trace.makespan();
+    hetero_obs::observe("protocol.util.server", state.server.utilization(horizon));
+    hetero_obs::observe("protocol.util.channel", state.channel.utilization(horizon));
+    // Workers are not UnitResources (their schedule is closed-form), so
+    // their utilization is busy time over the makespan, read off the trace.
+    let mut worker_busy = vec![0.0f64; n];
+    for span in state.trace.spans() {
+        let phase = match span.label.as_str() {
+            "unpack" | "compute" | "pack" => {
+                let idx = span.entity.wrapping_sub(1);
+                if let Some(busy) = worker_busy.get_mut(idx) {
+                    *busy += span.duration();
+                }
+                "protocol.compute"
+            }
+            "wait:channel" => "protocol.wait",
+            l if l.starts_with("pack→") || l.starts_with("xmit:work") => "protocol.send",
+            l if l.starts_with("xmit:result") || l.starts_with("recv←") => "protocol.receive",
+            _ => "protocol.other",
+        };
+        hetero_obs::observe(phase, span.duration());
+    }
+    if horizon.get() > 0.0 {
+        for busy in worker_busy {
+            hetero_obs::observe("protocol.util.worker", busy / horizon.get());
+        }
     }
 }
 

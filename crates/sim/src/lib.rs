@@ -41,7 +41,7 @@ pub mod stats;
 pub use queue::EventQueue;
 pub use resource::UnitResource;
 pub use time::SimTime;
-pub use trace::{Span, Trace};
+pub use trace::{BackwardsSpan, Span, Trace};
 
 /// Drains the queue, dispatching every event to `handler` in time order.
 ///

@@ -38,6 +38,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     seq: u64,
     now: SimTime,
+    dispatched: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -53,6 +55,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            dispatched: 0,
+            high_water: 0,
         }
     }
 
@@ -79,6 +83,7 @@ impl<E> EventQueue<E> {
             payload,
         }));
         self.seq += 1;
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedules `payload` for `dt` time units after the current clock.
@@ -94,6 +99,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse(ev) = self.heap.pop()?;
         self.now = ev.time;
+        self.dispatched += 1;
         Some((ev.time, ev.payload))
     }
 
@@ -110,6 +116,18 @@ impl<E> EventQueue<E> {
     /// `true` iff no events are queued.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total events dispatched by [`pop`](EventQueue::pop) over the
+    /// queue's lifetime — the simulation's `sim.events` metric.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// The largest number of simultaneously pending events so far — the
+    /// simulation's queue high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -162,6 +180,23 @@ mod tests {
         q.schedule_at(SimTime::new(2.0), 0);
         q.pop();
         q.schedule_at(SimTime::new(1.0), 1);
+    }
+
+    #[test]
+    fn dispatched_and_high_water_track_lifetime_load() {
+        let mut q = EventQueue::new();
+        assert_eq!((q.dispatched(), q.high_water()), (0, 0));
+        q.schedule_at(SimTime::new(1.0), 'a');
+        q.schedule_at(SimTime::new(2.0), 'b');
+        q.schedule_at(SimTime::new(3.0), 'c');
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        // High water is a lifetime mark; it does not recede.
+        q.schedule_at(SimTime::new(4.0), 'd');
+        assert_eq!(q.high_water(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.dispatched(), 4);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! those boxes during a simulation; `hetero-experiments` renders them as an
 //! ASCII Gantt chart.
 
+use std::error::Error;
+use std::fmt;
+
 use crate::SimTime;
 
 /// One recorded activity interval.
@@ -32,6 +35,29 @@ impl Span {
     }
 }
 
+/// Rejected span: its end precedes its start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackwardsSpan {
+    /// The entity the span was recorded for.
+    pub entity: usize,
+    /// The offending start time.
+    pub start: SimTime,
+    /// The offending (earlier) end time.
+    pub end: SimTime,
+}
+
+impl fmt::Display for BackwardsSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "span ends before it starts: entity {} from {:?} to {:?}",
+            self.entity, self.start, self.end
+        )
+    }
+}
+
+impl Error for BackwardsSpan {}
+
 /// An append-only recording of activity spans.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
@@ -44,10 +70,36 @@ impl Trace {
         Self::default()
     }
 
-    /// Records one activity.
+    /// Records one activity, rejecting spans that end before they start.
+    pub fn try_record(
+        &mut self,
+        entity: usize,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Result<(), BackwardsSpan> {
+        if end < start {
+            return Err(BackwardsSpan { entity, start, end });
+        }
+        self.spans.push(Span {
+            entity,
+            label: label.into(),
+            start,
+            end,
+        });
+        Ok(())
+    }
+
+    /// Records one activity. Convenience wrapper over [`try_record`] for
+    /// event handlers whose span endpoints come straight off the causal
+    /// event clock; callers with untrusted endpoints should use
+    /// [`try_record`] and handle the error.
     ///
     /// # Panics
-    /// Panics when `end < start`.
+    /// Panics when `end < start` — a backwards span is a protocol-logic
+    /// bug, not a recoverable condition, at these call sites.
+    ///
+    /// [`try_record`]: Trace::try_record
     pub fn record(
         &mut self,
         entity: usize,
@@ -55,13 +107,9 @@ impl Trace {
         start: SimTime,
         end: SimTime,
     ) {
-        assert!(end >= start, "span ends before it starts");
-        self.spans.push(Span {
-            entity,
-            label: label.into(),
-            start,
-            end,
-        });
+        self.try_record(entity, label, start, end)
+            // hetero-check: allow(expect) — documented-panic wrapper; the fallible form is try_record
+            .expect("span ends before it starts");
     }
 
     /// All recorded spans, in recording order.
@@ -194,5 +242,22 @@ mod tests {
     fn backwards_span_panics() {
         let mut tr = Trace::new();
         tr.record(0, "bad", t(2.0), t(1.0));
+    }
+
+    #[test]
+    fn try_record_returns_the_offending_endpoints() {
+        let mut tr = Trace::new();
+        assert!(tr.try_record(1, "ok", t(1.0), t(1.0)).is_ok());
+        let err = tr.try_record(3, "bad", t(2.0), t(1.0)).unwrap_err();
+        assert_eq!(
+            err,
+            BackwardsSpan {
+                entity: 3,
+                start: t(2.0),
+                end: t(1.0)
+            }
+        );
+        assert!(err.to_string().contains("ends before"));
+        assert_eq!(tr.spans().len(), 1, "rejected span not recorded");
     }
 }

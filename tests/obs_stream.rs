@@ -1,0 +1,138 @@
+//! Observability-stream contracts across the workspace:
+//!
+//! 1. the Chrome trace export of a pinned two-computer FIFO run is
+//!    byte-identical to the checked-in golden file (the export is part of
+//!    the reproducibility surface — any drift is a deliberate,
+//!    golden-updating change);
+//! 2. two identical runs produce identical counter snapshots (the
+//!    collector never injects nondeterminism);
+//! 3. every line of a JSONL stream honours the `{event, name, value}`
+//!    contract — including, when `OBS_JSONL` points at a file written by
+//!    `hetero-cli --obs-json`, the stream produced by the real binary
+//!    (this is the CI validation hook).
+
+use std::sync::Mutex;
+
+use hetero_core::{Params, Profile};
+use hetero_experiments::{obs_export, scaling};
+use hetero_obs::sink::validate_jsonl_line;
+
+/// Serializes the tests that flip the process-global collector.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+/// The pinned run behind the golden file: Table 1 parameters, two remote
+/// computers at ρ = ⟨1, ½⟩, FIFO plan sized for lifespan 100.
+fn fifo2_chrome() -> String {
+    let params = Params::paper_table1();
+    let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+    let run = obs_export::fig2_execution(&params, &profile, 100.0);
+    obs_export::execution_to_chrome(&run, profile.n())
+}
+
+/// Regenerates the golden file after an intentional format change:
+/// `cargo test --test obs_stream -- --ignored regenerate_golden_trace`
+#[test]
+#[ignore = "writes tests/golden/fifo2_trace.json; run explicitly after intentional format changes"]
+fn regenerate_golden_trace() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/fifo2_trace.json");
+    std::fs::write(path, fifo2_chrome()).unwrap();
+}
+
+#[test]
+fn chrome_trace_matches_golden_file_byte_for_byte() {
+    let doc = fifo2_chrome();
+    let golden = include_str!("golden/fifo2_trace.json");
+    assert_eq!(
+        doc, golden,
+        "Chrome trace drifted from tests/golden/fifo2_trace.json; if the \
+         change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_expected_rows() {
+    let doc = fifo2_chrome();
+    let v = hetero_obs::json::parse(&doc).expect("golden trace parses as JSON");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(|u| u.as_str()),
+        Some("ms")
+    );
+    for row in ["\"C0\"", "\"C1\"", "\"C2\"", "\"net\""] {
+        assert!(doc.contains(row), "missing gantt row {row}");
+    }
+}
+
+#[test]
+fn identical_runs_produce_identical_counter_snapshots() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let params = Params::paper_table1();
+    let sizes = [8usize, 16, 32];
+
+    hetero_obs::reset();
+    hetero_obs::enable();
+    let _ = scaling::run(&params, &sizes);
+    let first = hetero_obs::snapshot();
+
+    hetero_obs::reset();
+    let _ = scaling::run(&params, &sizes);
+    let second = hetero_obs::snapshot();
+    hetero_obs::disable();
+    hetero_obs::reset();
+
+    assert_eq!(
+        first.counter_fingerprint(),
+        second.counter_fingerprint(),
+        "same-seed runs must produce identical counters and gauges"
+    );
+    assert!(
+        first.counter("xengine.rebuild") > 0,
+        "scaling must exercise the xengine"
+    );
+}
+
+#[test]
+fn every_jsonl_line_honours_the_event_name_value_contract() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    hetero_obs::reset();
+    hetero_obs::enable();
+    let _ = scaling::run(&Params::paper_table1(), &[8, 16]);
+    hetero_obs::count("demo.counter", 3);
+    hetero_obs::observe("demo.value", 1.5);
+    hetero_obs::observe_hist("demo.hist", 0.5, 0.0, 1.0, 4);
+    let snapshot = hetero_obs::snapshot();
+    hetero_obs::disable();
+    hetero_obs::reset();
+
+    let stream = snapshot.to_jsonl();
+    assert!(!stream.is_empty());
+    for line in stream.lines() {
+        validate_jsonl_line(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+    }
+}
+
+/// CI hook: when `OBS_JSONL` names a file (written by
+/// `hetero-cli all --obs-json`), every line of it must parse and carry
+/// the `{event, name, value}` keys. Without the variable the test is a
+/// no-op, so local `cargo test` stays hermetic.
+#[test]
+fn external_obs_stream_validates_when_provided() {
+    let Ok(path) = std::env::var("OBS_JSONL") else {
+        return;
+    };
+    let body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("OBS_JSONL={path} is not readable: {e}"));
+    let mut lines = 0usize;
+    for line in body.lines() {
+        validate_jsonl_line(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        lines += 1;
+    }
+    assert!(lines > 0, "OBS_JSONL={path} is empty");
+    // A full CLI run must close with the manifest record.
+    let last = body.lines().last().unwrap();
+    let v = hetero_obs::json::parse(last).unwrap();
+    assert_eq!(
+        v.get("event").and_then(|e| e.as_str()),
+        Some("manifest"),
+        "stream must end with the run manifest"
+    );
+}
