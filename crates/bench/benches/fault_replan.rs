@@ -1,0 +1,103 @@
+//! Bench — the replanner's per-fault reaction cost against a from-scratch
+//! re-solve, across cluster sizes.
+//!
+//! When the adaptive executor detects a straggler at a send boundary it
+//! commits the rescaled ρ into its live `XScan` and re-walks the no-gap
+//! recurrence over the surviving suffix — O(n) buffer-reusing passes with
+//! no validation or allocation. The baseline builds a fresh `XScan` from
+//! the rescaled speeds on every fault (validation, allocation, and the
+//! X-measure from zero), the way a detector bolted onto the public solver
+//! API would. The ratio at n = 16384 is the headline number recorded in
+//! `BENCH_pr4.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::xengine::XScan;
+use hetero_core::{Params, Profile};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [64, 1024, 16_384];
+
+/// The replanner's suffix walk: `c = window / (1 + τδ·X)`, then the
+/// no-gap recurrence with a never-grow cap (mirrors
+/// `replan::resolve_suffix` without the DES state around it).
+fn resolve_suffix(params: &Params, scan: &XScan, window: f64, cap: &[f64], out: &mut [f64]) -> f64 {
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let c = window / (1.0 + td * scan.x());
+    let mut product = 1.0f64;
+    let mut total = 0.0f64;
+    for ((w, &rho), &orig) in out.iter_mut().zip(scan.rhos()).zip(cap) {
+        let denom = b * rho + a;
+        let resolved = c * product / denom;
+        product *= (b * rho + td) / denom;
+        *w = resolved.min(orig);
+        total += *w;
+    }
+    total
+}
+
+fn bench_replan(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    // One detected straggler: commit the inflated ρ into the live scan,
+    // re-walk the suffix. This is the per-fault cost the replanner pays.
+    let mut group = c.benchmark_group("faults/replan_incremental");
+    for n in SIZES {
+        let profile = Profile::harmonic(n);
+        let mut scan = XScan::from_profile(&params, &profile);
+        let k = n / 2;
+        let slowed = profile.rho(k) * 3.0;
+        // The original (fault-free) allocation shape is the never-grow cap.
+        let mut cap = vec![0.0f64; n];
+        resolve_suffix(&params, &scan, 600.0, &vec![f64::MAX; n], &mut cap);
+        let mut work = vec![0.0f64; n];
+        // Alternate the committed value so every iteration performs
+        // exactly one commit + one suffix walk — the real per-fault cost.
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let rho = if flip { profile.rho(k) } else { slowed };
+                flip = !flip;
+                scan.commit(black_box(k), black_box(rho)).unwrap();
+                black_box(resolve_suffix(
+                    &params,
+                    &scan,
+                    black_box(550.0),
+                    &cap,
+                    &mut work,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // From-scratch baseline: rebuild the solver state from the rescaled
+    // speeds on every fault — fresh validation, allocation, and X-measure.
+    let mut group = c.benchmark_group("faults/replan_scratch_baseline");
+    for n in SIZES {
+        let profile = Profile::harmonic(n);
+        let rhos: Vec<f64> = profile.rhos().to_vec();
+        let k = n / 2;
+        let mut cap = vec![0.0f64; n];
+        let seed_scan = XScan::from_profile(&params, &profile);
+        resolve_suffix(&params, &seed_scan, 600.0, &vec![f64::MAX; n], &mut cap);
+        let mut work = vec![0.0f64; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut slowed = rhos.clone();
+                slowed[k] *= black_box(3.0);
+                let scan = XScan::new(&params, &slowed).unwrap();
+                black_box(resolve_suffix(
+                    &params,
+                    &scan,
+                    black_box(550.0),
+                    &cap,
+                    &mut work,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replan);
+criterion_main!(benches);

@@ -31,6 +31,8 @@ pub enum Lint {
     PrintInLib,
     /// An allow comment without a justification.
     AllowMissingReason,
+    /// Panicking `SimTime::new` outside the simulator crate.
+    SimTimeUnchecked,
 }
 
 /// Every lint, in reporting order.
@@ -47,6 +49,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::ConstructorDiscipline,
     Lint::PrintInLib,
     Lint::AllowMissingReason,
+    Lint::SimTimeUnchecked,
 ];
 
 impl Lint {
@@ -65,6 +68,7 @@ impl Lint {
             Lint::ConstructorDiscipline => "constructor-discipline",
             Lint::PrintInLib => "print-in-lib",
             Lint::AllowMissingReason => "allow-missing-reason",
+            Lint::SimTimeUnchecked => "sim-time-unchecked",
         }
     }
 

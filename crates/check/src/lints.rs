@@ -115,6 +115,11 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
             cx.unwrap_expect(&mut raw, &chained);
             cx.panics(&mut raw);
             cx.print_in_lib(&mut raw);
+            // The simulator crate owns SimTime and validates inside
+            // `new` itself; everyone else must use the fallible API.
+            if !rel.starts_with("crates/sim/src/") {
+                cx.sim_time_unchecked(&mut raw);
+            }
             cx.indexing(&mut raw);
             cx.crate_policy(src, &mut raw);
             cx.paper_anchor(src, &mut raw);
@@ -530,6 +535,36 @@ impl<'a> Cx<'a> {
         }
     }
 
+    /// `SimTime::new` panics on non-finite input; library code outside
+    /// the simulator crate (which owns and validates the type) must use
+    /// `SimTime::try_new` and propagate the typed error instead —
+    /// fault-injected schedules make non-finite times reachable.
+    fn sim_time_unchecked(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.kind != TokenKind::Ident || tok.text != "SimTime" {
+                continue;
+            }
+            if self.text(i + 1) != "::" || self.text(i + 2) != "new" {
+                continue;
+            }
+            // `new` must be a call, not a path segment like
+            // `SimTime::new_unchecked` (the lexer splits idents, so this
+            // is just the `(` check).
+            if self.text(i + 3) != "(" {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::SimTimeUnchecked,
+                tok,
+                "`SimTime::new` panics on non-finite input; outside hetero-sim use \
+                 `SimTime::try_new` and propagate the error — fault-injected \
+                 schedules make non-finite times reachable"
+                    .to_string(),
+            );
+        }
+    }
+
     /// Expression indexing (advisory).
     fn indexing(&self, out: &mut Vec<Diagnostic>) {
         for (i, tok) in self.tokens.iter().enumerate() {
@@ -736,6 +771,27 @@ mod tests {
         assert!(lints_of(LIB, src).is_empty());
         let live = "fn f(x: Option<u8>) { x.unwrap(); }";
         assert!(lints_of(LIB, live).iter().any(|(l, _)| *l == Lint::Unwrap));
+    }
+
+    #[test]
+    fn sim_time_unchecked_scoped_outside_the_simulator() {
+        let src = "fn f() -> SimTime { SimTime::new(1.0) }";
+        assert!(lints_of("crates/protocol/src/m.rs", src)
+            .iter()
+            .any(|(l, _)| *l == Lint::SimTimeUnchecked));
+        // The simulator crate owns and validates the type.
+        assert!(lints_of("crates/sim/src/m.rs", src)
+            .iter()
+            .all(|(l, _)| *l != Lint::SimTimeUnchecked));
+        // Test code and the fallible API are exempt.
+        let test = "#[cfg(test)]\nmod tests {\n fn f() -> SimTime { SimTime::new(1.0) }\n}";
+        assert!(lints_of("crates/protocol/src/m.rs", test)
+            .iter()
+            .all(|(l, _)| *l != Lint::SimTimeUnchecked));
+        let try_new = "fn f() -> Result<SimTime, NonFiniteTime> { SimTime::try_new(1.0) }";
+        assert!(lints_of("crates/protocol/src/m.rs", try_new)
+            .iter()
+            .all(|(l, _)| *l != Lint::SimTimeUnchecked));
     }
 
     #[test]

@@ -115,6 +115,18 @@ fn violations_fixture_fires_every_deny_lint() {
     assert!(has(&d, "unwrap", "crates/demo/src/allow.rs", 6));
     assert!(has(&d, "print-in-lib", "crates/demo/src/print.rs", 4));
     assert!(has(&d, "print-in-lib", "crates/demo/src/print.rs", 5));
+    // The panicking constructor fires; the fallible API stays silent.
+    assert!(has(
+        &d,
+        "sim-time-unchecked",
+        "crates/demo/src/simtime.rs",
+        4
+    ));
+    let simtime = d
+        .iter()
+        .filter(|(l, _, _, _)| l == "sim-time-unchecked")
+        .count();
+    assert_eq!(simtime, 1, "{d:?}");
     // Missing headers are reported once per header.
     let policy = d
         .iter()
@@ -129,7 +141,7 @@ fn violations_fixture_fires_every_deny_lint() {
         .expect("indexing reported");
     assert_eq!(level, "warn");
 
-    assert_eq!(summary_num(&r, "violations"), 14);
+    assert_eq!(summary_num(&r, "violations"), 15);
     assert_eq!(summary_num(&r, "warnings"), 1);
     assert_eq!(summary_num(&r, "exit_code"), 1);
 }

@@ -1,0 +1,9 @@
+//! Panicking simulation-time construction outside the simulator crate.
+
+pub fn stamp(t: f64) -> SimTime {
+    SimTime::new(t)
+}
+
+pub fn checked(t: f64) -> Result<SimTime, NonFiniteTime> {
+    SimTime::try_new(t)
+}

@@ -27,6 +27,10 @@
 //!                           extension: majorization explains the bad pairs
 //!   granularity             extension: integral-task quantization cost
 //!   robustness [--trials N] extension: planning under estimation error
+//!   faults [--smoke] [--trials N] [--seed S]
+//!                           extension: fault injection vs adaptive
+//!                           replanning (E18); --smoke runs a small,
+//!                           CI-sized sweep
 //!   fleet                   extension: fleet sizing vs X saturation
 //!   all                     everything above with default settings
 //! ```
@@ -54,9 +58,9 @@ use std::process::ExitCode;
 
 use hetero_core::Params;
 use hetero_experiments::{
-    examples42, fifo_lifo, fig34, fleet, gantt, granularity, majorization_ext, moments_ext,
-    obs_export, protocol_check, robustness, scaling, sensitivity, table3, table4, threshold,
-    variance,
+    examples42, fault_sweep, fifo_lifo, fig34, fleet, gantt, granularity, majorization_ext,
+    moments_ext, obs_export, protocol_check, robustness, scaling, sensitivity, table3, table4,
+    threshold, variance,
 };
 
 /// Parsed command-line options.
@@ -67,6 +71,7 @@ struct Opts {
     seed: Option<u64>,
     hard: bool,
     bench_scaling: bool,
+    smoke: bool,
     obs: bool,
     obs_json: Option<String>,
     obs_trace: Option<String>,
@@ -88,6 +93,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         seed: None,
         hard: false,
         bench_scaling: false,
+        smoke: false,
         obs: false,
         obs_json: None,
         obs_trace: None,
@@ -98,6 +104,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--csv" => opts.csv = true,
             "--hard" => opts.hard = true,
             "--bench-scaling" => opts.bench_scaling = true,
+            "--smoke" => opts.smoke = true,
             "--obs" => opts.obs = true,
             "--obs-json" => {
                 let v = it.next().ok_or("--obs-json needs a path")?;
@@ -271,6 +278,22 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             };
             print_table(&robustness::run(&cfg).table(), opts.csv);
         }
+        "faults" => {
+            let mut cfg = fault_sweep::FaultSweepConfig {
+                trials: opts.trials.unwrap_or(100),
+                seed: opts.seed.unwrap_or(0xFA17),
+                ..fault_sweep::FaultSweepConfig::default()
+            };
+            if opts.smoke {
+                cfg.n = 6;
+                cfg.crash_ps = vec![0.0, 0.2];
+                cfg.straggler_factors = vec![3.0];
+                cfg.margins = vec![0.0, 0.1];
+                cfg.trials = opts.trials.unwrap_or(25);
+            }
+            print_table(&fault_sweep::run(&cfg).table(), opts.csv);
+            println!("(adaptive replanning vs oblivious FIFO vs equal split under seeded crash/straggler injection)");
+        }
         "sensitivity" => print_table(&sensitivity::run_paper().table(), opts.csv),
         "scaling" => {
             if opts.bench_scaling {
@@ -314,6 +337,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
                 "majorize-ext",
                 "granularity",
                 "robustness",
+                "faults",
                 "fleet",
             ] {
                 println!("──────────────────────────────────────── {c}");
@@ -392,11 +416,11 @@ fn main() -> ExitCode {
         println!(
             "commands: params table3 table4 fig3 fig4 variance threshold minorize \
              protocol gantt moments lifo sensitivity scaling majorize-ext \
-             granularity robustness fleet all"
+             granularity robustness faults fleet all"
         );
         println!(
             "options:  --csv --trials N --max-n N --seed S --hard --bench-scaling \
-             --obs --obs-json PATH --obs-trace PATH"
+             --smoke --obs --obs-json PATH --obs-trace PATH"
         );
         return ExitCode::SUCCESS;
     }
@@ -441,7 +465,7 @@ mod tests {
     #[test]
     fn parse_opts_defaults() {
         let o = parse_opts(&[]).unwrap();
-        assert!(!o.csv && !o.hard && !o.bench_scaling && !o.obs);
+        assert!(!o.csv && !o.hard && !o.bench_scaling && !o.smoke && !o.obs);
         assert!(o.trials.is_none() && o.max_n.is_none() && o.seed.is_none());
         assert!(o.obs_json.is_none() && o.obs_trace.is_none());
         assert!(!o.obs_active());
@@ -467,6 +491,7 @@ mod tests {
             "--csv",
             "--hard",
             "--bench-scaling",
+            "--smoke",
             "--trials",
             "42",
             "--max-n",
@@ -478,7 +503,7 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         let o = parse_opts(&args).unwrap();
-        assert!(o.csv && o.hard && o.bench_scaling);
+        assert!(o.csv && o.hard && o.bench_scaling && o.smoke);
         assert_eq!(o.trials, Some(42));
         assert_eq!(o.max_n, Some(128));
         assert_eq!(o.seed, Some(7));
@@ -500,11 +525,29 @@ mod tests {
             seed: None,
             hard: false,
             bench_scaling: true,
+            smoke: false,
             obs: false,
             obs_json: None,
             obs_trace: None,
         };
         run_command("scaling", &opts).unwrap();
+    }
+
+    #[test]
+    fn faults_smoke_command_runs() {
+        let opts = Opts {
+            csv: true,
+            trials: Some(5),
+            max_n: None,
+            seed: Some(42),
+            hard: false,
+            bench_scaling: false,
+            smoke: true,
+            obs: false,
+            obs_json: None,
+            obs_trace: None,
+        };
+        run_command("faults", &opts).unwrap();
     }
 
     #[test]
@@ -529,6 +572,7 @@ mod tests {
             seed: Some(1),
             hard: false,
             bench_scaling: false,
+            smoke: false,
             obs: false,
             obs_json: None,
             obs_trace: None,

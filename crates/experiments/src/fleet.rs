@@ -1,4 +1,4 @@
-//! Experiment E18 (extension) — **fleet sizing**: how many computers are
+//! Experiment E19 (extension) — **fleet sizing**: how many computers are
 //! actually worth renting?
 //!
 //! The `k` fastest computers are always the optimal `k`-subset

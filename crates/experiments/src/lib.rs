@@ -21,6 +21,7 @@
 //! | [`majorization_ext`] | extension: majorization explains the bad pairs |
 //! | [`granularity`] | extension: integral-task quantization cost |
 //! | [`robustness`] | extension: planning under speed-estimation error |
+//! | [`fault_sweep`] | extension: fault injection vs adaptive replanning |
 //! | [`fleet`] | extension: fleet sizing against X-measure saturation |
 //!
 //! Every experiment is a pure function of its configuration (including RNG
@@ -32,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod examples42;
+pub mod fault_sweep;
 pub mod fifo_lifo;
 pub mod fig34;
 pub mod fleet;

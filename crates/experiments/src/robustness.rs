@@ -18,6 +18,7 @@
 use hetero_clustergen::{rng_from_seed, GenConfig, Shape};
 use hetero_core::{xmeasure, Params, Profile};
 use hetero_par::{seed, Executor};
+use hetero_protocol::replan::hedged_lifespan;
 use hetero_protocol::{alloc, baseline, exec};
 use rand::Rng;
 
@@ -37,6 +38,8 @@ pub struct RobustnessRow {
     pub mean_overrun: f64,
     /// Mean throughput fraction achieved by equal split (no estimates).
     pub equal_split_fraction: f64,
+    /// Fraction of trials whose last arrival landed past the lifespan.
+    pub miss_rate: f64,
 }
 
 /// Configuration.
@@ -50,6 +53,10 @@ pub struct RobustnessConfig {
     pub epsilons: Vec<f64>,
     /// Trials per level.
     pub trials: usize,
+    /// Safety margin hedged off the planned lifespan: plans are sized to
+    /// [`hedged_lifespan`]`(L, hedge_margin)` but judged against `L`.
+    /// Zero (the default) plans to the knife edge.
+    pub hedge_margin: f64,
     /// Root seed.
     pub seed: u64,
     /// Worker threads.
@@ -63,6 +70,7 @@ impl Default for RobustnessConfig {
             n: 8,
             epsilons: vec![0.0, 0.01, 0.05, 0.1, 0.25, 0.5],
             trials: 200,
+            hedge_margin: 0.0,
             seed: 0xEB0B,
             threads: hetero_par::default_threads(),
         }
@@ -79,8 +87,14 @@ pub struct Robustness {
 }
 
 /// One trial: returns `(throughput fraction, overrun factor, equal-split
-/// fraction)`.
-pub fn one_trial(params: &Params, n: usize, epsilon: f64, trial_seed: u64) -> (f64, f64, f64) {
+/// fraction, deadline missed)`.
+pub fn one_trial(
+    params: &Params,
+    n: usize,
+    epsilon: f64,
+    hedge_margin: f64,
+    trial_seed: u64,
+) -> (f64, f64, f64, bool) {
     let mut rng = rng_from_seed(trial_seed);
     let truth = hetero_clustergen::random_profile(&mut rng, GenConfig::new(n), Shape::Uniform);
     let lifespan = 600.0;
@@ -102,18 +116,23 @@ pub fn one_trial(params: &Params, n: usize, epsilon: f64, trial_seed: u64) -> (f
     // same rank — rank order is preserved by construction because the
     // perturbation is per-computer but both profiles are sorted; matching
     // by rank models "we think this machine is the k-th slowest".
-    let planned = alloc::fifo_plan(params, &estimate, lifespan).expect("feasible");
+    // The hedge shaves the planned window so estimation noise lands in
+    // the margin instead of past the deadline — the same transform the
+    // fault replanner applies to its re-solved suffixes.
+    let planned = alloc::fifo_plan(params, &estimate, hedged_lifespan(lifespan, hedge_margin))
+        .expect("feasible");
     let run = exec::execute(params, &truth, &planned);
     let makespan = run.last_arrival().expect("nonempty").get();
     let throughput = planned.total_work() / makespan.max(lifespan);
     let fraction = throughput / (optimum / lifespan);
     let overrun = makespan / lifespan;
+    let missed = makespan > lifespan * (1.0 + 1e-9);
 
     let equal = baseline::equal_split_plan(params, &truth, lifespan)
         .expect("feasible")
         .total_work()
         / optimum;
-    (fraction, overrun, equal)
+    (fraction, overrun, equal, missed)
 }
 
 /// Runs the sweep.
@@ -130,19 +149,27 @@ pub fn run(config: &RobustnessConfig) -> Robustness {
         .map(|&epsilon| {
             let eps_seed = seed::derive(config.seed, (epsilon * 1e6) as u64);
             let pairs = exec.map(&trial_ids, |_, &t| {
-                one_trial(&config.params, config.n, epsilon, seed::derive(eps_seed, t))
+                one_trial(
+                    &config.params,
+                    config.n,
+                    epsilon,
+                    config.hedge_margin,
+                    seed::derive(eps_seed, t),
+                )
             });
             let n = pairs.len() as f64;
             let mean_fraction = pairs.iter().map(|p| p.0).sum::<f64>() / n;
             let worst_fraction = pairs.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
             let mean_overrun = pairs.iter().map(|p| p.1).sum::<f64>() / n;
             let equal_split_fraction = pairs.iter().map(|p| p.2).sum::<f64>() / n;
+            let miss_rate = pairs.iter().filter(|p| p.3).count() as f64 / n;
             RobustnessRow {
                 epsilon,
                 mean_fraction,
                 worst_fraction,
                 mean_overrun,
                 equal_split_fraction,
+                miss_rate,
             }
         })
         .collect();
@@ -160,7 +187,14 @@ impl Robustness {
                 "Robustness — planning with ±ε speed estimates (n = {}, % of true optimum)",
                 self.config.n
             ),
-            &["ε", "mean %", "worst %", "overrun ×", "equal split %"],
+            &[
+                "ε",
+                "mean %",
+                "worst %",
+                "overrun ×",
+                "equal split %",
+                "miss",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -169,6 +203,7 @@ impl Robustness {
                 fmt_f(100.0 * r.worst_fraction, 2),
                 fmt_f(r.mean_overrun, 4),
                 fmt_f(100.0 * r.equal_split_fraction, 2),
+                fmt_f(r.miss_rate, 3),
             ]);
         }
         t
@@ -237,6 +272,31 @@ mod tests {
         assert!(big.mean_overrun < 2.0, "but by a bounded factor");
         for row in &r.rows {
             assert!(row.worst_fraction >= 0.0 && row.mean_fraction <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn hedging_the_lifespan_buys_down_the_miss_rate() {
+        // Planning to hedged_lifespan(L, margin) with margin at the
+        // knife-edge's observed overrun should eliminate nearly every
+        // deadline miss, at a bounded throughput cost.
+        let knife = run(&quick());
+        let hedged = run(&RobustnessConfig {
+            hedge_margin: 0.25,
+            ..quick()
+        });
+        let last = knife.rows.len() - 1;
+        assert!(
+            knife.rows[last].miss_rate > 0.5,
+            "±50 % estimates at the knife edge miss most deadlines"
+        );
+        // A 25 % margin swallows ε = 0.1's entire overrun distribution
+        // and strictly improves even ε = 0.5 (whose overrun tail can
+        // exceed any fixed margin).
+        assert_eq!(hedged.rows[1].miss_rate, 0.0, "ε = 0.1 fully hedged");
+        assert!(hedged.rows[last].miss_rate < knife.rows[last].miss_rate);
+        for (k, h) in knife.rows.iter().zip(&hedged.rows) {
+            assert!(h.miss_rate <= k.miss_rate, "ε = {}", k.epsilon);
         }
     }
 

@@ -66,14 +66,27 @@ pub static XENGINE_COMMIT: HotCounter = HotCounter::new("xengine.commit");
 pub static XENGINE_REBUILD: HotCounter = HotCounter::new("xengine.rebuild");
 /// Subsets visited by the Gray-code exhaustive subset search.
 pub static SELECTION_SUBSET_NODES: HotCounter = HotCounter::new("selection.subset_nodes");
+/// Fault specs compiled into an execution by `execute_with_faults`.
+pub static FAULTS_INJECTED: HotCounter = HotCounter::new("faults.injected");
+/// Suffix re-optimizations performed by the adaptive replanner.
+pub static FAULTS_REPLANS: HotCounter = HotCounter::new("faults.replans");
+/// Result messages lost in transit (before any retransmission).
+pub static FAULTS_LOST_MESSAGES: HotCounter = HotCounter::new("faults.lost_messages");
+/// Sends the replanner skipped because the target was known-crashed or
+/// the remaining hedged window could not fit them.
+pub static FAULTS_SKIPPED_SENDS: HotCounter = HotCounter::new("faults.skipped_sends");
 
 /// Every static hot counter, in reporting order.
-pub fn all() -> [&'static HotCounter; 4] {
+pub fn all() -> [&'static HotCounter; 8] {
     [
         &XENGINE_REPLACE,
         &XENGINE_COMMIT,
         &XENGINE_REBUILD,
         &SELECTION_SUBSET_NODES,
+        &FAULTS_INJECTED,
+        &FAULTS_REPLANS,
+        &FAULTS_LOST_MESSAGES,
+        &FAULTS_SKIPPED_SENDS,
     ]
 }
 
@@ -90,7 +103,11 @@ mod tests {
                 "xengine.replace",
                 "xengine.commit",
                 "xengine.rebuild",
-                "selection.subset_nodes"
+                "selection.subset_nodes",
+                "faults.injected",
+                "faults.replans",
+                "faults.lost_messages",
+                "faults.skipped_sends"
             ]
         );
     }

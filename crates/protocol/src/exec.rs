@@ -217,6 +217,37 @@ pub fn execute(params: &Params, profile: &Profile, plan: &Plan) -> Execution {
     }
 }
 
+/// Fallible form of [`execute`]: rejects malformed plans with a typed
+/// error instead of panicking, and surfaces any engine-level failure
+/// (invalid grant durations, clock overflow, backwards spans) as an
+/// [`ExecError`](crate::fault_exec::ExecError).
+///
+/// Routes through the fault-aware executor with an empty
+/// [`FaultPlan`](hetero_faults::FaultPlan), whose fault-free path is
+/// bit-identical to [`execute`] — so the two forms cannot drift apart.
+pub fn try_execute(
+    params: &Params,
+    profile: &Profile,
+    plan: &Plan,
+) -> Result<Execution, crate::fault_exec::ExecError> {
+    let faulted = crate::fault_exec::execute_with_faults(
+        params,
+        profile,
+        plan,
+        &hetero_faults::FaultPlan::empty(),
+    )?;
+    Ok(Execution {
+        trace: faulted.trace,
+        arrivals: faulted
+            .arrivals
+            .into_iter()
+            // hetero-check: allow(expect) — an empty fault plan loses no results, so every slot is filled
+            .map(|a| a.expect("empty fault plan loses no results"))
+            .collect(),
+        plan: faulted.plan,
+    })
+}
+
 /// Folds one finished execution into the global collector: simulator
 /// load, resource utilization per entity, and per-phase span timing
 /// (send = server packaging + work transit; compute = the worker's

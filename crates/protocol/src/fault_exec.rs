@@ -1,0 +1,719 @@
+//! Discrete-event execution of worksharing plans under injected faults.
+//!
+//! [`execute_with_faults`] is a superset of [`crate::exec::execute`]: it
+//! replays the same protocol on the same engine, but consults a
+//! [`FaultPlan`] at every event boundary and compiles its specs into the
+//! schedule:
+//!
+//! * **Crash** — the worker dies at `t_c`. A package whose *result
+//!   packaging* has not completed by then (`t_c < pack_end`) is lost:
+//!   its phase spans are truncated at `t_c` with a `†crash` marker and
+//!   no results ever arrive. Results packaged strictly before the crash
+//!   persist and still transit (the network, not the worker, carries
+//!   them) — but a crashed worker cannot *re*-transmit a lost message.
+//!   The executor itself stays oblivious: the server keeps sending to
+//!   crashed workers exactly as planned (reacting is the job of
+//!   [`crate::replan`]).
+//! * **Slowdown** — each worker phase whose start falls inside the
+//!   window takes `factor` times as long.
+//! * **Channel jitter** — each network transit whose (queue-adjusted)
+//!   start falls inside the window takes `factor` times as long.
+//! * **Result loss** — the first `count` result messages from a worker
+//!   occupy the channel, then vanish; the worker retransmits from its
+//!   stored package immediately on discovery.
+//!
+//! Every fault query is `Option`-shaped and every perturbation multiplies
+//! only when a fault is *active*, so executing an **empty** plan performs
+//! the exact float-operation sequence of the pristine executor — the
+//! result is bit-identical, which `tests/fault_recovery.rs` pins.
+//!
+//! Fault-perturbed durations are arbitrary products, so this path uses
+//! the fallible engine API throughout ([`UnitResource::try_acquire`],
+//! [`SimTime::try_add`], [`Trace::try_record`]) and surfaces failures as
+//! typed [`ExecError`]s instead of panicking.
+//!
+//! [`UnitResource::try_acquire`]: hetero_sim::UnitResource::try_acquire
+//! [`SimTime::try_add`]: hetero_sim::SimTime::try_add
+//! [`Trace::try_record`]: hetero_sim::Trace::try_record
+
+use std::fmt;
+
+use hetero_core::{Params, Profile};
+use hetero_faults::FaultPlan;
+use hetero_sim::{
+    BackwardsSpan, EventQueue, GrantError, NonFiniteTime, SimTime, Trace, UnitResource,
+};
+
+use crate::alloc::Plan;
+use crate::exec::{channel_entity, worker_entity, SERVER};
+
+/// Why a faulted execution could not run to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The plan's order is not a permutation of the profile's indices.
+    MalformedPlan,
+    /// A fault-perturbed occupancy was rejected by a resource.
+    Grant(GrantError),
+    /// A fault-perturbed schedule left the finite clock range.
+    Time(NonFiniteTime),
+    /// A fault-perturbed span ended before it started.
+    Span(BackwardsSpan),
+    /// The replanner's suffix re-solve was rejected by the model layer
+    /// (e.g. a slowdown factor drove an effective ρ out of range).
+    Model(hetero_core::ModelError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::MalformedPlan => {
+                write!(f, "plan order must be a permutation of the profile indices")
+            }
+            ExecError::Grant(e) => write!(f, "resource grant failed: {e}"),
+            ExecError::Time(e) => write!(f, "schedule overflowed the clock: {e}"),
+            ExecError::Span(e) => write!(f, "trace rejected a span: {e}"),
+            ExecError::Model(e) => write!(f, "suffix re-solve rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::MalformedPlan => None,
+            ExecError::Grant(e) => Some(e),
+            ExecError::Time(e) => Some(e),
+            ExecError::Span(e) => Some(e),
+            ExecError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<hetero_core::ModelError> for ExecError {
+    fn from(e: hetero_core::ModelError) -> Self {
+        ExecError::Model(e)
+    }
+}
+
+impl From<GrantError> for ExecError {
+    fn from(e: GrantError) -> Self {
+        ExecError::Grant(e)
+    }
+}
+
+impl From<NonFiniteTime> for ExecError {
+    fn from(e: NonFiniteTime) -> Self {
+        ExecError::Time(e)
+    }
+}
+
+impl From<BackwardsSpan> for ExecError {
+    fn from(e: BackwardsSpan) -> Self {
+        ExecError::Span(e)
+    }
+}
+
+/// The faulted protocol's events, keyed by startup position.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Server starts packaging the work for `pos`.
+    StartSend { pos: usize },
+    /// Work for `pos` finished its network transit; worker begins.
+    WorkArrived { pos: usize },
+    /// Worker at `pos` has packaged results ready to transmit (initial
+    /// send and retransmissions alike).
+    ResultsReady { pos: usize },
+    /// A result transit for `pos` ended — delivered, or vanished.
+    TransitDone { pos: usize, lost: bool },
+}
+
+struct FExecState<'f> {
+    params: Params,
+    rhos: Vec<f64>, // by position
+    work: Vec<f64>, // by position
+    order: Vec<usize>,
+    server: UnitResource,
+    channel: UnitResource,
+    trace: Trace,
+    arrivals: Vec<Option<SimTime>>, // by position; None = results never returned
+    faults: &'f FaultPlan,
+    crash_by_pos: Vec<Option<f64>>, // earliest crash of the worker at each position
+    losses_left: Vec<u32>,          // result messages still to lose, by position
+    realized_service: Vec<f64>,     // actual worker busy time, by position
+    lost_messages: u32,
+    retransmits: u32,
+    error: Option<ExecError>,
+}
+
+/// The outcome of a faulted execution: the trace plus the fault ledger.
+#[derive(Debug, Clone)]
+pub struct FaultedExecution {
+    /// Action/time record of every entity (crash-truncated phases carry a
+    /// `†crash` label suffix; lost transits a `†lost` one).
+    pub trace: Trace,
+    /// When each position's results finished transiting back to the
+    /// server, by startup position — `None` when the fault plan destroyed
+    /// them (crash before packaging, or an unretransmittable loss).
+    pub arrivals: Vec<Option<SimTime>>,
+    /// The executed plan.
+    pub plan: Plan,
+    /// Realized worker busy time per position — the fault-inflated
+    /// (slowdowns) or crash-truncated time actually spent serving the
+    /// package, against which the planned `Bρw` can be compared.
+    pub realized_service: Vec<f64>,
+    /// Result messages that vanished in transit.
+    pub lost_messages: u32,
+    /// Retransmissions performed to recover lost messages.
+    pub retransmits: u32,
+}
+
+impl FaultedExecution {
+    /// The latest result arrival among positions that returned at all.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.arrivals.iter().flatten().copied().max()
+    }
+
+    /// Total work units whose results made it back to the server — the
+    /// paper's completion criterion applied to the surviving positions.
+    pub fn salvaged_work(&self) -> f64 {
+        self.arrivals
+            .iter()
+            .zip(&self.plan.work)
+            .filter(|(arr, _)| arr.is_some())
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// Total work units whose results the fault plan destroyed.
+    pub fn lost_work(&self) -> f64 {
+        self.plan.total_work() - self.salvaged_work()
+    }
+
+    /// Work units whose results had arrived by time `t` (same boundary
+    /// tolerance as [`Execution::work_completed_by`]).
+    ///
+    /// [`Execution::work_completed_by`]: crate::exec::Execution::work_completed_by
+    pub fn work_completed_by(&self, t: f64) -> f64 {
+        let cutoff = t * (1.0 + 1e-9);
+        self.arrivals
+            .iter()
+            .zip(&self.plan.work)
+            .filter_map(|(arr, w)| arr.filter(|a| a.get() <= cutoff).map(|_| w))
+            .sum()
+    }
+
+    /// `true` when some results arrived *after* the lifespan — late work
+    /// the paper's completion criterion refuses to count. Destroyed
+    /// results are lost throughput, not a deadline miss; the distinction
+    /// keeps the two sweep metrics (throughput, miss rate) independent.
+    pub fn missed_deadline(&self, lifespan: f64) -> bool {
+        let cutoff = lifespan * (1.0 + 1e-9);
+        self.arrivals.iter().flatten().any(|arr| arr.get() > cutoff)
+    }
+
+    /// The end of the last recorded activity.
+    pub fn makespan(&self) -> SimTime {
+        self.trace.makespan()
+    }
+}
+
+/// Executes `plan` on `profile` while injecting `faults`.
+///
+/// With an empty fault plan this is bit-identical to
+/// [`crate::exec::execute`] (every arrival `Some`, every span equal);
+/// with faults it records what actually happened — truncated phases,
+/// inflated service times, lost and retransmitted messages — without ever
+/// reacting to them. The adaptive counterpart lives in [`crate::replan`].
+pub fn execute_with_faults(
+    params: &Params,
+    profile: &Profile,
+    plan: &Plan,
+    faults: &FaultPlan,
+) -> Result<FaultedExecution, ExecError> {
+    if !crate::alloc::is_permutation(&plan.order, profile.n()) {
+        return Err(ExecError::MalformedPlan);
+    }
+    let n = profile.n();
+    let mut state = FExecState {
+        params: *params,
+        rhos: plan.order.iter().map(|&i| profile.rho(i)).collect(),
+        work: plan.work.clone(),
+        order: plan.order.clone(),
+        server: UnitResource::new(),
+        channel: UnitResource::new(),
+        trace: Trace::new(),
+        arrivals: vec![None; n],
+        faults,
+        crash_by_pos: plan.order.iter().map(|&i| faults.crash_time(i)).collect(),
+        losses_left: plan
+            .order
+            .iter()
+            .map(|&i| faults.result_losses(i))
+            .collect(),
+        realized_service: vec![0.0; n],
+        lost_messages: 0,
+        retransmits: 0,
+        error: None,
+    };
+    // Crash markers: one zero-width span per doomed worker, recorded up
+    // front so traces show the fault plan even for positions whose work
+    // never reaches the worker.
+    for pos in 0..n {
+        if let Some(tc) = state.crash_by_pos[pos] {
+            let at = SimTime::try_new(tc)?;
+            let ent = worker_entity(state.order[pos]);
+            state.trace.try_record(ent, "†crash", at, at)?;
+        }
+    }
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    queue.schedule_at(SimTime::ZERO, Event::StartSend { pos: 0 });
+
+    hetero_sim::run(&mut state, &mut queue, |st, q, now, ev| {
+        if st.error.is_some() {
+            return;
+        }
+        if let Err(e) = handle_event(st, q, now, ev) {
+            st.error = Some(e);
+        }
+    });
+    if let Some(e) = state.error.take() {
+        return Err(e);
+    }
+
+    if hetero_obs::enabled() {
+        hetero_obs::count("sim.events", queue.dispatched());
+        hetero_obs::gauge_max("sim.queue_high_water", queue.high_water() as u64);
+        if !faults.is_empty() {
+            hetero_obs::counters::FAULTS_INJECTED.add(faults.specs().len() as u64);
+            hetero_obs::counters::FAULTS_LOST_MESSAGES.add(u64::from(state.lost_messages));
+        }
+    }
+
+    Ok(FaultedExecution {
+        trace: state.trace,
+        arrivals: state.arrivals,
+        plan: plan.clone(),
+        realized_service: state.realized_service,
+        lost_messages: state.lost_messages,
+        retransmits: state.retransmits,
+    })
+}
+
+/// Scales a nominal worker-phase duration by whatever slowdown windows
+/// are active at its start; the fault-free path returns `base` untouched
+/// (no multiplication — bit-identity with the pristine executor).
+fn scaled_phase(st: &FExecState<'_>, target: usize, start: SimTime, base: f64) -> f64 {
+    match st.faults.slowdown_factor(target, start.get()) {
+        Some(f) => f * base,
+        None => base,
+    }
+}
+
+/// Acquires the channel for a transit of nominal length `base`,
+/// stretching it by any jitter window active at the transit's actual
+/// (queue-adjusted) start.
+fn jittered_transit(
+    st: &mut FExecState<'_>,
+    ready: SimTime,
+    base: f64,
+) -> Result<hetero_sim::Grant, ExecError> {
+    let prospective = ready.max(st.channel.next_free());
+    let dur = match st.faults.channel_factor(prospective.get()) {
+        Some(f) => f * base,
+        None => base,
+    };
+    Ok(st.channel.try_acquire(ready, dur)?)
+}
+
+fn handle_event(
+    st: &mut FExecState<'_>,
+    q: &mut EventQueue<Event>,
+    now: SimTime,
+    ev: Event,
+) -> Result<(), ExecError> {
+    let (pi, tau, delta) = (st.params.pi(), st.params.tau(), st.params.delta());
+    match ev {
+        Event::StartSend { pos } => {
+            let w = st.work[pos];
+            let target = st.order[pos];
+            // Oblivious by construction: the server packages and sends to
+            // `target` even if it has already crashed — it has no way to
+            // know. Skipping doomed sends is the replanner's edge.
+            let pack = st.server.try_acquire(now, pi * w)?;
+            st.trace.try_record(
+                SERVER,
+                format!("pack→C{}", target + 1),
+                pack.start,
+                pack.end,
+            )?;
+            let transit = jittered_transit(st, pack.end, tau * w)?;
+            st.trace.try_record(
+                channel_entity(st.order.len()),
+                format!("xmit:work:C{}", target + 1),
+                transit.start,
+                transit.end,
+            )?;
+            q.schedule_at(transit.end, Event::WorkArrived { pos });
+            if pos + 1 < st.order.len() {
+                q.schedule_at(transit.end, Event::StartSend { pos: pos + 1 });
+            }
+        }
+        Event::WorkArrived { pos } => {
+            let w = st.work[pos];
+            let rho = st.rhos[pos];
+            let target = st.order[pos];
+            let ent = worker_entity(target);
+            let crash = st.crash_by_pos[pos];
+            // The worker's three back-to-back phases, each stretched by
+            // whatever slowdown windows cover its start, each truncated
+            // by a crash. Results persist only once packaging completes.
+            let phases = [
+                ("unpack", pi * rho * w),
+                ("compute", rho * w),
+                ("pack", pi * rho * delta * w),
+            ];
+            let mut t = now;
+            let mut died = false;
+            for (label, base) in phases {
+                let end = t.try_add(scaled_phase(st, target, t, base))?;
+                if let Some(tc) = crash {
+                    if tc < end.get() {
+                        let cut = SimTime::try_new(tc)?;
+                        if cut > t {
+                            st.trace.try_record(ent, format!("{label}†crash"), t, cut)?;
+                            st.realized_service[pos] += cut - t;
+                        }
+                        died = true;
+                        break;
+                    }
+                }
+                st.trace.try_record(ent, label, t, end)?;
+                st.realized_service[pos] += end - t;
+                t = end;
+            }
+            if !died {
+                q.schedule_at(t, Event::ResultsReady { pos });
+            }
+        }
+        Event::ResultsReady { pos } => {
+            let w = st.work[pos];
+            let target = st.order[pos];
+            let transit = jittered_transit(st, now, tau * delta * w)?;
+            let wait_threshold = 1e-9 * (1.0 + now.get().abs());
+            if transit.start - now > wait_threshold {
+                st.trace
+                    .try_record(worker_entity(target), "wait:channel", now, transit.start)?;
+            }
+            // Whether *this* transmission vanishes is decided at send
+            // time: the worker's first `losses_left` messages are doomed.
+            let lost = st.losses_left[pos] > 0;
+            let label = if lost {
+                st.losses_left[pos] -= 1;
+                format!("xmit:result:C{}†lost", target + 1)
+            } else {
+                format!("xmit:result:C{}", target + 1)
+            };
+            st.trace.try_record(
+                channel_entity(st.order.len()),
+                label,
+                transit.start,
+                transit.end,
+            )?;
+            q.schedule_at(transit.end, Event::TransitDone { pos, lost });
+        }
+        Event::TransitDone { pos, lost } => {
+            let w = st.work[pos];
+            let target = st.order[pos];
+            if lost {
+                st.lost_messages += 1;
+                // The package is stored at the worker, so a live worker
+                // retransmits the moment the loss is discovered; a crashed
+                // one cannot, and the results are gone for good.
+                let alive = st.crash_by_pos[pos].is_none_or(|tc| tc > now.get());
+                if alive {
+                    st.retransmits += 1;
+                    q.schedule_at(now, Event::ResultsReady { pos });
+                }
+            } else {
+                st.arrivals[pos] = Some(now);
+                let unpack = st.server.try_acquire(now, pi * delta * w)?;
+                st.trace.try_record(
+                    SERVER,
+                    format!("recv←C{}", target + 1),
+                    unpack.start,
+                    unpack.end,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::fifo_plan;
+    use crate::exec::execute;
+    use hetero_faults::FaultSpec;
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    #[test]
+    fn empty_plan_reproduces_the_pristine_execution() {
+        let p = params();
+        let profile = Profile::harmonic(5);
+        let plan = fifo_plan(&p, &profile, 700.0).unwrap();
+        let pristine = execute(&p, &profile, &plan);
+        let faulted = execute_with_faults(&p, &profile, &plan, &FaultPlan::empty()).unwrap();
+        assert_eq!(faulted.trace.spans(), pristine.trace.spans());
+        let arrivals: Vec<SimTime> = faulted.arrivals.iter().map(|a| a.unwrap()).collect();
+        assert_eq!(arrivals, pristine.arrivals);
+        assert_eq!(faulted.lost_messages, 0);
+        assert_eq!(faulted.retransmits, 0);
+        assert!((faulted.salvaged_work() - plan.total_work()).abs() < 1e-12);
+        assert_eq!(faulted.lost_work(), 0.0);
+        assert!(!faulted.missed_deadline(700.0));
+    }
+
+    #[test]
+    fn early_crash_destroys_the_package_and_marks_the_trace() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let plan = fifo_plan(&p, &profile, 400.0).unwrap();
+        // Crash worker 0 before its work even arrives.
+        let faults = FaultPlan::new(vec![FaultSpec::Crash {
+            worker: 0,
+            at: 1e-6,
+        }])
+        .unwrap();
+        let run = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert_eq!(run.arrivals[0], None);
+        assert!(run.arrivals[1].is_some());
+        assert_eq!(run.realized_service[0], 0.0);
+        assert!((run.lost_work() - plan.work[0]).abs() < 1e-12);
+        assert!(run
+            .trace
+            .spans()
+            .iter()
+            .any(|s| s.label == "†crash" && s.entity == crate::exec::worker_entity(0)));
+        // No worker phase spans for the dead worker beyond the marker.
+        assert!(!run
+            .trace
+            .spans()
+            .iter()
+            .any(|s| s.entity == crate::exec::worker_entity(0) && s.label == "compute"));
+    }
+
+    #[test]
+    fn mid_phase_crash_truncates_and_loses_only_that_position() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let plan = fifo_plan(&p, &profile, 400.0).unwrap();
+        let pristine = execute(&p, &profile, &plan);
+        // Crash worker 0 in the middle of its compute phase.
+        let compute = pristine
+            .trace
+            .spans()
+            .iter()
+            .find(|s| s.entity == crate::exec::worker_entity(0) && s.label == "compute")
+            .unwrap();
+        let tc = 0.5 * (compute.start.get() + compute.end.get());
+        let faults = FaultPlan::new(vec![FaultSpec::Crash { worker: 0, at: tc }]).unwrap();
+        let run = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert_eq!(run.arrivals[0], None);
+        let cut = run
+            .trace
+            .spans()
+            .iter()
+            .find(|s| s.label == "compute†crash")
+            .unwrap();
+        assert_eq!(cut.end.get(), tc);
+        // Realized service = full unpack + the truncated compute slice.
+        let unpack = pristine
+            .trace
+            .spans()
+            .iter()
+            .find(|s| s.entity == crate::exec::worker_entity(0) && s.label == "unpack")
+            .unwrap();
+        let expect = unpack.duration() + (tc - compute.start.get());
+        assert!((run.realized_service[0] - expect).abs() < 1e-9);
+        // The surviving worker is untouched.
+        assert_eq!(run.arrivals[1], pristine.arrivals.get(1).copied());
+    }
+
+    #[test]
+    fn post_packaging_crash_still_delivers_results() {
+        let p = params();
+        let profile = Profile::new(vec![1.0]).unwrap();
+        let plan = fifo_plan(&p, &profile, 300.0).unwrap();
+        let pristine = execute(&p, &profile, &plan);
+        let pack_end = pristine
+            .trace
+            .spans()
+            .iter()
+            .find(|s| s.label == "pack")
+            .unwrap()
+            .end;
+        // Crash exactly at packaging completion: the loss window is
+        // [0, pack_end), so the results persist and transit normally.
+        let faults = FaultPlan::new(vec![FaultSpec::Crash {
+            worker: 0,
+            at: pack_end.get(),
+        }])
+        .unwrap();
+        let run = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert_eq!(run.arrivals[0], Some(pristine.arrivals[0]));
+    }
+
+    #[test]
+    fn slowdown_inflates_service_and_delays_the_arrival() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let plan = fifo_plan(&p, &profile, 400.0).unwrap();
+        let pristine = execute(&p, &profile, &plan);
+        // The window must cover the *inflated* schedule too: phases of a
+        // 3x-slowed worker start well past the original lifespan.
+        let faults = FaultPlan::new(vec![FaultSpec::Slowdown {
+            worker: 1,
+            factor: 3.0,
+            from: 0.0,
+            until: 1e6,
+        }])
+        .unwrap();
+        let run = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        // Worker 1 (position 1) took 3x its planned service time.
+        let planned = p.b() * profile.rho(1) * plan.work[1];
+        assert!((run.realized_service[1] - 3.0 * planned).abs() / planned < 1e-9);
+        assert!(run.arrivals[1].unwrap() > pristine.arrivals[1]);
+        assert!(run.missed_deadline(400.0));
+        // Worker 0's own phases are unaffected (though its result transit
+        // may queue behind the straggler's).
+        assert!((run.realized_service[0] - p.b() * profile.rho(0) * plan.work[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_jitter_stretches_covered_transits() {
+        let p = params();
+        let profile = Profile::new(vec![1.0]).unwrap();
+        let plan = fifo_plan(&p, &profile, 300.0).unwrap();
+        // Cover the whole run: every transit is doubled.
+        let faults = FaultPlan::new(vec![FaultSpec::ChannelJitter {
+            factor: 2.0,
+            from: 0.0,
+            until: 1e6,
+        }])
+        .unwrap();
+        let run = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        let w = plan.work[0];
+        let xmit_work = run
+            .trace
+            .spans()
+            .iter()
+            .find(|s| s.label.starts_with("xmit:work"))
+            .unwrap();
+        assert!((xmit_work.duration() - 2.0 * p.tau() * w).abs() < 1e-12);
+        let xmit_result = run
+            .trace
+            .spans()
+            .iter()
+            .find(|s| s.label.starts_with("xmit:result"))
+            .unwrap();
+        assert!((xmit_result.duration() - 2.0 * p.tau() * p.delta() * w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lost_results_are_retransmitted_by_live_workers() {
+        let p = params();
+        let profile = Profile::new(vec![1.0]).unwrap();
+        let plan = fifo_plan(&p, &profile, 300.0).unwrap();
+        let pristine = execute(&p, &profile, &plan);
+        let faults = FaultPlan::new(vec![FaultSpec::ResultLoss {
+            worker: 0,
+            count: 2,
+        }])
+        .unwrap();
+        let run = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert_eq!(run.lost_messages, 2);
+        assert_eq!(run.retransmits, 2);
+        // Two extra transits of τδw each push the arrival back exactly.
+        let extra = 2.0 * p.tau() * p.delta() * plan.work[0];
+        let expect = pristine.arrivals[0].get() + extra;
+        assert!((run.arrivals[0].unwrap().get() - expect).abs() < 1e-9);
+        assert_eq!(
+            run.trace
+                .spans()
+                .iter()
+                .filter(|s| s.label.ends_with("†lost"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn a_crashed_worker_cannot_retransmit() {
+        let p = params();
+        let profile = Profile::new(vec![1.0]).unwrap();
+        let plan = fifo_plan(&p, &profile, 300.0).unwrap();
+        let pristine = execute(&p, &profile, &plan);
+        // Crash after packaging (results persist, first transit happens)
+        // but before the loss is discovered: no retransmission possible.
+        let pack_end = pristine
+            .trace
+            .spans()
+            .iter()
+            .find(|s| s.label == "pack")
+            .unwrap()
+            .end;
+        let faults = FaultPlan::new(vec![
+            FaultSpec::Crash {
+                worker: 0,
+                at: pack_end.get(),
+            },
+            FaultSpec::ResultLoss {
+                worker: 0,
+                count: 1,
+            },
+        ])
+        .unwrap();
+        let run = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert_eq!(run.lost_messages, 1);
+        assert_eq!(run.retransmits, 0);
+        assert_eq!(run.arrivals[0], None);
+        assert_eq!(run.salvaged_work(), 0.0);
+    }
+
+    #[test]
+    fn malformed_plan_is_a_typed_error() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let plan = Plan {
+            order: vec![0, 0],
+            work: vec![1.0, 1.0],
+            lifespan: 10.0,
+        };
+        assert_eq!(
+            execute_with_faults(&p, &profile, &plan, &FaultPlan::empty()).unwrap_err(),
+            ExecError::MalformedPlan
+        );
+    }
+
+    #[test]
+    fn absurd_fault_factors_surface_grant_errors() {
+        let p = params();
+        let profile = Profile::new(vec![1.0]).unwrap();
+        let plan = fifo_plan(&p, &profile, 300.0).unwrap();
+        // Two overlapping maximal windows: their product overflows to
+        // infinity, which the time arithmetic must reject, not absorb.
+        let huge = FaultSpec::Slowdown {
+            worker: 0,
+            factor: f64::MAX,
+            from: 0.0,
+            until: 1e9,
+        };
+        let faults = FaultPlan::new(vec![huge, huge]).unwrap();
+        let err = execute_with_faults(&p, &profile, &plan, &faults).unwrap_err();
+        assert!(matches!(err, ExecError::Time(_) | ExecError::Grant(_)));
+    }
+}

@@ -40,13 +40,16 @@
 pub mod alloc;
 pub mod baseline;
 pub mod exec;
+pub mod fault_exec;
 pub mod general;
 pub mod integral;
 pub mod rental;
+pub mod replan;
 pub mod timeline;
 pub mod validate;
 
 mod error;
 
 pub use error::ProtocolError;
+pub use fault_exec::{ExecError, FaultedExecution};
 pub use hetero_sim::{Span, Trace};

@@ -1,0 +1,898 @@
+//! Adaptive replanning: reacting to detected faults at send boundaries.
+//!
+//! [`execute_adaptive`] runs the same DES protocol as
+//! [`crate::fault_exec::execute_with_faults`], but gives the server a
+//! failure detector with **send-boundary granularity**: each time it is
+//! about to package the next position's work, it learns which of the
+//! still-unserved workers have crashed or are straggling *as of that
+//! moment*, and reacts:
+//!
+//! * **Drop** — sends to known-crashed workers are skipped outright
+//!   (the oblivious executor wastes `(π+τ)w` of server and channel time
+//!   on each doomed package).
+//! * **Re-solve** — when new faults were detected since the last solve,
+//!   the remaining workload is re-optimized over the surviving suffix:
+//!   detected slowdowns rescale the affected ρ through the incremental
+//!   [`XScan`] (a single-straggler update is an O(k) `commit`, set
+//!   changes an O(k) buffer-reusing `rebuild` — never a from-scratch
+//!   solver construction), and the no-gap recurrence re-sizes the
+//!   suffix to the *hedged* window. Allocations **never grow** past the
+//!   original plan — under pure crashes the re-solve reproduces the
+//!   original sizes exactly, which is what makes replanned throughput
+//!   provably ≥ oblivious throughput (pinned by a property test).
+//! * **Hedge** — [`HedgePolicy`] shaves the deadline to
+//!   [`hedged_lifespan`]`(L, margin)` so perturbation noise lands in the
+//!   margin instead of past the deadline, bounds retransmission attempts
+//!   with optional backoff, and (graceful degradation) skips sends whose
+//!   best-case return would already overshoot the hedged deadline.
+//! * **Top-up** — once every planned position has resolved, leftover
+//!   hedged window is refilled with a bonus round over *proven-alive*
+//!   workers (those whose results actually returned), recovering
+//!   throughput that crashes destroyed.
+//!
+//! With an empty fault plan nothing is ever detected, so the adaptive
+//! executor performs the exact schedule — bit-identical trace — of the
+//! pristine one.
+//!
+//! [`XScan`]: hetero_core::xengine::XScan
+
+use hetero_core::xengine::XScan;
+use hetero_core::{Params, Profile};
+use hetero_faults::FaultPlan;
+use hetero_sim::{EventQueue, SimTime, Trace, UnitResource};
+
+use crate::alloc::Plan;
+use crate::exec::{channel_entity, worker_entity, SERVER};
+use crate::fault_exec::ExecError;
+
+/// The deadline a margin-hedging planner actually plans for:
+/// `L / (1 + margin)`.
+///
+/// E17 measures the mean makespan *overrun factor* `actual/L` under
+/// ρ-estimation error; planning for `hedged_lifespan(L, overrun)` absorbs
+/// exactly that factor, turning the knife-edge deadline into a safety
+/// band. The replanner applies the same transform to its re-solved
+/// windows, so the two layers hedge identically.
+pub fn hedged_lifespan(lifespan: f64, margin: f64) -> f64 {
+    lifespan / (1.0 + margin)
+}
+
+/// How aggressively the adaptive executor hedges against faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Safety margin on the lifespan: all replanned work is sized to
+    /// [`hedged_lifespan`]`(L, margin)`. Zero plans to the knife edge.
+    pub margin: f64,
+    /// Retransmission budget per position for lost result messages.
+    pub max_retries: u32,
+    /// Backoff factor between retries: retry `k` (1-based) waits
+    /// `backoff · k · τδw` before retransmitting. Zero retransmits
+    /// immediately, like the oblivious executor.
+    pub retry_backoff: f64,
+    /// Graceful degradation: skip a send whose best-case result return
+    /// (`(π+τ)w + Bρw + τδw` from now, at the detected effective speed)
+    /// already overshoots the hedged deadline.
+    pub degrade: bool,
+    /// Refill leftover hedged window with a bonus round over
+    /// proven-alive workers once every planned position has resolved.
+    pub topup: bool,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy {
+            margin: 0.0,
+            max_retries: 3,
+            retry_backoff: 0.0,
+            degrade: true,
+            topup: true,
+        }
+    }
+}
+
+/// One extra package delivered by the top-up round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopupResult {
+    /// Profile index of the proven-alive worker that served it.
+    pub worker: usize,
+    /// Work units in the bonus package.
+    pub work: f64,
+    /// When its results returned (`None` if a late fault destroyed it).
+    pub arrival: Option<SimTime>,
+}
+
+/// The outcome of an adaptive execution.
+#[derive(Debug, Clone)]
+pub struct AdaptiveExecution {
+    /// Action/time record (skipped sends appear as zero-width `skip→C*`
+    /// marker spans on the server).
+    pub trace: Trace,
+    /// Result arrival per *original* position (`None` = destroyed or
+    /// skipped).
+    pub arrivals: Vec<Option<SimTime>>,
+    /// The original plan the run started from.
+    pub plan: Plan,
+    /// Post-replan package sizes per original position (≤ the planned
+    /// sizes — allocations never grow).
+    pub final_work: Vec<f64>,
+    /// Bonus packages delivered by the top-up round.
+    pub topups: Vec<TopupResult>,
+    /// Suffix re-optimizations performed.
+    pub replans: u32,
+    /// Sends skipped (known-crashed targets + degradation).
+    pub skipped_sends: u32,
+    /// Result messages lost in transit.
+    pub lost_messages: u32,
+    /// Retransmissions performed.
+    pub retransmits: u32,
+    /// The hedged deadline the run planned to.
+    pub hedged_lifespan: f64,
+}
+
+impl AdaptiveExecution {
+    /// Work units (original + top-up) whose results were back by `t`.
+    pub fn work_completed_by(&self, t: f64) -> f64 {
+        let cutoff = t * (1.0 + 1e-9);
+        let original: f64 = self
+            .arrivals
+            .iter()
+            .zip(&self.final_work)
+            .filter_map(|(arr, w)| arr.filter(|a| a.get() <= cutoff).map(|_| w))
+            .sum();
+        let bonus: f64 = self
+            .topups
+            .iter()
+            .filter_map(|r| r.arrival.filter(|a| a.get() <= cutoff).map(|_| r.work))
+            .sum();
+        original + bonus
+    }
+
+    /// Total work whose results returned at all.
+    pub fn salvaged_work(&self) -> f64 {
+        let original: f64 = self
+            .arrivals
+            .iter()
+            .zip(&self.final_work)
+            .filter(|(arr, _)| arr.is_some())
+            .map(|(_, w)| w)
+            .sum();
+        let bonus: f64 = self
+            .topups
+            .iter()
+            .filter(|r| r.arrival.is_some())
+            .map(|r| r.work)
+            .sum();
+        original + bonus
+    }
+
+    /// `true` when any result (original or top-up) arrived after the
+    /// *unhedged* lifespan.
+    pub fn missed_deadline(&self, lifespan: f64) -> bool {
+        let cutoff = lifespan * (1.0 + 1e-9);
+        self.arrivals
+            .iter()
+            .flatten()
+            .chain(self.topups.iter().filter_map(|r| r.arrival.as_ref()))
+            .any(|arr| arr.get() > cutoff)
+    }
+
+    /// The latest arrival among everything that returned.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.arrivals
+            .iter()
+            .flatten()
+            .chain(self.topups.iter().filter_map(|r| r.arrival.as_ref()))
+            .copied()
+            .max()
+    }
+}
+
+/// The adaptive protocol's events, keyed by (possibly extended) position.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    StartSend { pos: usize },
+    WorkArrived { pos: usize },
+    ResultsReady { pos: usize },
+    TransitDone { pos: usize, lost: bool },
+}
+
+struct AdaptState<'f> {
+    params: Params,
+    policy: HedgePolicy,
+    hedged_l: f64,
+    // Per position (original positions first, top-up positions appended):
+    order: Vec<usize>,
+    work: Vec<f64>,
+    rhos: Vec<f64>,
+    eff_rhos: Vec<f64>, // detected-slowdown-rescaled speeds
+    crash_by_pos: Vec<Option<f64>>,
+    known_crashed: Vec<bool>,
+    detected_slow: Vec<bool>,
+    arrivals: Vec<Option<SimTime>>,
+    retries_used: Vec<u32>,
+    // Per worker (profile index):
+    losses_left: Vec<u32>,
+    // Engine state:
+    server: UnitResource,
+    channel: UnitResource,
+    trace: Trace,
+    faults: &'f FaultPlan,
+    scan: Option<XScan>,
+    scan_members: Vec<usize>, // positions the scan currently decomposes
+    dirty: bool,
+    original_n: usize,
+    resolved: usize,
+    topup_done: bool,
+    replans: u32,
+    skipped_sends: u32,
+    lost_messages: u32,
+    retransmits: u32,
+    error: Option<ExecError>,
+}
+
+/// Executes `plan` under `faults` with boundary-granularity replanning.
+///
+/// See the module docs for the reaction rules. With an empty fault plan
+/// the result is bit-identical to the oblivious (and pristine) executor.
+pub fn execute_adaptive(
+    params: &Params,
+    profile: &Profile,
+    plan: &Plan,
+    faults: &FaultPlan,
+    policy: &HedgePolicy,
+) -> Result<AdaptiveExecution, ExecError> {
+    if !crate::alloc::is_permutation(&plan.order, profile.n()) {
+        return Err(ExecError::MalformedPlan);
+    }
+    let n = profile.n();
+    let mut state = AdaptState {
+        params: *params,
+        policy: *policy,
+        hedged_l: hedged_lifespan(plan.lifespan, policy.margin),
+        order: plan.order.clone(),
+        work: plan.work.clone(),
+        rhos: plan.order.iter().map(|&i| profile.rho(i)).collect(),
+        eff_rhos: plan.order.iter().map(|&i| profile.rho(i)).collect(),
+        crash_by_pos: plan.order.iter().map(|&i| faults.crash_time(i)).collect(),
+        known_crashed: vec![false; n],
+        detected_slow: vec![false; n],
+        arrivals: vec![None; n],
+        retries_used: vec![0; n],
+        losses_left: (0..n).map(|i| faults.result_losses(i)).collect(),
+        server: UnitResource::new(),
+        channel: UnitResource::new(),
+        trace: Trace::new(),
+        faults,
+        scan: None,
+        scan_members: Vec::new(),
+        dirty: false,
+        original_n: n,
+        resolved: 0,
+        topup_done: false,
+        replans: 0,
+        skipped_sends: 0,
+        lost_messages: 0,
+        retransmits: 0,
+        error: None,
+    };
+    for pos in 0..n {
+        if let Some(tc) = state.crash_by_pos[pos] {
+            let at = SimTime::try_new(tc)?;
+            state
+                .trace
+                .try_record(worker_entity(state.order[pos]), "†crash", at, at)?;
+        }
+    }
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    queue.schedule_at(SimTime::ZERO, Event::StartSend { pos: 0 });
+
+    hetero_sim::run(&mut state, &mut queue, |st, q, now, ev| {
+        if st.error.is_some() {
+            return;
+        }
+        if let Err(e) = handle_event(st, q, now, ev) {
+            st.error = Some(e);
+        }
+    });
+    if let Some(e) = state.error.take() {
+        return Err(e);
+    }
+
+    if hetero_obs::enabled() {
+        hetero_obs::count("sim.events", queue.dispatched());
+        hetero_obs::gauge_max("sim.queue_high_water", queue.high_water() as u64);
+        if !faults.is_empty() {
+            hetero_obs::counters::FAULTS_INJECTED.add(faults.specs().len() as u64);
+            hetero_obs::counters::FAULTS_LOST_MESSAGES.add(u64::from(state.lost_messages));
+        }
+    }
+
+    let topups = (n..state.order.len())
+        .map(|pos| TopupResult {
+            worker: state.order[pos],
+            work: state.work[pos],
+            arrival: state.arrivals[pos],
+        })
+        .collect();
+    state.arrivals.truncate(n);
+    state.work.truncate(n);
+    Ok(AdaptiveExecution {
+        trace: state.trace,
+        arrivals: state.arrivals,
+        plan: plan.clone(),
+        final_work: state.work,
+        topups,
+        replans: state.replans,
+        skipped_sends: state.skipped_sends,
+        lost_messages: state.lost_messages,
+        retransmits: state.retransmits,
+        hedged_lifespan: state.hedged_l,
+    })
+}
+
+/// Boundary-time failure detection over the unsent positions `pos..`.
+/// Returns `true` when anything new was learned.
+fn detect(st: &mut AdaptState<'_>, pos: usize, now: SimTime) -> bool {
+    let mut learned = false;
+    for j in pos..st.order.len() {
+        if !st.known_crashed[j] {
+            if let Some(tc) = st.crash_by_pos[j] {
+                if tc <= now.get() {
+                    st.known_crashed[j] = true;
+                    learned = true;
+                }
+            }
+        }
+        if !st.detected_slow[j] {
+            if let Some(f) = st.faults.slowdown_factor(st.order[j], now.get()) {
+                st.eff_rhos[j] = st.rhos[j] * f;
+                st.detected_slow[j] = true;
+                learned = true;
+            }
+        }
+    }
+    learned
+}
+
+/// Re-optimizes the unsent suffix `pos..` over its surviving members:
+/// no-gap recurrence sized to the hedged window, allocations capped at
+/// their current values (never-grow).
+fn resolve_suffix(st: &mut AdaptState<'_>, pos: usize, now: SimTime) -> Result<(), ExecError> {
+    let survivors: Vec<usize> = (pos..st.order.len())
+        .filter(|&j| !st.known_crashed[j])
+        .collect();
+    let remaining = st.hedged_l - now.get();
+    if survivors.is_empty() || remaining <= 0.0 {
+        return Ok(());
+    }
+    let _span = hetero_obs::timed("faults.replan");
+    hetero_obs::counters::FAULTS_REPLANS.bump();
+    st.replans += 1;
+    let rhos: Vec<f64> = survivors.iter().map(|&j| st.eff_rhos[j]).collect();
+    // Incremental X-measure maintenance: a lone rescaled ρ over the same
+    // member set is an in-place commit; membership changes rebuild into
+    // the scan's existing buffers. Neither path re-validates or
+    // re-allocates the way a from-scratch solver construction would.
+    let x = match &mut st.scan {
+        Some(scan) if st.scan_members == survivors => {
+            let changed: Vec<usize> = (0..rhos.len())
+                .filter(|&k| scan.rhos()[k] != rhos[k])
+                .collect();
+            match changed.as_slice() {
+                [] => scan.x(),
+                [k] => {
+                    scan.commit(*k, rhos[*k])?;
+                    scan.x()
+                }
+                _ => {
+                    scan.rebuild(&rhos)?;
+                    scan.x()
+                }
+            }
+        }
+        Some(scan) => {
+            scan.rebuild(&rhos)?;
+            st.scan_members = survivors.clone();
+            scan.x()
+        }
+        None => {
+            let scan = XScan::new(&st.params, &rhos)?;
+            let x = scan.x();
+            st.scan = Some(scan);
+            st.scan_members = survivors.clone();
+            x
+        }
+    };
+    let (a, b, td) = (st.params.a(), st.params.b(), st.params.tau_delta());
+    let c = remaining / (1.0 + td * x);
+    let mut product = 1.0f64;
+    for &j in &survivors {
+        let rho = st.eff_rhos[j];
+        let denom = b * rho + a;
+        let resolved = c * product / denom;
+        product *= (b * rho + td) / denom;
+        if resolved < st.work[j] {
+            st.work[j] = resolved;
+        }
+    }
+    Ok(())
+}
+
+/// Marks one more position as resolved (arrived, destroyed, or skipped)
+/// and fires the top-up round once everything planned has resolved.
+fn mark_resolved(
+    st: &mut AdaptState<'_>,
+    q: &mut EventQueue<Event>,
+    now: SimTime,
+) -> Result<(), ExecError> {
+    st.resolved += 1;
+    if !st.policy.topup || st.topup_done || st.resolved < st.order.len() {
+        return Ok(());
+    }
+    st.topup_done = true;
+    // The bonus round can only start once the server has finished
+    // unpacking the last result and the channel has drained — sizing the
+    // window from `now` would overshoot the hedged deadline by exactly
+    // that busy tail.
+    let start = now.max(st.server.next_free()).max(st.channel.next_free());
+    let window = st.hedged_l - start.get();
+    if window <= 1e-6 * st.hedged_l {
+        return Ok(());
+    }
+    // Proven-alive workers: original positions whose results came back.
+    let alive: Vec<usize> = (0..st.original_n)
+        .filter(|&p| st.arrivals[p].is_some())
+        .collect();
+    if alive.is_empty() {
+        return Ok(());
+    }
+    let rhos: Vec<f64> = alive.iter().map(|&p| st.eff_rhos[p]).collect();
+    let x = match &mut st.scan {
+        Some(scan) => {
+            scan.rebuild(&rhos)?;
+            scan.x()
+        }
+        None => {
+            let scan = XScan::new(&st.params, &rhos)?;
+            let x = scan.x();
+            st.scan = Some(scan);
+            x
+        }
+    };
+    st.scan_members.clear(); // top-up membership is position-aliased; force future rebuilds
+    let (a, b, td) = (st.params.a(), st.params.b(), st.params.tau_delta());
+    let c = window / (1.0 + td * x);
+    let first_new = st.order.len();
+    let mut product = 1.0f64;
+    for &p in &alive {
+        let rho = st.eff_rhos[p];
+        let denom = b * rho + a;
+        let w = c * product / denom;
+        product *= (b * rho + td) / denom;
+        if !(w.is_finite() && w > 0.0) {
+            continue;
+        }
+        let worker = st.order[p];
+        st.order.push(worker);
+        st.work.push(w);
+        st.rhos.push(st.rhos[p]);
+        st.eff_rhos.push(st.eff_rhos[p]);
+        st.crash_by_pos.push(st.crash_by_pos[p]);
+        st.known_crashed.push(false);
+        st.detected_slow.push(st.detected_slow[p]);
+        st.arrivals.push(None);
+        st.retries_used.push(0);
+    }
+    if st.order.len() > first_new {
+        q.schedule_at(start, Event::StartSend { pos: first_new });
+    }
+    Ok(())
+}
+
+fn handle_event(
+    st: &mut AdaptState<'_>,
+    q: &mut EventQueue<Event>,
+    now: SimTime,
+    ev: Event,
+) -> Result<(), ExecError> {
+    let (pi, tau, delta) = (st.params.pi(), st.params.tau(), st.params.delta());
+    match ev {
+        Event::StartSend { pos } => {
+            if detect(st, pos, now) {
+                st.dirty = true;
+            }
+            if st.dirty {
+                resolve_suffix(st, pos, now)?;
+                st.dirty = false;
+            }
+            let target = st.order[pos];
+            let chain_next = |q: &mut EventQueue<Event>, at: SimTime| {
+                if pos + 1 < st.order.len() {
+                    q.schedule_at(at, Event::StartSend { pos: pos + 1 });
+                }
+            };
+            let skip = if st.known_crashed[pos] {
+                true
+            } else if st.policy.degrade {
+                // Best-case return time at the detected effective speed;
+                // anything that cannot make the hedged deadline even
+                // unobstructed is dead channel weight.
+                let w = st.work[pos];
+                let best = (pi + tau) * w + st.params.b() * st.eff_rhos[pos] * w + tau * delta * w;
+                now.get() + best > st.hedged_l * (1.0 + 1e-9)
+            } else {
+                false
+            };
+            if skip {
+                st.skipped_sends += 1;
+                hetero_obs::counters::FAULTS_SKIPPED_SENDS.bump();
+                st.trace
+                    .try_record(SERVER, format!("skip→C{}", target + 1), now, now)?;
+                chain_next(q, now);
+                mark_resolved(st, q, now)?;
+                return Ok(());
+            }
+            let w = st.work[pos];
+            let pack = st.server.try_acquire(now, pi * w)?;
+            st.trace.try_record(
+                SERVER,
+                format!("pack→C{}", target + 1),
+                pack.start,
+                pack.end,
+            )?;
+            let transit = {
+                let prospective = pack.end.max(st.channel.next_free());
+                let base = tau * w;
+                let dur = match st.faults.channel_factor(prospective.get()) {
+                    Some(f) => f * base,
+                    None => base,
+                };
+                st.channel.try_acquire(pack.end, dur)?
+            };
+            st.trace.try_record(
+                channel_entity(st.original_n),
+                format!("xmit:work:C{}", target + 1),
+                transit.start,
+                transit.end,
+            )?;
+            q.schedule_at(transit.end, Event::WorkArrived { pos });
+            chain_next(q, transit.end);
+        }
+        Event::WorkArrived { pos } => {
+            let w = st.work[pos];
+            let rho = st.rhos[pos];
+            let target = st.order[pos];
+            let ent = worker_entity(target);
+            let crash = st.crash_by_pos[pos];
+            let phases = [
+                ("unpack", pi * rho * w),
+                ("compute", rho * w),
+                ("pack", pi * rho * delta * w),
+            ];
+            let mut t = now;
+            let mut died = false;
+            for (label, base) in phases {
+                let dur = match st.faults.slowdown_factor(target, t.get()) {
+                    Some(f) => f * base,
+                    None => base,
+                };
+                let end = t.try_add(dur)?;
+                if let Some(tc) = crash {
+                    if tc < end.get() {
+                        let cut = SimTime::try_new(tc)?;
+                        if cut > t {
+                            st.trace.try_record(ent, format!("{label}†crash"), t, cut)?;
+                        }
+                        died = true;
+                        break;
+                    }
+                }
+                st.trace.try_record(ent, label, t, end)?;
+                t = end;
+            }
+            if died {
+                mark_resolved(st, q, t)?;
+            } else {
+                q.schedule_at(t, Event::ResultsReady { pos });
+            }
+        }
+        Event::ResultsReady { pos } => {
+            let w = st.work[pos];
+            let target = st.order[pos];
+            let base = tau * delta * w;
+            let transit = {
+                let prospective = now.max(st.channel.next_free());
+                let dur = match st.faults.channel_factor(prospective.get()) {
+                    Some(f) => f * base,
+                    None => base,
+                };
+                st.channel.try_acquire(now, dur)?
+            };
+            let wait_threshold = 1e-9 * (1.0 + now.get().abs());
+            if transit.start - now > wait_threshold {
+                st.trace
+                    .try_record(worker_entity(target), "wait:channel", now, transit.start)?;
+            }
+            let lost = st.losses_left[target] > 0;
+            let label = if lost {
+                st.losses_left[target] -= 1;
+                format!("xmit:result:C{}†lost", target + 1)
+            } else {
+                format!("xmit:result:C{}", target + 1)
+            };
+            st.trace.try_record(
+                channel_entity(st.original_n),
+                label,
+                transit.start,
+                transit.end,
+            )?;
+            q.schedule_at(transit.end, Event::TransitDone { pos, lost });
+        }
+        Event::TransitDone { pos, lost } => {
+            let w = st.work[pos];
+            let target = st.order[pos];
+            if lost {
+                st.lost_messages += 1;
+                let alive = st.crash_by_pos[pos].is_none_or(|tc| tc > now.get());
+                if alive && st.retries_used[pos] < st.policy.max_retries {
+                    st.retries_used[pos] += 1;
+                    st.retransmits += 1;
+                    let delay =
+                        st.policy.retry_backoff * f64::from(st.retries_used[pos]) * tau * delta * w;
+                    let at = if delay > 0.0 {
+                        now.try_add(delay)?
+                    } else {
+                        now
+                    };
+                    q.schedule_at(at, Event::ResultsReady { pos });
+                } else {
+                    mark_resolved(st, q, now)?;
+                }
+            } else {
+                st.arrivals[pos] = Some(now);
+                let unpack = st.server.try_acquire(now, pi * delta * w)?;
+                st.trace.try_record(
+                    SERVER,
+                    format!("recv←C{}", target + 1),
+                    unpack.start,
+                    unpack.end,
+                )?;
+                mark_resolved(st, q, now)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::fifo_plan;
+    use crate::exec::execute;
+    use crate::fault_exec::execute_with_faults;
+    use hetero_faults::FaultSpec;
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    #[test]
+    fn hedged_lifespan_shaves_the_margin() {
+        assert_eq!(hedged_lifespan(600.0, 0.0), 600.0);
+        assert!((hedged_lifespan(600.0, 0.2) - 500.0).abs() < 1e-12);
+        assert!(hedged_lifespan(600.0, 0.05) < 600.0);
+    }
+
+    #[test]
+    fn fault_free_adaptive_is_bit_identical_to_pristine() {
+        let p = params();
+        let profile = Profile::harmonic(6);
+        let plan = fifo_plan(&p, &profile, 700.0).unwrap();
+        let pristine = execute(&p, &profile, &plan);
+        let run = execute_adaptive(
+            &p,
+            &profile,
+            &plan,
+            &FaultPlan::empty(),
+            &HedgePolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(run.trace.spans(), pristine.trace.spans());
+        let arrivals: Vec<SimTime> = run.arrivals.iter().map(|a| a.unwrap()).collect();
+        assert_eq!(arrivals, pristine.arrivals);
+        assert_eq!(run.replans, 0);
+        assert_eq!(run.skipped_sends, 0);
+        assert!(run.topups.is_empty());
+        assert_eq!(run.final_work, plan.work);
+    }
+
+    #[test]
+    fn detected_crash_skips_the_send_and_replans() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5, 0.25]).unwrap();
+        let plan = fifo_plan(&p, &profile, 500.0).unwrap();
+        // Worker 2 (position 2, fastest) crashes at t = 0: every boundary
+        // detects it before its send.
+        let faults = FaultPlan::new(vec![FaultSpec::Crash { worker: 2, at: 0.0 }]).unwrap();
+        let run = execute_adaptive(&p, &profile, &plan, &faults, &HedgePolicy::default()).unwrap();
+        assert!(run.skipped_sends >= 1);
+        assert!(run.replans >= 1);
+        assert_eq!(run.arrivals[2], None);
+        assert!(run.arrivals[0].is_some() && run.arrivals[1].is_some());
+        assert!(run
+            .trace
+            .spans()
+            .iter()
+            .any(|s| s.label == "skip→C3" && s.entity == SERVER));
+        // The oblivious executor wastes the send; adaptive salvages no
+        // less work and never delivers late.
+        let oblivious = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert!(run.salvaged_work() >= oblivious.salvaged_work() - 1e-9);
+        assert!(!run.missed_deadline(500.0));
+    }
+
+    #[test]
+    fn detected_straggler_shrinks_its_package_to_fit_the_hedge() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let lifespan = 500.0;
+        let plan = fifo_plan(&p, &profile, lifespan).unwrap();
+        // Worker 1 runs 4x slow for the whole run — chronic straggler,
+        // detectable at the very first boundary.
+        let faults = FaultPlan::new(vec![FaultSpec::Slowdown {
+            worker: 1,
+            factor: 4.0,
+            from: 0.0,
+            until: lifespan,
+        }])
+        .unwrap();
+        let policy = HedgePolicy {
+            margin: 0.05,
+            ..HedgePolicy::default()
+        };
+        let oblivious = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert!(oblivious.missed_deadline(lifespan), "oblivious is late");
+        let run = execute_adaptive(&p, &profile, &plan, &faults, &policy).unwrap();
+        assert!(!run.missed_deadline(lifespan), "replanned fits");
+        assert!(run.replans >= 1);
+        assert!(run.final_work[1] < plan.work[1], "straggler package shrank");
+    }
+
+    #[test]
+    fn topup_refills_the_window_after_losses() {
+        // Fat result transits (τδ = 0.2): the last position's arrival sits
+        // a real fraction of the lifespan after the first's, so its death
+        // frees a window the top-up round can actually use. Under the
+        // paper's τδ ~ 1e-6 every arrival clusters at L and there is
+        // nothing to refill — which the guard correctly detects.
+        let p = Params::new(0.2, 0.01, 1.0).unwrap();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let lifespan = 500.0;
+        let plan = fifo_plan(&p, &profile, lifespan).unwrap();
+        // Worker 1 (the last position) dies mid-compute; worker 0 returns
+        // fine well before the deadline, leaving the freed tail window.
+        let faults = FaultPlan::new(vec![FaultSpec::Crash {
+            worker: 1,
+            at: 100.0,
+        }])
+        .unwrap();
+        let run = execute_adaptive(&p, &profile, &plan, &faults, &HedgePolicy::default()).unwrap();
+        assert!(
+            !run.topups.is_empty(),
+            "proven-alive worker 0 gets bonus work"
+        );
+        for t in &run.topups {
+            assert_eq!(t.worker, 0);
+            assert!(t.work > 0.0);
+        }
+        assert!(!run.missed_deadline(lifespan));
+        let oblivious = execute_with_faults(&p, &profile, &plan, &faults).unwrap();
+        assert!(
+            run.work_completed_by(lifespan) > oblivious.work_completed_by(lifespan),
+            "top-up strictly beats oblivious salvage"
+        );
+    }
+
+    #[test]
+    fn retry_budget_bounds_retransmissions() {
+        let p = params();
+        let profile = Profile::new(vec![1.0]).unwrap();
+        let plan = fifo_plan(&p, &profile, 400.0).unwrap();
+        let faults = FaultPlan::new(vec![FaultSpec::ResultLoss {
+            worker: 0,
+            count: 10,
+        }])
+        .unwrap();
+        let policy = HedgePolicy {
+            max_retries: 2,
+            topup: false,
+            ..HedgePolicy::default()
+        };
+        let run = execute_adaptive(&p, &profile, &plan, &faults, &policy).unwrap();
+        assert_eq!(run.retransmits, 2);
+        assert_eq!(run.lost_messages, 3); // initial send + 2 retries, all lost
+        assert_eq!(run.arrivals[0], None);
+    }
+
+    #[test]
+    fn backoff_delays_retransmission() {
+        let p = params();
+        let profile = Profile::new(vec![1.0]).unwrap();
+        let plan = fifo_plan(&p, &profile, 400.0).unwrap();
+        let faults = FaultPlan::new(vec![FaultSpec::ResultLoss {
+            worker: 0,
+            count: 1,
+        }])
+        .unwrap();
+        let eager = execute_adaptive(&p, &profile, &plan, &faults, &HedgePolicy::default())
+            .unwrap()
+            .arrivals[0]
+            .unwrap();
+        let lazy = execute_adaptive(
+            &p,
+            &profile,
+            &plan,
+            &faults,
+            &HedgePolicy {
+                retry_backoff: 2.0,
+                ..HedgePolicy::default()
+            },
+        )
+        .unwrap()
+        .arrivals[0]
+            .unwrap();
+        assert!(lazy > eager, "backoff postpones the recovered arrival");
+    }
+
+    #[test]
+    fn crash_only_never_grows_allocations() {
+        // The dominance cap: under pure crashes the re-solve reproduces
+        // the original allocation for every survivor.
+        let p = params();
+        let profile = Profile::harmonic(5);
+        let plan = fifo_plan(&p, &profile, 600.0).unwrap();
+        let faults = FaultPlan::new(vec![
+            FaultSpec::Crash { worker: 1, at: 0.0 },
+            FaultSpec::Crash {
+                worker: 3,
+                at: 50.0,
+            },
+        ])
+        .unwrap();
+        let run = execute_adaptive(&p, &profile, &plan, &faults, &HedgePolicy::default()).unwrap();
+        for (pos, (&w, &orig)) in run.final_work.iter().zip(&plan.work).enumerate() {
+            assert!(
+                w <= orig * (1.0 + 1e-9),
+                "position {pos} grew: {w} > {orig}"
+            );
+        }
+        for pos in [0usize, 2, 4] {
+            assert!(
+                (run.final_work[pos] - plan.work[pos]).abs() / plan.work[pos] < 1e-9,
+                "survivor {pos} resized under crash-only faults"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_plan_is_rejected() {
+        let p = params();
+        let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+        let plan = Plan {
+            order: vec![1, 1],
+            work: vec![1.0, 1.0],
+            lifespan: 10.0,
+        };
+        assert_eq!(
+            execute_adaptive(
+                &p,
+                &profile,
+                &plan,
+                &FaultPlan::empty(),
+                &HedgePolicy::default()
+            )
+            .unwrap_err(),
+            ExecError::MalformedPlan
+        );
+    }
+}

@@ -39,8 +39,8 @@ mod trace;
 pub mod stats;
 
 pub use queue::EventQueue;
-pub use resource::UnitResource;
-pub use time::SimTime;
+pub use resource::{Grant, GrantError, UnitResource};
+pub use time::{NonFiniteTime, SimTime};
 pub use trace::{BackwardsSpan, Span, Trace};
 
 /// Drains the queue, dispatching every event to `handler` in time order.

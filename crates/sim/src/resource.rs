@@ -1,6 +1,55 @@
 //! Serially reusable resources.
 
+use std::error::Error;
+use std::fmt;
+
+use crate::time::NonFiniteTime;
 use crate::SimTime;
+
+/// Rejected grant request.
+///
+/// Produced by [`UnitResource::try_acquire`] for occupancy durations that
+/// are negative or non-finite — the values fault-perturbed rates can
+/// produce — or when the grant's end would overflow the clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GrantError {
+    /// The requested occupancy duration is negative or non-finite.
+    InvalidDuration {
+        /// The offending duration.
+        duration: f64,
+    },
+    /// The grant's end time is not a finite clock value.
+    TimeOverflow(NonFiniteTime),
+}
+
+impl fmt::Display for GrantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrantError::InvalidDuration { duration } => {
+                write!(
+                    f,
+                    "grant duration {duration} must be finite and non-negative"
+                )
+            }
+            GrantError::TimeOverflow(e) => write!(f, "grant end overflows the clock: {e}"),
+        }
+    }
+}
+
+impl Error for GrantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GrantError::TimeOverflow(e) => Some(e),
+            GrantError::InvalidDuration { .. } => None,
+        }
+    }
+}
+
+impl From<NonFiniteTime> for GrantError {
+    fn from(e: NonFiniteTime) -> Self {
+        GrantError::TimeOverflow(e)
+    }
+}
 
 /// A resource that serves one request at a time, in request order.
 ///
@@ -59,21 +108,41 @@ impl UnitResource {
     }
 
     /// Reserves the earliest conflict-free interval of length `duration`
-    /// starting at or after `ready_at`.
+    /// starting at or after `ready_at`, rejecting invalid durations with
+    /// a typed error instead of panicking.
     ///
-    /// # Panics
-    /// Panics when `duration` is negative or non-finite.
-    pub fn acquire(&mut self, ready_at: SimTime, duration: f64) -> Grant {
-        assert!(
-            duration.is_finite() && duration >= 0.0,
-            "invalid duration {duration}"
-        );
+    /// This is the form library code should use when the duration comes
+    /// from untrusted arithmetic (fault-perturbed rates); [`acquire`] is
+    /// its documented-panic convenience wrapper. On error the resource is
+    /// left untouched.
+    ///
+    /// [`acquire`]: UnitResource::acquire
+    pub fn try_acquire(&mut self, ready_at: SimTime, duration: f64) -> Result<Grant, GrantError> {
+        if !(duration.is_finite() && duration >= 0.0) {
+            return Err(GrantError::InvalidDuration { duration });
+        }
         let start = ready_at.max(self.next_free);
-        let end = start + duration;
+        let end = start.try_add(duration)?;
         self.next_free = end;
         self.granted += 1;
         self.busy_total += duration;
-        Grant { start, end }
+        Ok(Grant { start, end })
+    }
+
+    /// Reserves the earliest conflict-free interval of length `duration`
+    /// starting at or after `ready_at`. Convenience wrapper over
+    /// [`try_acquire`] for protocol schedules whose durations are built
+    /// from validated model parameters.
+    ///
+    /// # Panics
+    /// Panics when `duration` is negative or non-finite, or when the
+    /// grant's end overflows the clock.
+    ///
+    /// [`try_acquire`]: UnitResource::try_acquire
+    pub fn acquire(&mut self, ready_at: SimTime, duration: f64) -> Grant {
+        self.try_acquire(ready_at, duration)
+            // hetero-check: allow(expect) — documented-panic wrapper; the fallible form is try_acquire
+            .expect("invalid duration")
     }
 
     /// The earliest time a new request could begin service.
@@ -161,5 +230,27 @@ mod tests {
     fn negative_duration_panics() {
         let mut r = UnitResource::new();
         r.acquire(SimTime::ZERO, -1.0);
+    }
+
+    #[test]
+    fn try_acquire_rejects_and_leaves_the_resource_untouched() {
+        let mut r = UnitResource::new();
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                r.try_acquire(SimTime::ZERO, bad),
+                Err(GrantError::InvalidDuration { .. })
+            ));
+        }
+        assert_eq!(r.grants(), 0);
+        assert_eq!(r.busy_total(), 0.0);
+        assert_eq!(r.next_free(), SimTime::ZERO);
+        // A clock overflow is reported as such, with the source chained.
+        let err = r.try_acquire(SimTime::new(f64::MAX), f64::MAX).unwrap_err();
+        assert!(matches!(err, GrantError::TimeOverflow(_)));
+        assert!(err.to_string().contains("overflows"));
+        assert_eq!(r.grants(), 0, "failed grants do not mutate");
+        // The happy path matches the panicking wrapper exactly.
+        let g = r.try_acquire(SimTime::new(2.0), 3.0).unwrap();
+        assert_eq!((g.start.get(), g.end.get()), (2.0, 5.0));
     }
 }

@@ -1,7 +1,27 @@
 //! The simulation clock value.
 
+use std::error::Error;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+
+/// Rejected clock value: NaN or infinite.
+///
+/// Produced by [`SimTime::try_new`] when a computed time is not finite —
+/// e.g. a fault-perturbed duration that overflowed. Carries the offending
+/// value so callers can report where the arithmetic went wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteTime {
+    /// The offending non-finite value.
+    pub value: f64,
+}
+
+impl fmt::Display for NonFiniteTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation time must be finite, got {}", self.value)
+    }
+}
+
+impl Error for NonFiniteTime {}
 
 /// A point on the simulation clock.
 ///
@@ -22,13 +42,39 @@ impl SimTime {
     /// Time zero — the conventional start of a simulation.
     pub const ZERO: SimTime = SimTime(0.0);
 
-    /// Wraps a finite clock value.
+    /// Wraps a finite clock value, rejecting NaN and infinities.
+    ///
+    /// This is the fallible constructor library code should use whenever
+    /// the value is computed from untrusted arithmetic (fault-perturbed
+    /// rates, external input); [`SimTime::new`] is its documented-panic
+    /// convenience wrapper.
+    pub fn try_new(t: f64) -> Result<Self, NonFiniteTime> {
+        if t.is_finite() {
+            Ok(SimTime(t))
+        } else {
+            Err(NonFiniteTime { value: t })
+        }
+    }
+
+    /// Wraps a finite clock value. Convenience wrapper over [`try_new`]
+    /// for call sites whose values come straight off the causal event
+    /// clock; callers with untrusted values should use [`try_new`] and
+    /// handle the error.
     ///
     /// # Panics
     /// Panics when `t` is NaN or infinite.
+    ///
+    /// [`try_new`]: SimTime::try_new
     pub fn new(t: f64) -> Self {
-        assert!(t.is_finite(), "SimTime must be finite, got {t}");
-        SimTime(t)
+        // hetero-check: allow(expect) — documented-panic wrapper; the fallible form is try_new
+        Self::try_new(t).expect("SimTime must be finite")
+    }
+
+    /// Advances the clock by `dt`, rejecting a non-finite result — the
+    /// fallible form of `self + dt` for durations derived from untrusted
+    /// (e.g. fault-perturbed) arithmetic.
+    pub fn try_add(self, dt: f64) -> Result<Self, NonFiniteTime> {
+        Self::try_new(self.0 + dt)
     }
 
     /// The underlying clock value.
@@ -121,5 +167,26 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn overflow_to_infinity_rejected() {
         let _ = SimTime::new(f64::MAX) + f64::MAX;
+    }
+
+    #[test]
+    fn try_new_returns_the_offending_value() {
+        assert_eq!(SimTime::try_new(2.5), Ok(SimTime::new(2.5)));
+        let err = SimTime::try_new(f64::INFINITY).unwrap_err();
+        assert_eq!(err.value, f64::INFINITY);
+        assert!(err.to_string().contains("finite"));
+        let nan = SimTime::try_new(f64::NAN).unwrap_err();
+        assert!(nan.value.is_nan());
+    }
+
+    #[test]
+    fn try_add_rejects_overflow() {
+        assert_eq!(
+            SimTime::new(1.0).try_add(0.5),
+            Ok(SimTime::new(1.5)),
+            "finite advance succeeds"
+        );
+        assert!(SimTime::new(f64::MAX).try_add(f64::MAX).is_err());
+        assert!(SimTime::ZERO.try_add(f64::NAN).is_err());
     }
 }
