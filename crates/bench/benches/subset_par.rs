@@ -1,0 +1,51 @@
+//! Bench — exhaustive best-k subset search, serial Gray-code walk vs the
+//! segmented parallel walk on the persistent pool.
+//!
+//! The parallel search partitions the 2ⁿ mask space into contiguous
+//! Gray-code segments, seeds each segment's running level stack in O(n),
+//! and reduces with the serial tie-break (max X, then lowest mask), so
+//! the winner is bit-identical at every thread count. The 8-thread
+//! speedup at n = 28 is the headline number recorded in
+//! `BENCH_pr5.json`; on a single-core host the pool degrades to the
+//! serial walk plus segmentation overhead, which this bench makes
+//! visible rather than hiding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::selection::{best_k_subset, best_k_subset_par};
+use hetero_core::{Params, Profile};
+use std::hint::black_box;
+
+const SIZES: [usize; 2] = [24, 28];
+
+fn bench_subset(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    let mut group = c.benchmark_group("selection/best_k_subset");
+    // 2²⁸ masks per evaluation: keep the sample count at the floor so
+    // the full bench stays in CI-friendly time.
+    group.sample_size(3);
+    for n in SIZES {
+        let profile = Profile::uniform_spread(n);
+        let k = n / 2;
+
+        group.bench_with_input(BenchmarkId::new("serial", n), &profile, |b, p| {
+            b.iter(|| best_k_subset(&params, black_box(p), k).expect("valid k"))
+        });
+
+        for threads in [2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("par{threads}"), n),
+                &profile,
+                |b, p| {
+                    b.iter(|| {
+                        best_k_subset_par(&params, black_box(p), k, threads).expect("valid k")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subset);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Bench — batched X-measure throughput against the scalar kernel.
+//!
+//! The lockstep kernel in `hetero_core::xbatch` advances the Theorem 2
+//! recurrence for eight same-length profiles at once: eight independent
+//! division chains fill the divider pipeline that a single scalar
+//! recurrence leaves stalled, so the speedup is instruction-level
+//! parallelism on one core, not threading. Per-lane operations are the
+//! scalar sequence exactly, so results stay bit-identical. The batched
+//! throughput at n = 1024 over a 4096-profile batch is the headline
+//! number recorded in `BENCH_pr5.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_core::xbatch::{self, ProfileBatch};
+use hetero_core::{xmeasure, Params};
+use std::hint::black_box;
+
+const SIZES: [usize; 2] = [64, 1024];
+const BATCH: usize = 4096;
+
+/// A deterministic spread of speeds: distinct magnitudes per row so the
+/// compensated sums do real work, no RNG so runs compare cleanly.
+fn row(n: usize, r: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 / (1.0 + i as f64 + (r % 7) as f64 / 7.0))
+        .collect()
+}
+
+fn bench_xbatch(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    let mut group = c.benchmark_group("xbatch/x_measures");
+    for n in SIZES {
+        let rows: Vec<Vec<f64>> = (0..BATCH).map(|r| row(n, r)).collect();
+        let mut batch = ProfileBatch::with_capacity(BATCH, BATCH * n);
+        for r in &rows {
+            batch.push(r);
+        }
+        group.throughput(Throughput::Elements((BATCH * n) as u64));
+
+        group.bench_with_input(BenchmarkId::new("scalar", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for r in rows {
+                    acc += xmeasure::x_measure_of_rhos(&params, black_box(r));
+                }
+                black_box(acc)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("batched", n), &batch, |b, batch| {
+            let mut out = Vec::with_capacity(BATCH);
+            b.iter(|| {
+                xbatch::x_measures_into(&params, black_box(batch), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_xbatch);
+criterion_main!(benches);

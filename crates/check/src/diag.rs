@@ -33,6 +33,10 @@ pub enum Lint {
     AllowMissingReason,
     /// Panicking `SimTime::new` outside the simulator crate.
     SimTimeUnchecked,
+    /// `std::thread::spawn` / `crossbeam` scopes in library code outside
+    /// `crates/par` (ad-hoc threads bypass the pool's determinism and
+    /// panic-containment contracts).
+    ThreadSpawnOutsidePar,
 }
 
 /// Every lint, in reporting order.
@@ -50,6 +54,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::PrintInLib,
     Lint::AllowMissingReason,
     Lint::SimTimeUnchecked,
+    Lint::ThreadSpawnOutsidePar,
 ];
 
 impl Lint {
@@ -69,6 +74,7 @@ impl Lint {
             Lint::PrintInLib => "print-in-lib",
             Lint::AllowMissingReason => "allow-missing-reason",
             Lint::SimTimeUnchecked => "sim-time-unchecked",
+            Lint::ThreadSpawnOutsidePar => "thread-spawn-outside-par",
         }
     }
 

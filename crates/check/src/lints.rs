@@ -120,6 +120,12 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
             if !rel.starts_with("crates/sim/src/") {
                 cx.sim_time_unchecked(&mut raw);
             }
+            // hetero-par owns thread creation; everyone else goes
+            // through its pool so fan-out stays deterministic and
+            // panic-contained.
+            if !rel.starts_with("crates/par/src/") {
+                cx.thread_spawn_outside_par(&mut raw);
+            }
             cx.indexing(&mut raw);
             cx.crate_policy(src, &mut raw);
             cx.paper_anchor(src, &mut raw);
@@ -565,6 +571,42 @@ impl<'a> Cx<'a> {
         }
     }
 
+    /// Ad-hoc thread creation outside `crates/par`: `thread::spawn` and
+    /// raw `crossbeam` scopes bypass the worker pool's seeded
+    /// determinism, panic containment, and `HETERO_THREADS` sizing, so
+    /// library code must fan out through `hetero_par::Pool` instead.
+    /// (`thread::available_parallelism` and friends stay legal — only
+    /// the spawning entry points are gated.)
+    fn thread_spawn_outside_par(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let spawn = tok.text == "thread"
+                && self.text(i + 1) == "::"
+                && self.text(i + 2) == "spawn"
+                && self.text(i + 3) == "(";
+            let scope = tok.text == "crossbeam"
+                && self.text(i + 1) == "::"
+                && ((self.text(i + 2) == "scope" && self.text(i + 3) == "(")
+                    || (self.text(i + 2) == "thread"
+                        && self.text(i + 3) == "::"
+                        && self.text(i + 4) == "scope"
+                        && self.text(i + 5) == "("));
+            if spawn || scope {
+                self.emit(
+                    out,
+                    Lint::ThreadSpawnOutsidePar,
+                    tok,
+                    "ad-hoc threads bypass the pool's determinism and panic \
+                     containment; fan out through `hetero_par::Pool::map` (or \
+                     `Executor`) instead of spawning here"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
     /// Expression indexing (advisory).
     fn indexing(&self, out: &mut Vec<Diagnostic>) {
         for (i, tok) in self.tokens.iter().enumerate() {
@@ -792,6 +834,40 @@ mod tests {
         assert!(lints_of("crates/protocol/src/m.rs", try_new)
             .iter()
             .all(|(l, _)| *l != Lint::SimTimeUnchecked));
+    }
+
+    #[test]
+    fn thread_spawn_scoped_outside_par() {
+        let spawn = "pub fn f() { std::thread::spawn(|| {}); }";
+        assert!(lints_of("crates/core/src/m.rs", spawn)
+            .iter()
+            .any(|(l, _)| *l == Lint::ThreadSpawnOutsidePar));
+        let bare = "pub fn f() { thread::spawn(|| {}); }";
+        assert!(lints_of("crates/core/src/m.rs", bare)
+            .iter()
+            .any(|(l, _)| *l == Lint::ThreadSpawnOutsidePar));
+        let scope = "pub fn f() { crossbeam::scope(|s| {}).ok(); }";
+        assert!(lints_of("crates/clustergen/src/m.rs", scope)
+            .iter()
+            .any(|(l, _)| *l == Lint::ThreadSpawnOutsidePar));
+        let nested = "pub fn f() { crossbeam::thread::scope(|s| {}).ok(); }";
+        assert!(lints_of("crates/clustergen/src/m.rs", nested)
+            .iter()
+            .any(|(l, _)| *l == Lint::ThreadSpawnOutsidePar));
+        // The pool crate owns thread creation.
+        assert!(lints_of("crates/par/src/pool.rs", spawn)
+            .iter()
+            .all(|(l, _)| *l != Lint::ThreadSpawnOutsidePar));
+        // Non-spawning thread APIs stay legal everywhere.
+        let probe = "pub fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }";
+        assert!(lints_of("crates/core/src/m.rs", probe)
+            .iter()
+            .all(|(l, _)| *l != Lint::ThreadSpawnOutsidePar));
+        // Test modules are exempt, as for every lint.
+        let test = "#[cfg(test)]\nmod tests {\n fn f() { std::thread::spawn(|| {}); }\n}";
+        assert!(lints_of("crates/core/src/m.rs", test)
+            .iter()
+            .all(|(l, _)| *l != Lint::ThreadSpawnOutsidePar));
     }
 
     #[test]

@@ -127,6 +127,24 @@ fn violations_fixture_fires_every_deny_lint() {
         .filter(|(l, _, _, _)| l == "sim-time-unchecked")
         .count();
     assert_eq!(simtime, 1, "{d:?}");
+    // Both spawning entry points fire; the parallelism probe stays silent.
+    assert!(has(
+        &d,
+        "thread-spawn-outside-par",
+        "crates/demo/src/spawn.rs",
+        4
+    ));
+    assert!(has(
+        &d,
+        "thread-spawn-outside-par",
+        "crates/demo/src/spawn.rs",
+        5
+    ));
+    let spawns = d
+        .iter()
+        .filter(|(l, _, _, _)| l == "thread-spawn-outside-par")
+        .count();
+    assert_eq!(spawns, 2, "{d:?}");
     // Missing headers are reported once per header.
     let policy = d
         .iter()
@@ -141,7 +159,7 @@ fn violations_fixture_fires_every_deny_lint() {
         .expect("indexing reported");
     assert_eq!(level, "warn");
 
-    assert_eq!(summary_num(&r, "violations"), 15);
+    assert_eq!(summary_num(&r, "violations"), 17);
     assert_eq!(summary_num(&r, "warnings"), 1);
     assert_eq!(summary_num(&r, "exit_code"), 1);
 }

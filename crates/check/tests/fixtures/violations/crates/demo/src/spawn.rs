@@ -1,0 +1,10 @@
+//! Ad-hoc thread creation outside the pool crate.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+    crossbeam::scope(|_s| {}).ok();
+}
+
+pub fn probe() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).ok().unwrap_or(1)
+}

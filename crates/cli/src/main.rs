@@ -38,6 +38,11 @@
 //! Add `--csv` to any table-producing command to print CSV instead of the
 //! aligned ASCII table.
 //!
+//! `--threads N` caps the worker-pool fan-out of the sweep commands
+//! (`variance`, `threshold`, `faults`). The default is the
+//! `HETERO_THREADS` environment variable when set, else one worker per
+//! core; results are bit-identical at every thread count.
+//!
 //! Observability (see DESIGN.md "Observability"):
 //!
 //! ```text
@@ -70,6 +75,7 @@ struct Opts {
     max_n: Option<usize>,
     seed: Option<u64>,
     hard: bool,
+    threads: usize,
     bench_scaling: bool,
     smoke: bool,
     obs: bool,
@@ -92,6 +98,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_n: None,
         seed: None,
         hard: false,
+        threads: hetero_par::configured_threads(),
         bench_scaling: false,
         smoke: false,
         obs: false,
@@ -125,6 +132,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = Some(v.parse().map_err(|_| format!("bad --seed {v}"))?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let t: usize = v.parse().map_err(|_| format!("bad --threads {v}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = t;
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -191,6 +206,7 @@ fn cmd_variance(opts: &Opts) {
         } else {
             variance::PairGenerator::DiverseShapes
         },
+        threads: opts.threads,
         ..variance::VarianceConfig::default()
     };
     print_table(&variance::run(&cfg).table(), opts.csv);
@@ -203,6 +219,7 @@ fn cmd_threshold(opts: &Opts) {
     let cfg = threshold::ThresholdConfig {
         trials_per_combo: opts.trials.unwrap_or(1500),
         seed: opts.seed.unwrap_or(0xBEEF),
+        threads: opts.threads,
         ..threshold::ThresholdConfig::default()
     };
     let e = threshold::run(&cfg);
@@ -282,6 +299,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             let mut cfg = fault_sweep::FaultSweepConfig {
                 trials: opts.trials.unwrap_or(100),
                 seed: opts.seed.unwrap_or(0xFA17),
+                threads: opts.threads,
                 ..fault_sweep::FaultSweepConfig::default()
             };
             if opts.smoke {
@@ -380,6 +398,7 @@ fn obs_finalize(cmd: &str, opts: &Opts, wall_ms: f64) -> Result<(), String> {
         seed: opts.seed.unwrap_or(0),
         trials: opts.trials.unwrap_or(0),
         max_n: opts.max_n.unwrap_or(0),
+        threads: opts.threads,
         params: vec![
             ("tau".to_string(), p.tau()),
             ("pi".to_string(), p.pi()),
@@ -419,8 +438,8 @@ fn main() -> ExitCode {
              granularity robustness faults fleet all"
         );
         println!(
-            "options:  --csv --trials N --max-n N --seed S --hard --bench-scaling \
-             --smoke --obs --obs-json PATH --obs-trace PATH"
+            "options:  --csv --trials N --max-n N --seed S --threads N --hard \
+             --bench-scaling --smoke --obs --obs-json PATH --obs-trace PATH"
         );
         return ExitCode::SUCCESS;
     }
@@ -498,6 +517,8 @@ mod tests {
             "128",
             "--seed",
             "7",
+            "--threads",
+            "3",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -507,6 +528,16 @@ mod tests {
         assert_eq!(o.trials, Some(42));
         assert_eq!(o.max_n, Some(128));
         assert_eq!(o.seed, Some(7));
+        assert_eq!(o.threads, 3);
+    }
+
+    #[test]
+    fn threads_defaults_to_the_configured_pool_width() {
+        let o = parse_opts(&[]).unwrap();
+        assert_eq!(o.threads, hetero_par::configured_threads());
+        assert!(parse_opts(&["--threads".into()]).is_err());
+        assert!(parse_opts(&["--threads".into(), "0".into()]).is_err());
+        assert!(parse_opts(&["--threads".into(), "abc".into()]).is_err());
     }
 
     #[test]
@@ -524,6 +555,7 @@ mod tests {
             max_n: Some(64),
             seed: None,
             hard: false,
+            threads: 1,
             bench_scaling: true,
             smoke: false,
             obs: false,
@@ -541,6 +573,7 @@ mod tests {
             max_n: None,
             seed: Some(42),
             hard: false,
+            threads: 2,
             bench_scaling: false,
             smoke: true,
             obs: false,
@@ -571,6 +604,7 @@ mod tests {
             max_n: Some(8),
             seed: Some(1),
             hard: false,
+            threads: 2,
             bench_scaling: false,
             smoke: false,
             obs: false,

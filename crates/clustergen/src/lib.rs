@@ -31,6 +31,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hetero_core::numeric::kahan_sum;
+use hetero_core::xbatch::ProfileBatch;
 use hetero_core::Profile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -78,10 +80,21 @@ pub enum Shape {
 
 /// Draws one vector of raw speeds (unsorted, not mean-adjusted).
 pub fn sample_speeds(rng: &mut StdRng, cfg: GenConfig, shape: Shape) -> Vec<f64> {
+    let mut out = Vec::with_capacity(cfg.n);
+    sample_speeds_into(rng, cfg, shape, &mut out);
+    out
+}
+
+/// [`sample_speeds`] into a caller-owned buffer (cleared first), drawing
+/// exactly the same RNG stream — the allocation-free primitive the batch
+/// loaders are built on.
+pub fn sample_speeds_into(rng: &mut StdRng, cfg: GenConfig, shape: Shape, out: &mut Vec<f64>) {
     assert!(cfg.n >= 1, "cluster must have at least one computer");
     let width = 1.0 - cfg.lo;
-    (0..cfg.n)
-        .map(|_| match shape {
+    out.clear();
+    out.reserve(cfg.n);
+    for _ in 0..cfg.n {
+        out.push(match shape {
             Shape::Uniform => rng.random_range(cfg.lo..=1.0),
             Shape::Bimodal => {
                 let jitter = rng.random_range(0.0..=0.1) * width;
@@ -95,8 +108,8 @@ pub fn sample_speeds(rng: &mut StdRng, cfg: GenConfig, shape: Shape) -> Vec<f64>
                 let mid = cfg.lo + 0.5 * width;
                 mid + rng.random_range(-0.1..=0.1) * width
             }
-        })
-        .collect()
+        });
+    }
 }
 
 /// Draws one random [`Profile`] (sorted slowest-first).
@@ -110,9 +123,16 @@ pub fn random_profile(rng: &mut StdRng, cfg: GenConfig, shape: Shape) -> Profile
 /// `[lo, 1]`, by iterative shift-and-clamp plus an exact residual pass.
 /// Returns `None` when the target is outside `[lo, 1]` (unreachable).
 pub fn adjust_to_mean(mut speeds: Vec<f64>, target: f64, lo: f64) -> Option<Vec<f64>> {
+    adjust_to_mean_in_place(&mut speeds, target, lo).then_some(speeds)
+}
+
+/// [`adjust_to_mean`] operating in place: same arithmetic, no move.
+/// Returns `false` (leaving `speeds` partially shifted — resample them)
+/// when the target mean is unreachable.
+pub fn adjust_to_mean_in_place(speeds: &mut [f64], target: f64, lo: f64) -> bool {
     let n = speeds.len() as f64;
     if speeds.is_empty() || !(lo..=1.0).contains(&target) {
-        return None;
+        return false;
     }
     // Phase 1: shift everything by the mean error, clamping to the box.
     // Each iteration strictly reduces |error| unless all entries are
@@ -123,14 +143,14 @@ pub fn adjust_to_mean(mut speeds: Vec<f64>, target: f64, lo: f64) -> Option<Vec<
         if err.abs() < 1e-12 {
             break;
         }
-        for s in &mut speeds {
+        for s in &mut *speeds {
             *s = (*s + err).clamp(lo, 1.0);
         }
     }
     // Phase 2: distribute the (tiny) remaining residual over entries with
     // slack, making the mean exact to f64 working precision.
     let mut residual = target * n - speeds.iter().sum::<f64>();
-    for s in &mut speeds {
+    for s in &mut *speeds {
         if residual.abs() < 1e-15 {
             break;
         }
@@ -139,10 +159,9 @@ pub fn adjust_to_mean(mut speeds: Vec<f64>, target: f64, lo: f64) -> Option<Vec<
         *s += step;
         residual -= step;
     }
-    if residual.abs() > 1e-9 {
-        return None; // pathological box; caller should resample
-    }
-    Some(speeds)
+    // A residual that refuses to distribute means a pathological box;
+    // the caller should resample.
+    residual.abs() <= 1e-9
 }
 
 /// A pair of equal-mean profiles plus their measured statistics.
@@ -220,6 +239,92 @@ impl EqualMeanPairGen {
         }
         None
     }
+}
+
+/// Statistics of one pair drawn by [`PairBatcher::sample_into`] — the
+/// same numbers [`EqualMeanPair`] carries, without the two `Profile`
+/// allocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairSample {
+    /// The shared mean speed.
+    pub mean: f64,
+    /// `VAR(p1)`.
+    pub var1: f64,
+    /// `VAR(p2)`.
+    pub var2: f64,
+}
+
+impl PairSample {
+    /// Absolute variance gap `|VAR(p1) − VAR(p2)|`.
+    pub fn variance_gap(&self) -> f64 {
+        (self.var1 - self.var2).abs()
+    }
+}
+
+/// Allocation-free bulk loader of equal-mean pairs into a
+/// [`ProfileBatch`].
+///
+/// Holds the raw-draw scratch buffers that [`EqualMeanPairGen::sample`]
+/// would allocate per trial, and pushes each accepted pair's *sorted*
+/// ρ-rows directly into the structure-of-arrays arena. The RNG draw
+/// order, the retry policy, the plain-sum target mean, the slowest-first
+/// `total_cmp` sort, and the compensated mean/variance are each the
+/// exact operation sequence of the `Profile`-returning path, so a
+/// batched sweep consumes the same stream and computes bit-identical
+/// statistics (pinned by a test).
+#[derive(Debug, Clone, Default)]
+pub struct PairBatcher {
+    raw1: Vec<f64>,
+    raw2: Vec<f64>,
+}
+
+impl PairBatcher {
+    /// A batcher with empty scratch (grown on first use, reused after).
+    pub fn new() -> Self {
+        PairBatcher::default()
+    }
+
+    /// Draws one pair from `gen`, appending its two sorted profiles to
+    /// `batch` and returning their statistics; `None` (nothing appended)
+    /// when 32 successive projections failed. Mirrors
+    /// [`EqualMeanPairGen::sample`] draw for draw.
+    pub fn sample_into(
+        &mut self,
+        gen: &EqualMeanPairGen,
+        rng: &mut StdRng,
+        batch: &mut ProfileBatch,
+    ) -> Option<PairSample> {
+        let cfg = gen.cfg;
+        for _ in 0..32 {
+            sample_speeds_into(rng, cfg, gen.shape1, &mut self.raw1);
+            let mean = self.raw1.iter().sum::<f64>() / self.raw1.len() as f64;
+            sample_speeds_into(rng, cfg, gen.shape2, &mut self.raw2);
+            if !adjust_to_mean_in_place(&mut self.raw2, mean, cfg.lo) {
+                continue;
+            }
+            // Sort exactly as Profile::from_unsorted does, then take the
+            // statistics in sorted order exactly as Profile::mean/variance
+            // do — bit-identical to building the profiles.
+            self.raw1.sort_by(|a, b| b.total_cmp(a));
+            self.raw2.sort_by(|a, b| b.total_cmp(a));
+            let (var1, var2) = (variance_of(&self.raw1), variance_of(&self.raw2));
+            batch.push(&self.raw1);
+            batch.push(&self.raw2);
+            return Some(PairSample { mean, var1, var2 });
+        }
+        None
+    }
+}
+
+/// [`Profile::mean`]'s operation sequence on a raw sorted slice.
+fn mean_of(rhos: &[f64]) -> f64 {
+    kahan_sum(rhos.iter().copied()) / rhos.len() as f64
+}
+
+/// [`Profile::variance`]'s operation sequence on a raw sorted slice.
+fn variance_of(rhos: &[f64]) -> f64 {
+    let mean = mean_of(rhos);
+    kahan_sum(rhos.iter().map(|r| (r - mean) * (r - mean))) / rhos.len() as f64
 }
 
 #[cfg(test)]
@@ -317,6 +422,37 @@ mod tests {
             big_gaps > 4.0 * small_gaps,
             "Concentrated/Bimodal should give much larger gaps: {big_gaps} vs {small_gaps}"
         );
+    }
+
+    #[test]
+    fn pair_batcher_is_bit_identical_to_the_profile_path() {
+        // Same seed through both paths: the arena rows must equal the
+        // sorted profiles bit for bit, the statistics likewise, and the
+        // two RNGs must stay in lockstep across many trials.
+        for (s1, s2) in [
+            (Shape::Uniform, Shape::Bimodal),
+            (Shape::Concentrated, Shape::Bimodal),
+            (Shape::Uniform, Shape::Uniform),
+        ] {
+            let gen = EqualMeanPairGen::new(GenConfig::new(24), s1, s2);
+            let mut rng_a = rng_from_seed(77);
+            let mut rng_b = rng_from_seed(77);
+            let mut batcher = PairBatcher::new();
+            let mut batch = ProfileBatch::new();
+            for trial in 0..40 {
+                let pair = gen.sample(&mut rng_a).expect("feasible");
+                let stats = batcher
+                    .sample_into(&gen, &mut rng_b, &mut batch)
+                    .expect("feasible");
+                let row1 = batch.rhos_of(batch.len() - 2);
+                let row2 = batch.rhos_of(batch.len() - 1);
+                assert_eq!(row1, pair.p1.rhos(), "trial {trial}");
+                assert_eq!(row2, pair.p2.rhos(), "trial {trial}");
+                assert_eq!(stats.mean.to_bits(), pair.mean.to_bits());
+                assert_eq!(stats.var1.to_bits(), pair.var1.to_bits());
+                assert_eq!(stats.var2.to_bits(), pair.var2.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -26,12 +26,30 @@ use crate::{ModelError, Params, Profile};
 /// with communication-dominated parameters — it is computed directly in
 /// log space. Returns an error only for degenerate floating-point inputs.
 pub fn hecr(params: &Params, profile: &Profile) -> Result<f64, ModelError> {
-    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
-    let n = profile.n() as f64;
+    hecr_of_rhos(params, profile.rhos())
+}
+
+/// [`hecr`] on a raw ρ-slice — the slice-level entry point the batched
+/// kernel ([`crate::xbatch::hecrs`]) shares with the [`Profile`] API, so
+/// both paths are one implementation and bit-identical by construction
+/// (Proposition 1).
+pub fn hecr_of_rhos(params: &Params, rhos: &[f64]) -> Result<f64, ModelError> {
     // ln Π r_i with r_i = 1 − (A−τδ)/(Bρ_i + A), each factor via ln_1p.
-    let log_inner = log_residual(params, profile.rhos());
+    let log_inner = log_residual(params, rhos);
+    hecr_from_log_residual(params, log_inner, rhos.len())
+}
+
+/// Closes the Proposition 1 inversion from an already-computed log
+/// residual. Shared by the scalar and batched HECR paths so their final
+/// arithmetic is the same instruction sequence.
+pub(crate) fn hecr_from_log_residual(
+    params: &Params,
+    log_inner: f64,
+    n: usize,
+) -> Result<f64, ModelError> {
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
     // 1 − inner^{1/n}, stable whether inner is ≈ 1 or ≈ 0.
-    let one_minus_d = -(log_inner / n).exp_m1();
+    let one_minus_d = -(log_inner / n as f64).exp_m1();
     if !(one_minus_d > 0.0 && one_minus_d.is_finite()) {
         return Err(ModelError::InvalidParam {
             name: "1 - D",

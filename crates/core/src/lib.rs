@@ -37,6 +37,9 @@
 //! * [`xengine`] — the incremental X-measure engine: prefix/suffix
 //!   decomposition of the Theorem 2 sum for O(1) single-ρ what-if
 //!   evaluation, powering the optimization loops above.
+//! * [`xbatch`] — structure-of-arrays batched evaluation: a lockstep
+//!   kernel advancing the Theorem 2 recurrence for whole blocks of
+//!   same-length profiles at once, bit-identical to the scalar path.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +73,7 @@ pub mod hecr;
 pub mod numeric;
 pub mod selection;
 pub mod speedup;
+pub mod xbatch;
 pub mod xengine;
 pub mod xmeasure;
 

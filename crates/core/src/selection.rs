@@ -7,13 +7,16 @@
 //! subset is at least as fast), so by minorization the **`k` fastest are
 //! always an optimal `k`-subset**. [`best_k_subset`] verifies that claim
 //! empirically by exhaustive search over a Gray-code subset walk (for
-//! testing); [`marginal_gains`] quantifies the diminishing returns that
+//! testing), and [`best_k_subset_par`] runs the same walk in contiguous
+//! Gray segments on the persistent worker pool with a bit-identical
+//! winner; [`marginal_gains`] quantifies the diminishing returns that
 //! the X-measure's saturation at `1/(A−τδ)` imposes; [`smallest_fleet_for`]
 //! inverts the curve. The fleet-curve functions read all `n` sub-cluster
 //! X-values off one backward [`XScan`](crate::xengine::XScan) suffix scan
 //! instead of `n` full evaluations.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use crate::numeric::KahanSum;
 use crate::xengine::XScan;
@@ -101,24 +104,162 @@ pub fn best_k_subset(params: &Params, profile: &Profile, k: usize) -> Result<Pro
         if count != k {
             continue;
         }
-        let x = sums[n].value();
-        let better = match best {
-            None => true,
-            Some((bx, bmask)) => x > bx || (x.total_cmp(&bx) == Ordering::Equal && mask < bmask),
-        };
-        if better {
-            best = Some((x, mask));
-        }
+        offer(&mut best, sums[n].value(), mask);
     }
     // The Gray walk visits every nonempty subset exactly once.
     hetero_obs::counters::SELECTION_SUBSET_NODES.add((1u64 << n) - 1);
+    winner_profile(profile, best)
+}
+
+/// The shared winner predicate of the serial and parallel walks: take the
+/// candidate when its X is strictly larger, or exactly equal (by
+/// `total_cmp`) with a smaller mask. Picking the unique
+/// (max-X, min-mask) element makes the winner independent of visit
+/// order — the keystone of the parallel walk's determinism.
+#[inline]
+fn offer(best: &mut Option<(f64, u64)>, x: f64, mask: u64) {
+    let better = match *best {
+        None => true,
+        Some((bx, bmask)) => x > bx || (x.total_cmp(&bx) == Ordering::Equal && mask < bmask),
+    };
+    if better {
+        *best = Some((x, mask));
+    }
+}
+
+/// Rebuilds the winning mask into a [`Profile`].
+fn winner_profile(profile: &Profile, best: Option<(f64, u64)>) -> Result<Profile, ModelError> {
     // hetero-check: allow(expect) — with 1 ≤ k ≤ n at least one subset has k elements, so `best` is set
     let (_, bmask) = best.expect("k ≥ 1 guarantees a subset");
-    let rhos: Vec<f64> = (0..n)
+    let rhos: Vec<f64> = (0..profile.n())
         .filter(|i| bmask & (1u64 << i) != 0)
         .map(|i| profile.rho(i))
         .collect();
     Profile::from_unsorted(rhos)
+}
+
+/// [`best_k_subset`] parallelized over contiguous segments of the same
+/// Gray-code walk, with a winner **bit-identical** to the serial search.
+///
+/// The 2ⁿ−1 step counters are split into `8 × threads` contiguous
+/// segments dispatched on the process-wide [`hetero_par::Pool`]. Each
+/// worker seeds its level stack directly from its segment's first
+/// counter in O(n): the stack after any serial step is a pure function
+/// of the *current* included set (each patch rebuilds levels `e..n` from
+/// level `e`, which earlier patches built the same way), and the
+/// included set at counter `i` is just the binary-reflected Gray code
+/// `i ^ (i >> 1)` (bit `b` ↦ element `n−1−b`). Seeding therefore
+/// replays exactly the ascending-index operation sequence the serial
+/// walk would have in its stack, so every subset evaluated in a segment
+/// is bit-identical to the serial evaluation; the order-independent
+/// (max-X by `total_cmp`, then lowest-mask) reduction in [`offer`] then
+/// makes the merged winner independent of the partitioning. `threads`
+/// is the caller's concurrency budget (capped by the pool's size); any
+/// value yields the identical winner.
+pub fn best_k_subset_par(
+    params: &Params,
+    profile: &Profile,
+    k: usize,
+    threads: usize,
+) -> Result<Profile, ModelError> {
+    let n = profile.n();
+    if k == 0 || k > n {
+        return Err(ModelError::IndexOutOfRange { index: k, n });
+    }
+    if n > MAX_SUBSET_SEARCH_N {
+        return Err(ModelError::SubsetSearchTooLarge {
+            n,
+            max: MAX_SUBSET_SEARCH_N,
+        });
+    }
+    let threads = threads.max(1);
+    // Below ~2¹⁶ subsets the fan-out bookkeeping outweighs the walk.
+    if threads == 1 || n < 16 {
+        return best_k_subset(params, profile, k);
+    }
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let d: Arc<Vec<f64>> = Arc::new(profile.rhos().iter().map(|&rho| b * rho + a).collect());
+    let r: Arc<Vec<f64>> = Arc::new(
+        profile
+            .rhos()
+            .iter()
+            .zip(d.iter())
+            .map(|(&rho, &denom)| (b * rho + td) / denom)
+            .collect(),
+    );
+    let span = (1u64 << n) - 1; // counters 1..=span, as in the serial walk
+    let segments = (threads * 8).min(span as usize).max(1);
+    let bests = hetero_par::Pool::global().map(segments, threads, move |s| {
+        let lo = 1 + (span as u128 * s as u128 / segments as u128) as u64;
+        let hi = 1 + (span as u128 * (s as u128 + 1) / segments as u128) as u64;
+        segment_best(&d, &r, n, k, lo, hi)
+    });
+    let mut best: Option<(f64, u64)> = None;
+    for (x, mask) in bests.into_iter().flatten() {
+        offer(&mut best, x, mask);
+    }
+    hetero_obs::counters::SELECTION_SUBSET_NODES.add(span);
+    winner_profile(profile, best)
+}
+
+/// Walks Gray counters `lo..hi` of the full walk and returns the best
+/// `k`-subset seen, seeding the level stack from `gray(lo)` in O(n).
+fn segment_best(d: &[f64], r: &[f64], n: usize, k: usize, lo: u64, hi: u64) -> Option<(f64, u64)> {
+    if lo >= hi {
+        return None;
+    }
+    // The included set at counter lo: bit b of the binary-reflected Gray
+    // code toggles element n−1−b an odd number of times iff it is set.
+    let gray = lo ^ (lo >> 1);
+    let mut included = vec![false; n];
+    let mut mask = 0u64;
+    for bit in 0..n {
+        if gray & (1u64 << bit) != 0 {
+            let e = n - 1 - bit;
+            included[e] = true;
+            mask |= 1u64 << e;
+        }
+    }
+    let mut count = gray.count_ones() as usize;
+    // Build the level stack exactly as the serial walk's patches would
+    // have left it: ascending index, same add/multiply per element.
+    let mut sums = vec![KahanSum::new(); n + 1];
+    let mut prods = vec![1.0f64; n + 1];
+    for j in 0..n {
+        let mut sum = sums[j];
+        let mut prod = prods[j];
+        if included[j] {
+            sum.add(prod / d[j]);
+            prod *= r[j];
+        }
+        sums[j + 1] = sum;
+        prods[j + 1] = prod;
+    }
+    let mut best: Option<(f64, u64)> = None;
+    if count == k {
+        offer(&mut best, sums[n].value(), mask);
+    }
+    for i in (lo + 1)..hi {
+        let e = n - 1 - i.trailing_zeros() as usize;
+        included[e] = !included[e];
+        mask ^= 1u64 << e;
+        count = if included[e] { count + 1 } else { count - 1 };
+        for j in e..n {
+            let mut sum = sums[j];
+            let mut prod = prods[j];
+            if included[j] {
+                sum.add(prod / d[j]);
+                prod *= r[j];
+            }
+            sums[j + 1] = sum;
+            prods[j + 1] = prod;
+        }
+        if count != k {
+            continue;
+        }
+        offer(&mut best, sums[n].value(), mask);
+    }
+    best
 }
 
 /// The X-measure of the `k`-fastest sub-cluster, for `k = 1…n` (index
@@ -263,6 +404,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_walk_winner_is_bit_identical_to_serial() {
+        // Above the n ≥ 16 fan-out gate, with distinct and duplicate-heavy
+        // speeds (the latter forcing exact X ties the lowest-mask
+        // reduction must break identically), across thread budgets.
+        let pr = params();
+        let distinct = Profile::uniform_spread(17);
+        let duplicated = Profile::from_unsorted(
+            (0..17)
+                .map(|i| 1.0 / ((i / 3) + 1) as f64)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for profile in [&distinct, &duplicated] {
+            for k in [1usize, 2, 8, 16, 17] {
+                let serial = best_k_subset(&pr, profile, k).unwrap();
+                for threads in 1..=8usize {
+                    let par = best_k_subset_par(&pr, profile, k, threads).unwrap();
+                    let same = serial
+                        .rhos()
+                        .iter()
+                        .zip(par.rhos())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    assert!(
+                        same && serial.n() == par.n(),
+                        "k = {k}, threads = {threads}: {:?} vs {:?}",
+                        serial.rhos(),
+                        par.rhos()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_walk_validates_like_the_serial_one() {
+        let pr = params();
+        assert!(matches!(
+            best_k_subset_par(&pr, &Profile::harmonic(64), 3, 4),
+            Err(ModelError::SubsetSearchTooLarge { n: 64, max: 63 })
+        ));
+        assert!(matches!(
+            best_k_subset_par(&pr, &Profile::harmonic(4), 0, 4),
+            Err(ModelError::IndexOutOfRange { .. })
+        ));
+        // Below the gate it degrades to the serial walk.
+        let p = Profile::harmonic(8);
+        let a = best_k_subset(&pr, &p, 3).unwrap();
+        let b = best_k_subset_par(&pr, &p, 3, 8).unwrap();
+        assert_eq!(a.rhos(), b.rhos());
     }
 
     #[test]

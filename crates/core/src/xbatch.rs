@@ -1,0 +1,434 @@
+//! Batched X-measure evaluation over structure-of-arrays profile blocks.
+//!
+//! The Section 4.3 experiments evaluate `X(P)` over 10⁵–10⁶ random
+//! profiles per sweep. Walking one heap-allocated [`Profile`] at a time
+//! through [`crate::xmeasure::x_measure_of_rhos`] serializes the Theorem 2
+//! recurrence: every term needs the running product, the product needs a
+//! division, and the division's latency (20–40 cycles) bounds throughput
+//! at one profile element per division.
+//!
+//! This module breaks that chain *across* profiles instead of within one.
+//! A [`ProfileBatch`] stores a block of profiles in one flat ρ buffer
+//! (structure-of-arrays, bulk-loadable without per-trial allocation), and
+//! the lockstep kernel advances [`LANES`] independent recurrences
+//! simultaneously — eight division chains in flight instead of one, a
+//! branch-free mul-add inner loop over `B·ρ + A` / `B·ρ + τδ` laid out
+//! for auto-vectorization. Because each lane performs *exactly* the
+//! scalar op sequence (including the Neumaier compensation of
+//! [`crate::numeric::KahanSum`]), batched results are **bit-identical**
+//! to the scalar path — pinned by tests and by the drivers' unchanged
+//! figure/table cells.
+//!
+//! Ragged batches (mixed profile lengths) fall back to the scalar kernel
+//! per profile, so callers never need to pre-sort by length to stay
+//! correct — only to go fast.
+
+use crate::{ModelError, Params, Profile};
+use hetero_obs::counters::{XBATCH_EVAL, XBATCH_RAGGED_FALLBACK};
+
+/// Lanes advanced simultaneously by the lockstep kernel. Eight f64
+/// division chains cover the latency/throughput gap of hardware divide
+/// and fill two 4-wide vector registers.
+pub const LANES: usize = 8;
+
+/// A structure-of-arrays arena holding a block of heterogeneity profiles:
+/// one flat `ρ` buffer plus an offsets table.
+///
+/// The arena imposes the same numeric contract as
+/// [`crate::xmeasure::x_measure_of_rhos`]: ρ-values are used as given
+/// (finite, strictly positive, any order the caller wants evaluated).
+/// Nothing is validated or re-sorted here — generators push already-sorted
+/// rows, and the kernels reproduce the scalar evaluation order exactly.
+#[derive(Debug, Clone)]
+pub struct ProfileBatch {
+    rhos: Vec<f64>,
+    /// `offsets[i]..offsets[i + 1]` bounds profile `i`; always starts `[0]`.
+    offsets: Vec<usize>,
+}
+
+impl Default for ProfileBatch {
+    fn default() -> Self {
+        ProfileBatch::new()
+    }
+}
+
+impl ProfileBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        ProfileBatch {
+            rhos: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// An empty batch with room for `profiles` rows totalling `values`
+    /// ρ-entries, so bulk loaders allocate once.
+    pub fn with_capacity(profiles: usize, values: usize) -> Self {
+        let mut offsets = Vec::with_capacity(profiles + 1);
+        offsets.push(0);
+        ProfileBatch {
+            rhos: Vec::with_capacity(values),
+            offsets,
+        }
+    }
+
+    /// Appends one profile's ρ-values (in the order they should be
+    /// evaluated — the paper's nonincreasing convention for [`Profile`]s).
+    pub fn push(&mut self, rhos: &[f64]) {
+        self.rhos.extend_from_slice(rhos);
+        self.offsets.push(self.rhos.len());
+    }
+
+    /// Appends a validated [`Profile`].
+    pub fn push_profile(&mut self, profile: &Profile) {
+        self.push(profile.rhos());
+    }
+
+    /// Number of profiles in the batch.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` iff the batch holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total ρ-values across all profiles.
+    pub fn values(&self) -> usize {
+        self.rhos.len()
+    }
+
+    /// The ρ-slice of profile `i`.
+    pub fn rhos_of(&self, i: usize) -> &[f64] {
+        &self.rhos[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Drops every profile, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.rhos.clear();
+        self.offsets.truncate(1);
+        self.offsets[0] = 0;
+    }
+
+    /// Drops profiles from the back until `profiles` remain.
+    pub fn truncate(&mut self, profiles: usize) {
+        if profiles < self.len() {
+            self.offsets.truncate(profiles + 1);
+            self.rhos.truncate(self.offsets[profiles]);
+        }
+    }
+
+    /// `Some(n)` when every profile has the same length `n` (and the
+    /// batch is nonempty) — the precondition for the lockstep kernel.
+    pub fn uniform_len(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let n = self.offsets[1];
+        self.offsets
+            .windows(2)
+            .all(|w| w[1] - w[0] == n)
+            .then_some(n)
+    }
+}
+
+/// `X(P)` for every profile in the batch, in order (Theorem 2).
+///
+/// Uniform-length batches run the lockstep kernel; ragged batches fall
+/// back to [`crate::xmeasure::x_measure_of_rhos`] per profile. Both paths
+/// are bit-identical to the scalar evaluation.
+pub fn x_measures(params: &Params, batch: &ProfileBatch) -> Vec<f64> {
+    let mut out = Vec::new();
+    x_measures_into(params, batch, &mut out);
+    out
+}
+
+/// [`x_measures`] writing into a caller-owned buffer (cleared first), so
+/// block-structured sweeps reuse one allocation per worker.
+pub fn x_measures_into(params: &Params, batch: &ProfileBatch, out: &mut Vec<f64>) {
+    out.clear();
+    if batch.is_empty() {
+        return;
+    }
+    XBATCH_EVAL.add(batch.len() as u64);
+    out.resize(batch.len(), 0.0);
+    match batch.uniform_len() {
+        Some(n) if n > 0 => lockstep_x(params, batch, n, out),
+        _ => {
+            // Mixed lengths (or degenerate empty rows): scalar per profile.
+            XBATCH_RAGGED_FALLBACK.add(batch.len() as u64);
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = crate::xmeasure::x_measure_of_rhos(params, batch.rhos_of(i));
+            }
+        }
+    }
+}
+
+/// The lockstep Theorem 2 kernel over a uniform-length batch.
+///
+/// Each lane carries the scalar recurrence state — running product,
+/// Neumaier sum, Neumaier compensation — and the inner loop advances all
+/// lanes one profile element per iteration. The ρ-block is transposed
+/// into lane-major scratch first so the hot loop reads contiguously.
+/// Per lane the operation sequence is *exactly*
+/// [`crate::numeric::KahanSum::add`] applied to `prod / (Bρ + A)`
+/// followed by `prod *= (Bρ + τδ)/(Bρ + A)`, so every lane result is
+/// bit-identical to `x_measure_of_rhos` on that row.
+fn lockstep_x(params: &Params, batch: &ProfileBatch, n: usize, out: &mut [f64]) {
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let m = batch.len();
+    // Tile the transpose so the lane-major scratch stays L1-resident no
+    // matter how long the profiles are (TILE·LANES·8 B = 4 KiB); the
+    // recurrence state carries across tiles unchanged.
+    const TILE: usize = 64;
+    let mut scratch = [0.0f64; TILE * LANES];
+    let mut base = 0;
+    while base + LANES <= m {
+        let mut sum = [0.0f64; LANES];
+        let mut comp = [0.0f64; LANES];
+        let mut prod = [1.0f64; LANES];
+        let mut start = 0;
+        while start < n {
+            let len = TILE.min(n - start);
+            // Transpose one tile into lane-major order: scratch[i*LANES+l]
+            // holds element start + i of row base + l.
+            for l in 0..LANES {
+                let row = batch.rhos_of(base + l);
+                for (i, &rho) in row[start..start + len].iter().enumerate() {
+                    scratch[i * LANES + l] = rho;
+                }
+            }
+            for i in 0..len {
+                let rhos = &scratch[i * LANES..(i + 1) * LANES];
+                for l in 0..LANES {
+                    let rho = rhos[l];
+                    let denom = b * rho + a;
+                    let term = prod[l] / denom;
+                    // Inlined KahanSum::add — the branch compiles to a
+                    // select, keeping the loop branch-free.
+                    let t = sum[l] + term;
+                    comp[l] += if sum[l].abs() >= term.abs() {
+                        (sum[l] - t) + term
+                    } else {
+                        (term - t) + sum[l]
+                    };
+                    sum[l] = t;
+                    prod[l] *= (b * rho + td) / denom;
+                }
+            }
+            start += len;
+        }
+        for l in 0..LANES {
+            out[base + l] = sum[l] + comp[l];
+        }
+        base += LANES;
+    }
+    // Tail block narrower than LANES: scalar per row (same recurrence).
+    for (i, slot) in out.iter_mut().enumerate().skip(base) {
+        *slot = crate::xmeasure::x_measure_of_rhos(params, batch.rhos_of(i));
+    }
+}
+
+/// The HECR `ρ_C` of every profile in the batch (Proposition 1), in
+/// order; bit-identical to [`crate::hecr::hecr`] per profile.
+///
+/// Uniform batches advance the log-residual sum in lockstep (same
+/// `ln_1p` factor and Neumaier compensation order as
+/// [`crate::hecr::log_residual`]); ragged batches fall back to the
+/// scalar closed form.
+pub fn hecrs(params: &Params, batch: &ProfileBatch) -> Vec<Result<f64, ModelError>> {
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    XBATCH_EVAL.add(batch.len() as u64);
+    match batch.uniform_len() {
+        Some(n) if n > 0 => {
+            let mut out = Vec::with_capacity(batch.len());
+            lockstep_hecr(params, batch, n, &mut out);
+            out
+        }
+        _ => {
+            XBATCH_RAGGED_FALLBACK.add(batch.len() as u64);
+            (0..batch.len())
+                .map(|i| crate::hecr::hecr_of_rhos(params, batch.rhos_of(i)))
+                .collect()
+        }
+    }
+}
+
+/// Lockstep log-residual kernel closing through the shared Proposition 1
+/// inversion (`hecr_from_log_residual`).
+fn lockstep_hecr(
+    params: &Params,
+    batch: &ProfileBatch,
+    n: usize,
+    out: &mut Vec<Result<f64, ModelError>>,
+) {
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let m = batch.len();
+    const TILE: usize = 64;
+    let mut scratch = [0.0f64; TILE * LANES];
+    let mut base = 0;
+    while base + LANES <= m {
+        let mut sum = [0.0f64; LANES];
+        let mut comp = [0.0f64; LANES];
+        let mut start = 0;
+        while start < n {
+            let len = TILE.min(n - start);
+            for l in 0..LANES {
+                let row = batch.rhos_of(base + l);
+                for (i, &rho) in row[start..start + len].iter().enumerate() {
+                    scratch[i * LANES + l] = rho;
+                }
+            }
+            for i in 0..len {
+                let rhos = &scratch[i * LANES..(i + 1) * LANES];
+                for l in 0..LANES {
+                    let term = (-(a - td) / (b * rhos[l] + a)).ln_1p();
+                    let t = sum[l] + term;
+                    comp[l] += if sum[l].abs() >= term.abs() {
+                        (sum[l] - t) + term
+                    } else {
+                        (term - t) + sum[l]
+                    };
+                    sum[l] = t;
+                }
+            }
+            start += len;
+        }
+        for l in 0..LANES {
+            out.push(crate::hecr::hecr_from_log_residual(
+                params,
+                sum[l] + comp[l],
+                n,
+            ));
+        }
+        base += LANES;
+    }
+    for i in base..m {
+        out.push(crate::hecr::hecr_of_rhos(params, batch.rhos_of(i)));
+    }
+}
+
+/// The asymptotic work rate of every profile (Theorem 2's
+/// `1/(τδ + 1/X)`), in order; bit-identical to
+/// [`crate::xmeasure::work_rate`] per profile.
+pub fn work_rates(params: &Params, batch: &ProfileBatch) -> Vec<f64> {
+    let td = params.tau_delta();
+    let mut out = x_measures(params, batch);
+    for x in &mut out {
+        *x = 1.0 / (td + 1.0 / *x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmeasure::{work_rate, x_measure_of_rhos};
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    fn bits(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn arena_bookkeeping_round_trips() {
+        let mut b = ProfileBatch::with_capacity(3, 7);
+        assert!(b.is_empty());
+        assert_eq!(b.uniform_len(), None);
+        b.push(&[1.0, 0.5]);
+        b.push(&[1.0, 0.25]);
+        b.push(&[1.0, 0.125, 0.1]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.values(), 7);
+        assert_eq!(b.rhos_of(1), &[1.0, 0.25]);
+        assert_eq!(b.uniform_len(), None, "last row is longer");
+        b.truncate(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.uniform_len(), Some(2));
+        b.clear();
+        assert!(b.is_empty());
+        b.push(&[1.0]);
+        assert_eq!(b.uniform_len(), Some(1));
+    }
+
+    #[test]
+    fn lockstep_kernel_is_bit_identical_to_scalar() {
+        // A full LANES-wide block plus a scalar tail, with adversarial
+        // magnitude spreads across rows.
+        let p = params();
+        let mut batch = ProfileBatch::new();
+        let mut rows = Vec::new();
+        for r in 0..(LANES + 3) {
+            let n = 17;
+            let row: Vec<f64> = (0..n)
+                .map(|i| 1.0 / ((1 + i) as f64).powf(1.0 + r as f64 / 3.0))
+                .collect();
+            batch.push(&row);
+            rows.push(row);
+        }
+        let xs = x_measures(&p, &batch);
+        assert_eq!(xs.len(), rows.len());
+        for (x, row) in xs.iter().zip(&rows) {
+            assert_eq!(bits(*x), bits(x_measure_of_rhos(&p, row)));
+        }
+    }
+
+    #[test]
+    fn ragged_batches_fall_back_bit_identically() {
+        let p = params();
+        let mut batch = ProfileBatch::new();
+        let rows = [vec![1.0], vec![1.0, 0.5, 0.25], vec![1.0, 0.125]];
+        for row in &rows {
+            batch.push(row);
+        }
+        assert_eq!(batch.uniform_len(), None);
+        let xs = x_measures(&p, &batch);
+        for (x, row) in xs.iter().zip(&rows) {
+            assert_eq!(bits(*x), bits(x_measure_of_rhos(&p, row)));
+        }
+    }
+
+    #[test]
+    fn batched_hecr_matches_the_closed_form() {
+        let p = params();
+        let mut batch = ProfileBatch::new();
+        let mut profiles = Vec::new();
+        for r in 0..(LANES + 2) {
+            // Uniform length, varying content: scaled harmonic families.
+            let rhos: Vec<f64> = (1..=9).map(|i| 1.0 / (i as f64 + r as f64 / 7.0)).collect();
+            let prof = Profile::new(rhos).expect("valid");
+            batch.push_profile(&prof);
+            profiles.push(prof);
+        }
+        for (got, prof) in hecrs(&p, &batch).iter().zip(&profiles) {
+            let want = crate::hecr::hecr(&p, prof).expect("valid");
+            assert_eq!(bits(*got.as_ref().expect("valid")), bits(want));
+        }
+    }
+
+    #[test]
+    fn batched_work_rates_match_scalar() {
+        let p = params();
+        let mut batch = ProfileBatch::new();
+        let profs: Vec<Profile> = (2..12).map(Profile::uniform_spread).collect();
+        for prof in &profs {
+            batch.push_profile(prof);
+        }
+        for (got, prof) in work_rates(&p, &batch).iter().zip(&profs) {
+            assert_eq!(bits(*got), bits(work_rate(&p, prof)));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let p = params();
+        assert!(x_measures(&p, &ProfileBatch::new()).is_empty());
+        assert!(hecrs(&p, &ProfileBatch::new()).is_empty());
+    }
+}

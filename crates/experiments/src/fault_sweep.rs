@@ -26,7 +26,9 @@
 use hetero_clustergen::{rng_from_seed, GenConfig, Shape};
 use hetero_core::{xmeasure, Params};
 use hetero_faults::{FaultConfig, FaultPlan};
-use hetero_par::{seed, Executor};
+use std::sync::Arc;
+
+use hetero_par::{seed, Pool};
 use hetero_protocol::{alloc, baseline, fault_exec, replan};
 
 use crate::render::{fmt_f, Table};
@@ -173,8 +175,8 @@ fn one_trial(
 
 /// Runs the sweep.
 pub fn run(config: &FaultSweepConfig) -> FaultSweep {
-    let exec = Executor::new(config.threads);
-    let trial_ids: Vec<u64> = (0..config.trials as u64).collect();
+    let pool = Pool::global();
+    let shared = Arc::new(config.clone());
     let cells = config.crash_ps.len() * config.straggler_factors.len() * config.margins.len();
     hetero_obs::count("trials.fault_sweep", (config.trials * cells) as u64);
     let mut rows = Vec::with_capacity(cells);
@@ -184,8 +186,15 @@ pub fn run(config: &FaultSweepConfig) -> FaultSweep {
             for &margin in &config.margins {
                 cell += 1;
                 let cell_seed = seed::derive(config.seed, cell);
-                let trials = exec.map(&trial_ids, |_, &t| {
-                    one_trial(config, crash_p, factor, margin, seed::derive(cell_seed, t))
+                let shared = Arc::clone(&shared);
+                let trials = pool.map(config.trials, config.threads, move |t| {
+                    one_trial(
+                        &shared,
+                        crash_p,
+                        factor,
+                        margin,
+                        seed::derive(cell_seed, t as u64),
+                    )
                 });
                 let n = trials.len() as f64;
                 rows.push(FaultSweepRow {

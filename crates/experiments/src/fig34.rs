@@ -16,6 +16,7 @@
 //! from-scratch rescan it replaced, so these figures are unaffected.
 
 use hetero_core::speedup::{greedy_multiplicative, theorem4_choice, GreedyStep, Theorem4Choice};
+use hetero_core::xbatch::{self, ProfileBatch};
 use hetero_core::Params;
 
 use crate::render::bar_chart;
@@ -78,8 +79,24 @@ fn classify(params: &Params, before: &[f64], chosen: usize, psi: f64) -> Regime 
 /// Runs the two-phase experiment: `rounds1` greedy rounds from a
 /// homogeneous start, then `rounds2` more (the paper uses 16 + 4).
 pub fn run(params: &Params, n: usize, psi: f64, rounds1: usize, rounds2: usize) -> Fig34 {
-    let steps = greedy_multiplicative(params, &vec![1.0; n], psi, rounds1 + rounds2)
+    let mut steps = greedy_multiplicative(params, &vec![1.0; n], psi, rounds1 + rounds2)
         .expect("valid configuration");
+    // Re-derive every reported X through the lockstep batch kernel: all
+    // rounds share length n, so the whole trajectory is one uniform
+    // [`ProfileBatch`] pass. The kernel is bit-identical to the
+    // incremental scan's from-scratch contract, which the debug_assert
+    // pins on every figure regeneration.
+    let mut batch = ProfileBatch::with_capacity(steps.len(), steps.len() * n);
+    let mut sorted = vec![0.0; n];
+    for step in &steps {
+        sorted.copy_from_slice(&step.speeds);
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        batch.push(&sorted);
+    }
+    for (step, x) in steps.iter_mut().zip(xbatch::x_measures(params, &batch)) {
+        debug_assert_eq!(step.x.to_bits(), x.to_bits(), "round {}", step.round);
+        step.x = x;
+    }
     let mut snaps = Vec::with_capacity(steps.len());
     let mut before = vec![1.0; n];
     for step in steps {

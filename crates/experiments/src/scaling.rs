@@ -10,8 +10,9 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use hetero_core::xbatch::{self, ProfileBatch};
 use hetero_core::xengine::XScan;
-use hetero_core::{hecr, speedup, xmeasure, Params, Profile};
+use hetero_core::{speedup, xmeasure, Params, Profile};
 
 use crate::render::{fmt_f, Table};
 
@@ -70,22 +71,34 @@ pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
             }
         }
     }
+    // The C1 column and both HECR columns go through the batch kernels.
+    // Rows have distinct lengths, so this is the documented ragged path:
+    // the batch falls back to the scalar kernel per row, bit-identical to
+    // the per-profile calls it replaces. (C2's X stays on the prefix
+    // scan, which is cheaper than any re-evaluation.)
+    let mut c1_batch = ProfileBatch::new();
+    let mut c2_batch = ProfileBatch::new();
+    for &n in sizes {
+        c1_batch.push_profile(&Profile::uniform_spread(n));
+        c2_batch.push_profile(&Profile::harmonic(n));
+    }
+    let x1s = xbatch::x_measures(params, &c1_batch);
+    let hecr1s = xbatch::hecrs(params, &c1_batch);
+    let hecr2s = xbatch::hecrs(params, &c2_batch);
     let rows = sizes
         .iter()
-        .map(|&n| {
-            let c1 = Profile::uniform_spread(n);
-            let c2 = Profile::harmonic(n);
-            let x1 = xmeasure::x_measure(params, &c1);
+        .enumerate()
+        .map(|(i, &n)| {
             let x2 = c2_scan
                 .as_ref()
                 .and_then(|scan| scan.prefix_x(n))
-                .unwrap_or_else(|| xmeasure::x_measure(params, &c2));
+                .unwrap_or_else(|| xmeasure::x_measure(params, &Profile::harmonic(n)));
             ScalingRow {
                 n,
-                x_c1: x1,
+                x_c1: x1s[i],
                 x_c2: x2,
-                hecr_c1: hecr::hecr(params, &c1).expect("valid"),
-                hecr_c2: hecr::hecr(params, &c2).expect("valid"),
+                hecr_c1: *hecr1s[i].as_ref().expect("valid"),
+                hecr_c2: *hecr2s[i].as_ref().expect("valid"),
                 saturation_c2: x2 / sup,
             }
         })

@@ -11,10 +11,10 @@
 //! and report the largest gap that ever mispredicted — the empirical θ —
 //! together with an accuracy-by-gap histogram.
 
-use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, Shape};
-use hetero_core::xengine::x_pair;
+use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, PairBatcher, Shape};
+use hetero_core::xbatch::{self, ProfileBatch};
 use hetero_core::Params;
-use hetero_par::{seed, Executor};
+use hetero_par::{seed, Pool};
 
 use crate::render::{fmt_f, Table};
 
@@ -78,36 +78,63 @@ const SHAPE_COMBOS: [(Shape, Shape); 4] = [
     (Shape::Concentrated, Shape::Bimodal),
 ];
 
-/// One trial for a given shape combination.
-fn one_trial(
+/// Trials per batched block (same policy as the variance sweep).
+const TRIAL_BLOCK: usize = 64;
+
+/// Runs trials `lo..hi` of one (size, shape-combo) cell through the
+/// batched kernel — generation bulk-loads one [`ProfileBatch`], a single
+/// lockstep pass supplies every X-value, and each trial's record is
+/// bit-identical to the scalar per-trial path it replaced (pinned by the
+/// `batched_run_matches_the_scalar_reference` test below).
+fn block_samples(
     params: &Params,
     n: usize,
     shapes: (Shape, Shape),
-    trial_seed: u64,
-) -> Option<GapSample> {
-    let mut rng = rng_from_seed(trial_seed);
+    combo_seed: u64,
+    lo: usize,
+    hi: usize,
+) -> Vec<Option<GapSample>> {
     let gen = EqualMeanPairGen::new(GenConfig::new(n), shapes.0, shapes.1);
-    let pair = gen.sample(&mut rng)?;
-    let gap = pair.var1 - pair.var2;
-    if gap.abs() < 1e-12 {
-        return None;
+    let mut batch = ProfileBatch::with_capacity(2 * (hi - lo), 2 * n * (hi - lo));
+    let mut batcher = PairBatcher::new();
+    // Signed gap per judged trial; None when the trial tied before X.
+    let mut gaps = Vec::with_capacity(hi - lo);
+    for t in lo..hi {
+        let mut rng = rng_from_seed(seed::derive(combo_seed, t as u64));
+        match batcher.sample_into(&gen, &mut rng, &mut batch) {
+            None => gaps.push(None),
+            Some(stats) => {
+                let gap = stats.var1 - stats.var2;
+                if gap.abs() < 1e-12 {
+                    batch.truncate(batch.len() - 2);
+                    gaps.push(None);
+                } else {
+                    gaps.push(Some(gap));
+                }
+            }
+        }
     }
-    // Both clusters of the pair in one interleaved xengine pass
-    // (bit-identical to two x_measure calls, ~2× fewer stalls).
-    let (x1, x2) = x_pair(params, pair.p1.rhos(), pair.p2.rhos());
-    if (x1 - x2).abs() / x1.max(x2) < 1e-13 {
-        return None;
-    }
-    Some(GapSample {
-        gap: gap.abs(),
-        correct: (gap > 0.0) == (x1 > x2),
-    })
+    let xs = xbatch::x_measures(params, &batch);
+    let mut next = 0usize;
+    gaps.into_iter()
+        .map(|gap| {
+            let gap = gap?;
+            let (x1, x2) = (xs[next], xs[next + 1]);
+            next += 2;
+            if (x1 - x2).abs() / x1.max(x2) < 1e-13 {
+                return None;
+            }
+            Some(GapSample {
+                gap: gap.abs(),
+                correct: (gap > 0.0) == (x1 > x2),
+            })
+        })
+        .collect()
 }
 
 /// Runs the full search.
 pub fn run(config: &ThresholdConfig) -> ThresholdExperiment {
-    let exec = Executor::new(config.threads);
-    let trial_ids: Vec<u64> = (0..config.trials_per_combo as u64).collect();
+    let pool = Pool::global();
     hetero_obs::count(
         "trials.threshold",
         (config.trials_per_combo * config.sizes.len() * SHAPE_COMBOS.len()) as u64,
@@ -116,10 +143,14 @@ pub fn run(config: &ThresholdConfig) -> ThresholdExperiment {
     for &n in &config.sizes {
         for (combo_idx, &shapes) in SHAPE_COMBOS.iter().enumerate() {
             let combo_seed = seed::derive(config.seed, (n as u64) << 8 | combo_idx as u64);
-            let batch = exec.map(&trial_ids, |_, &t| {
-                one_trial(&config.params, n, shapes, seed::derive(combo_seed, t))
+            let blocks = config.trials_per_combo.div_ceil(TRIAL_BLOCK);
+            let (params, trials) = (config.params, config.trials_per_combo);
+            let cell = pool.map(blocks, config.threads, move |b| {
+                let lo = b * TRIAL_BLOCK;
+                let hi = ((b + 1) * TRIAL_BLOCK).min(trials);
+                block_samples(&params, n, shapes, combo_seed, lo, hi)
             });
-            samples.extend(batch.into_iter().flatten());
+            samples.extend(cell.into_iter().flatten().flatten());
         }
     }
 
@@ -186,6 +217,34 @@ impl ThresholdExperiment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hetero_core::xengine::x_pair;
+
+    /// The scalar reference: one trial for a given shape combination,
+    /// exactly as the pre-batch driver computed it.
+    fn one_trial(
+        params: &Params,
+        n: usize,
+        shapes: (Shape, Shape),
+        trial_seed: u64,
+    ) -> Option<GapSample> {
+        let mut rng = rng_from_seed(trial_seed);
+        let gen = EqualMeanPairGen::new(GenConfig::new(n), shapes.0, shapes.1);
+        let pair = gen.sample(&mut rng)?;
+        let gap = pair.var1 - pair.var2;
+        if gap.abs() < 1e-12 {
+            return None;
+        }
+        // Both clusters of the pair in one interleaved xengine pass
+        // (bit-identical to two x_measure calls).
+        let (x1, x2) = x_pair(params, pair.p1.rhos(), pair.p2.rhos());
+        if (x1 - x2).abs() / x1.max(x2) < 1e-13 {
+            return None;
+        }
+        Some(GapSample {
+            gap: gap.abs(),
+            correct: (gap > 0.0) == (x1 > x2),
+        })
+    }
 
     fn quick_config() -> ThresholdConfig {
         ThresholdConfig {
@@ -257,6 +316,32 @@ mod tests {
         let b = run(&cfg);
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.theta, b.theta);
+    }
+
+    #[test]
+    fn batched_run_matches_the_scalar_reference() {
+        let mut cfg = quick_config();
+        cfg.trials_per_combo = 120;
+        let e = run(&cfg);
+        let mut reference = Vec::new();
+        for &n in &cfg.sizes {
+            for (combo_idx, &shapes) in SHAPE_COMBOS.iter().enumerate() {
+                let combo_seed = seed::derive(cfg.seed, (n as u64) << 8 | combo_idx as u64);
+                for t in 0..cfg.trials_per_combo as u64 {
+                    reference.extend(one_trial(
+                        &cfg.params,
+                        n,
+                        shapes,
+                        seed::derive(combo_seed, t),
+                    ));
+                }
+            }
+        }
+        assert_eq!(e.samples.len(), reference.len());
+        for (got, want) in e.samples.iter().zip(&reference) {
+            assert_eq!(got.gap.to_bits(), want.gap.to_bits());
+            assert_eq!(got.correct, want.correct);
+        }
     }
 
     #[test]

@@ -7,14 +7,18 @@
 //! found bad-pair rates growing to roughly 23 % (around n = 128) and
 //! plateauing — i.e. variance is right about 76–77 % of the time.
 //!
-//! Trials run in parallel on `hetero-par`; per-trial RNG streams are
-//! derived from the root seed and the trial index, so the numbers are
-//! independent of the thread count.
+//! Trials run in blocks on the persistent `hetero-par` [`Pool`]: each
+//! block bulk-loads its equal-mean pairs into a structure-of-arrays
+//! [`ProfileBatch`] and judges them through the lockstep batched
+//! X-kernel — bit-identical to the scalar [`one_trial`] path (pinned by
+//! a test). Per-trial RNG streams are derived from the root seed and the
+//! trial index, so the numbers are independent of the thread count.
 
-use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, Shape};
+use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, PairBatcher, Shape};
+use hetero_core::xbatch::{self, ProfileBatch};
 use hetero_core::xengine::x_pair;
 use hetero_core::Params;
-use hetero_par::{seed, Executor};
+use hetero_par::{seed, Pool};
 use rand::Rng;
 
 use crate::render::{fmt_f, Table};
@@ -138,10 +142,91 @@ pub fn one_trial(
     }
 }
 
+/// Trials per batched block: 64 pairs fill one SoA arena per pool job,
+/// amortizing allocation without inflating worker memory.
+const TRIAL_BLOCK: usize = 64;
+
+/// Pre-X classification of one trial inside a block.
+enum Pending {
+    /// Generation failed (no rows pushed) — a tie.
+    GenFail,
+    /// Variance gap below threshold (rows retracted) — a tie.
+    GapTie,
+    /// Judged by the batched X pass; `gap_positive` records the sign.
+    Judge {
+        /// `var1 > var2`.
+        gap_positive: bool,
+    },
+}
+
+/// Runs trials `lo..hi` of one size through the batched kernel:
+/// generation streams straight into one [`ProfileBatch`], every judged
+/// pair's X-values come from a single lockstep pass, and the outcomes
+/// are bit-identical to [`one_trial`] per trial (pinned by a test).
+fn block_outcomes(
+    params: &Params,
+    n: usize,
+    generator: PairGenerator,
+    size_seed: u64,
+    lo: usize,
+    hi: usize,
+) -> Vec<TrialOutcome> {
+    let mut batch = ProfileBatch::with_capacity(2 * (hi - lo), 2 * n * (hi - lo));
+    let mut batcher = PairBatcher::new();
+    let mut pending = Vec::with_capacity(hi - lo);
+    for t in lo..hi {
+        let mut rng = rng_from_seed(seed::derive(size_seed, t as u64));
+        let (s1, s2) = match generator {
+            PairGenerator::SameUniform => (Shape::Uniform, Shape::Uniform),
+            PairGenerator::DiverseShapes => {
+                const SHAPES: [Shape; 3] = [Shape::Uniform, Shape::Bimodal, Shape::Concentrated];
+                (
+                    SHAPES[rng.random_range(0..SHAPES.len())],
+                    SHAPES[rng.random_range(0..SHAPES.len())],
+                )
+            }
+        };
+        let gen = EqualMeanPairGen::new(GenConfig::new(n), s1, s2);
+        match batcher.sample_into(&gen, &mut rng, &mut batch) {
+            None => pending.push(Pending::GenFail),
+            Some(stats) => {
+                let gap = stats.var1 - stats.var2;
+                if gap.abs() < 1e-12 {
+                    // Decided before X: retract the pair from the batch.
+                    batch.truncate(batch.len() - 2);
+                    pending.push(Pending::GapTie);
+                } else {
+                    pending.push(Pending::Judge {
+                        gap_positive: gap > 0.0,
+                    });
+                }
+            }
+        }
+    }
+    let xs = xbatch::x_measures(params, &batch);
+    let mut next = 0usize;
+    pending
+        .into_iter()
+        .map(|p| match p {
+            Pending::GenFail | Pending::GapTie => TrialOutcome::Tie,
+            Pending::Judge { gap_positive } => {
+                let (x1, x2) = (xs[next], xs[next + 1]);
+                next += 2;
+                if (x1 - x2).abs() / x1.max(x2) < 1e-13 {
+                    TrialOutcome::Tie
+                } else if gap_positive == (x1 > x2) {
+                    TrialOutcome::Good
+                } else {
+                    TrialOutcome::Bad
+                }
+            }
+        })
+        .collect()
+}
+
 /// Runs the full sweep.
 pub fn run(config: &VarianceConfig) -> VarianceExperiment {
-    let exec = Executor::new(config.threads);
-    let trial_ids: Vec<u64> = (0..config.trials as u64).collect();
+    let pool = Pool::global();
     hetero_obs::count(
         "trials.variance",
         (config.trials * config.sizes.len()) as u64,
@@ -153,14 +238,17 @@ pub fn run(config: &VarianceConfig) -> VarianceExperiment {
             // Namespace the per-trial seeds by size so sizes don't share
             // RNG streams.
             let size_seed = seed::derive(config.seed, n as u64);
-            let outcomes = exec.map(&trial_ids, |_, &t| {
-                one_trial(
-                    &config.params,
-                    n,
-                    config.generator,
-                    seed::derive(size_seed, t),
-                )
-            });
+            let blocks = config.trials.div_ceil(TRIAL_BLOCK);
+            let (params, generator, trials) = (config.params, config.generator, config.trials);
+            let outcomes: Vec<TrialOutcome> = pool
+                .map(blocks, config.threads, move |b| {
+                    let lo = b * TRIAL_BLOCK;
+                    let hi = ((b + 1) * TRIAL_BLOCK).min(trials);
+                    block_outcomes(&params, n, generator, size_seed, lo, hi)
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             let bad = outcomes.iter().filter(|o| **o == TrialOutcome::Bad).count();
             let ties = outcomes.iter().filter(|o| **o == TrialOutcome::Tie).count();
             let decided = outcomes.len() - ties;
@@ -276,6 +364,26 @@ mod tests {
             "diverse {easy} should beat same-uniform {hard}"
         );
         assert!(hard > 0.23 && easy < 0.23, "paper's plateau is bracketed");
+    }
+
+    #[test]
+    fn batched_run_matches_the_scalar_reference() {
+        // The batched block path (SoA arena + lockstep kernel) must land
+        // on exactly the outcomes of the per-trial scalar reference.
+        let cfg = quick_config();
+        let e = run(&cfg);
+        for (row, &n) in e.rows.iter().zip(&cfg.sizes) {
+            let size_seed = seed::derive(cfg.seed, n as u64);
+            let (mut bad, mut ties) = (0usize, 0usize);
+            for t in 0..cfg.trials as u64 {
+                match one_trial(&cfg.params, n, cfg.generator, seed::derive(size_seed, t)) {
+                    TrialOutcome::Bad => bad += 1,
+                    TrialOutcome::Tie => ties += 1,
+                    TrialOutcome::Good => {}
+                }
+            }
+            assert_eq!((row.bad, row.ties), (bad, ties), "n = {n}");
+        }
     }
 
     #[test]

@@ -75,9 +75,16 @@ pub static FAULTS_LOST_MESSAGES: HotCounter = HotCounter::new("faults.lost_messa
 /// Sends the replanner skipped because the target was known-crashed or
 /// the remaining hedged window could not fit them.
 pub static FAULTS_SKIPPED_SENDS: HotCounter = HotCounter::new("faults.skipped_sends");
+/// Profiles evaluated through the batched X-measure kernel.
+pub static XBATCH_EVAL: HotCounter = HotCounter::new("xbatch.eval");
+/// Profiles that fell back to the scalar path because their batch was
+/// ragged (mixed lengths).
+pub static XBATCH_RAGGED_FALLBACK: HotCounter = HotCounter::new("xbatch.ragged_fallback");
+/// Chunk-stealing jobs dispatched to the persistent worker pool.
+pub static PAR_POOL_JOBS: HotCounter = HotCounter::new("par.pool.jobs");
 
 /// Every static hot counter, in reporting order.
-pub fn all() -> [&'static HotCounter; 8] {
+pub fn all() -> [&'static HotCounter; 11] {
     [
         &XENGINE_REPLACE,
         &XENGINE_COMMIT,
@@ -87,6 +94,9 @@ pub fn all() -> [&'static HotCounter; 8] {
         &FAULTS_REPLANS,
         &FAULTS_LOST_MESSAGES,
         &FAULTS_SKIPPED_SENDS,
+        &XBATCH_EVAL,
+        &XBATCH_RAGGED_FALLBACK,
+        &PAR_POOL_JOBS,
     ]
 }
 
@@ -107,7 +117,10 @@ mod tests {
                 "faults.injected",
                 "faults.replans",
                 "faults.lost_messages",
-                "faults.skipped_sends"
+                "faults.skipped_sends",
+                "xbatch.eval",
+                "xbatch.ragged_fallback",
+                "par.pool.jobs"
             ]
         );
     }

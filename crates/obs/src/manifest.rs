@@ -18,6 +18,9 @@ pub struct RunManifest {
     pub trials: usize,
     /// Largest cluster size swept.
     pub max_n: usize,
+    /// Worker threads the parallel sweeps ran with (0 when the command
+    /// predates the pool or never fanned out).
+    pub threads: usize,
     /// Named model parameters (e.g. `tau`, `pi`, `delta`).
     pub params: Vec<(String, f64)>,
     /// Total wall time of the run, in milliseconds.
@@ -34,6 +37,7 @@ impl RunManifest {
             ("seed".into(), Value::Num(self.seed as f64)),
             ("trials".into(), Value::Num(self.trials as f64)),
             ("max_n".into(), Value::Num(self.max_n as f64)),
+            ("threads".into(), Value::Num(self.threads as f64)),
             (
                 "params".into(),
                 Value::Obj(
@@ -70,6 +74,7 @@ impl RunManifest {
         let _ = writeln!(out, "  seed     {}", self.seed);
         let _ = writeln!(out, "  trials   {}", self.trials);
         let _ = writeln!(out, "  max_n    {}", self.max_n);
+        let _ = writeln!(out, "  threads  {}", self.threads);
         for (k, v) in &self.params {
             let _ = writeln!(out, "  param    {k} = {v}");
         }
@@ -92,6 +97,7 @@ mod tests {
             seed: 42,
             trials: 1000,
             max_n: 32,
+            threads: 4,
             params: vec![("tau".into(), 2.5), ("delta".into(), 0.1)],
             wall_ms: 12.75,
             counters: vec![("xengine.replace".into(), 57_344)],
@@ -110,6 +116,7 @@ mod tests {
         assert_eq!(v.get("name").and_then(json::Value::as_str), Some("fig3"));
         let val = v.get("value").expect("value");
         assert_eq!(val.get("seed").and_then(json::Value::as_f64), Some(42.0));
+        assert_eq!(val.get("threads").and_then(json::Value::as_f64), Some(4.0));
         assert_eq!(
             val.get("params")
                 .and_then(|p| p.get("tau"))
@@ -130,6 +137,7 @@ mod tests {
         for needle in [
             "command  fig3",
             "seed     42",
+            "threads  4",
             "tau = 2.5",
             "xengine.replace = 57344",
         ] {

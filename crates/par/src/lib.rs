@@ -10,6 +10,9 @@
 //!   count or scheduling.
 //! * [`par_reduce`] — map + associative reduction without materializing the
 //!   mapped vector.
+//! * [`Pool`] — a persistent pool of parked workers (spawned once, reused
+//!   by every sweep), with the `HETERO_THREADS` override read by
+//!   [`configured_threads`] and a process-wide [`Pool::global`] instance.
 //! * [`seed`] — SplitMix64 seed derivation so that per-trial RNG streams
 //!   depend only on `(root_seed, trial_index)`, never on which thread ran
 //!   the trial. Combined with ordered results this makes every parallel
@@ -27,7 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod seed;
+
+pub use pool::{configured_threads, Pool};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -15,6 +15,17 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Declared per-iteration workload, mirroring `criterion::Throughput`.
+/// The shim records nothing from it — it exists so benches written
+/// against real criterion compile unchanged.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
 /// Identifier for a parameterized benchmark, mirroring
 /// `criterion::BenchmarkId`.
 #[derive(Debug, Clone)]
@@ -134,6 +145,18 @@ impl<'a> BenchmarkGroup<'a> {
     /// Overrides the per-benchmark sample count.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.samples = n;
+        self
+    }
+
+    /// Declares the group's per-iteration workload (accepted and
+    /// ignored, like the rest of the shim's statistics surface).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepts criterion's measurement-time hint (the shim's fixed
+    /// batch/sample scheme ignores it).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
         self
     }
 
