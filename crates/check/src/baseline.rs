@@ -124,6 +124,21 @@ impl Baseline {
             .cloned()
             .collect()
     }
+
+    /// A copy of this baseline with the given stale entries dropped
+    /// (`--prune-baseline`). Entries are matched exactly; pruning never
+    /// invents entries, so `pruned` followed by [`render`](Self::render)
+    /// and [`parse`](Self::parse) round-trips to the surviving set.
+    pub fn pruned(&self, stale: &[Entry]) -> Baseline {
+        Baseline {
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| !stale.contains(e))
+                .cloned()
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +181,30 @@ mod tests {
         let stale = b.stale([&d2].into_iter());
         assert_eq!(stale.len(), 1);
         assert_eq!(stale[0].lint, "unwrap");
+    }
+
+    #[test]
+    fn prune_roundtrips_through_render_and_parse() {
+        let keep = diag(Lint::Unwrap, "a.rs", 3);
+        let fixed = diag(Lint::Expect, "b.rs", 9);
+        let b = Baseline::from_diagnostics([&keep, &fixed].into_iter());
+        assert_eq!(b.entries.len(), 2);
+
+        // `fixed` no longer fires; only `keep` is still current.
+        let stale = b.stale([&keep].into_iter());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "b.rs");
+
+        let pruned = b.pruned(&stale);
+        let back = Baseline::parse(&pruned.render()).expect("pruned baseline parses");
+        assert_eq!(back.entries, pruned.entries);
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].file, "a.rs");
+        assert!(back.stale([&keep].into_iter()).is_empty());
+
+        // Pruning with nothing stale is the identity.
+        let same = b.pruned(&[]);
+        assert_eq!(same.entries, b.entries);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Interprocedural may-panic propagation over the workspace call graph.
+//!
+//! [`crate::lints::scan_file`] collects one [`FnFacts`] record per
+//! library function: its own panic sources (*strong* facts —
+//! `.unwrap()` / `.expect(..)` / `panic!`-family, excluding ones an
+//! allow comment justified — and the weaker *indexing* fact), the names
+//! it calls, and whether its docs carry a `# Panics` section.
+//! [`propagate`] then closes those facts over the call graph: a function
+//! that calls a may-panic function may itself panic.
+//!
+//! Call resolution is name-based (the checker has no type information):
+//! a free call `f(..)` matches free functions named `f`, a qualified
+//! call `T::f(..)` matches `impl T` methods (falling back to free
+//! functions for module paths like `seed::derive`), and a method call
+//! `.f(..)` matches every impl method named `f`. This over-approximates,
+//! which is the conservative direction for a may-panic analysis.
+//!
+//! The deny-level `panic-propagation` lint fires only on **public**
+//! functions in `crates/core`, `crates/protocol`, and `crates/sim` whose
+//! propagated *strong* fact is set and whose docs lack `# Panics`;
+//! indexing-derived facts are reported in the JSON `call_graph` summary
+//! but do not gate (idiomatic bounds-checked indexing is pervasive and
+//! tracked by the advisory `indexing` lint).
+
+use crate::diag::{Diagnostic, Lint, Suppressed};
+use std::collections::BTreeMap;
+
+/// Per-function facts harvested during the file scan.
+#[derive(Debug, Clone)]
+pub struct FnFacts {
+    /// Root-relative file (forward slashes).
+    pub file: String,
+    /// The crate directory name (`core` for `crates/core/...`).
+    pub krate: String,
+    /// Function name.
+    pub name: String,
+    /// `impl` self-type for methods (`Pool` for `impl Pool { fn map }`).
+    pub qual: Option<String>,
+    /// Whether the function is `pub`.
+    pub is_pub: bool,
+    /// Declaration line.
+    pub line: u32,
+    /// Declaration column.
+    pub col: u32,
+    /// Whether the doc comment has a `# Panics` section.
+    pub doc_panics: bool,
+    /// A local strong panic source (`.unwrap()` at line N, ...), if any.
+    pub strong: Option<String>,
+    /// Whether the body contains (unsuppressed) slice/array indexing.
+    pub indexing: bool,
+    /// Callee keys: `"f"` free, `"T::f"` qualified, `".f"` method.
+    pub calls: Vec<String>,
+    /// Reason from a `// hetero-check: allow(panic-propagation)` comment
+    /// on the declaration, if present.
+    pub allow_reason: Option<String>,
+}
+
+/// Per-crate call-graph statistics for the JSON summary.
+#[derive(Debug, Clone, Default)]
+pub struct CrateStats {
+    /// Public library functions seen.
+    pub public_fns: usize,
+    /// Public functions with a propagated strong may-panic fact.
+    pub may_panic_strong: usize,
+    /// Public functions with a propagated indexing-derived fact.
+    pub may_panic_indexing: usize,
+}
+
+/// The machine-readable call-graph summary (`--json` `call_graph` key).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Stats per crate, keyed by crate directory name.
+    pub per_crate: BTreeMap<String, CrateStats>,
+}
+
+/// Crates whose public may-panic APIs gate the build.
+const GATED_CRATES: &[&str] = &["core", "protocol", "sim"];
+
+/// Runs propagation and produces diagnostics plus the summary.
+pub fn propagate(facts: &[FnFacts]) -> (Vec<Diagnostic>, Vec<Suppressed>, Summary) {
+    let n = facts.len();
+    // Resolution indices. Free functions by name; impl methods by bare
+    // name and by `Type::name`.
+    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut qualified: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in facts.iter().enumerate() {
+        match &f.qual {
+            None => free.entry(f.name.as_str()).or_default().push(i),
+            Some(q) => {
+                methods.entry(f.name.as_str()).or_default().push(i);
+                qualified
+                    .entry(format!("{q}::{}", f.name))
+                    .or_default()
+                    .push(i);
+            }
+        }
+    }
+    let resolve = |key: &str| -> Vec<usize> {
+        if let Some(m) = key.strip_prefix('.') {
+            methods.get(m).cloned().unwrap_or_default()
+        } else if key.contains("::") {
+            if let Some(v) = qualified.get(key) {
+                v.clone()
+            } else {
+                // Module-path call (`seed::derive`): match the last
+                // segment against free functions.
+                let last = key.rsplit("::").next().unwrap_or(key);
+                free.get(last).cloned().unwrap_or_default()
+            }
+        } else {
+            free.get(key).cloned().unwrap_or_default()
+        }
+    };
+
+    // Closure to fixpoint over the bool lattice; witnesses record the
+    // first call chain hop for the message.
+    let mut strong: Vec<Option<String>> = facts.iter().map(|f| f.strong.clone()).collect();
+    let mut indexing: Vec<bool> = facts.iter().map(|f| f.indexing).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for key in &facts[i].calls {
+                for j in resolve(key) {
+                    if j == i {
+                        continue;
+                    }
+                    if strong[i].is_none() {
+                        if let Some(w) = &strong[j] {
+                            let callee = match &facts[j].qual {
+                                Some(q) => format!("{q}::{}", facts[j].name),
+                                None => facts[j].name.clone(),
+                            };
+                            strong[i] = Some(format!("calls `{callee}` which {w}"));
+                            changed = true;
+                        }
+                    }
+                    if !indexing[i] && indexing[j] {
+                        indexing[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut summary = Summary::default();
+    let mut diags = Vec::new();
+    let mut suppressed = Vec::new();
+    for (i, f) in facts.iter().enumerate() {
+        let stats = summary.per_crate.entry(f.krate.clone()).or_default();
+        if f.is_pub {
+            stats.public_fns += 1;
+            if strong[i].is_some() && !f.doc_panics {
+                stats.may_panic_strong += 1;
+            }
+            if indexing[i] && !f.doc_panics {
+                stats.may_panic_indexing += 1;
+            }
+        }
+        if !f.is_pub || f.doc_panics || !GATED_CRATES.contains(&f.krate.as_str()) {
+            continue;
+        }
+        let Some(witness) = &strong[i] else { continue };
+        let display = match &f.qual {
+            Some(q) => format!("{q}::{}", f.name),
+            None => f.name.clone(),
+        };
+        let diag = Diagnostic {
+            lint: Lint::PanicPropagation,
+            level: Lint::PanicPropagation.level(),
+            file: f.file.clone(),
+            line: f.line,
+            col: f.col,
+            message: format!(
+                "public fn `{display}` may panic ({witness}) but its docs \
+                 have no `# Panics` section — document the contract or \
+                 make the panic unreachable"
+            ),
+        };
+        match &f.allow_reason {
+            Some(reason) => suppressed.push(Suppressed {
+                diag,
+                reason: reason.clone(),
+            }),
+            None => diags.push(diag),
+        }
+    }
+    (diags, suppressed, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str, krate: &str, strong: Option<&str>, calls: &[&str]) -> FnFacts {
+        FnFacts {
+            file: format!("crates/{krate}/src/lib.rs"),
+            krate: krate.into(),
+            name: name.into(),
+            qual: None,
+            is_pub: true,
+            line: 1,
+            col: 1,
+            doc_panics: false,
+            strong: strong.map(String::from),
+            indexing: false,
+            calls: calls.iter().map(|s| s.to_string()).collect(),
+            allow_reason: None,
+        }
+    }
+
+    #[test]
+    fn strong_facts_propagate_through_calls() {
+        let facts = vec![
+            f("leaf", "core", Some("calls `.unwrap()` at line 9"), &[]),
+            f("mid", "core", None, &["leaf"]),
+            f("top", "core", None, &["mid"]),
+        ];
+        let (diags, _, summary) = propagate(&facts);
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().any(|d| d.message.contains("`top`")));
+        assert_eq!(summary.per_crate["core"].may_panic_strong, 3);
+    }
+
+    #[test]
+    fn panics_doc_section_silences_the_lint() {
+        let mut facts = vec![f("leaf", "core", Some("x"), &[])];
+        facts[0].doc_panics = true;
+        let (diags, _, summary) = propagate(&facts);
+        assert!(diags.is_empty());
+        assert_eq!(summary.per_crate["core"].may_panic_strong, 0);
+    }
+
+    #[test]
+    fn non_gated_crates_report_in_summary_only() {
+        let facts = vec![f("leaf", "linalg", Some("x"), &[])];
+        let (diags, _, summary) = propagate(&facts);
+        assert!(diags.is_empty());
+        assert_eq!(summary.per_crate["linalg"].may_panic_strong, 1);
+    }
+
+    #[test]
+    fn allow_comment_moves_the_diag_to_suppressed() {
+        let mut facts = vec![f("leaf", "core", Some("x"), &[])];
+        facts[0].allow_reason = Some("documented at module level".into());
+        let (diags, sup, _) = propagate(&facts);
+        assert!(diags.is_empty());
+        assert_eq!(sup.len(), 1);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let mut leaf = f("run", "core", Some("x"), &[]);
+        leaf.qual = Some("Engine".into());
+        let top = f("drive", "core", None, &[".run"]);
+        let (diags, _, _) = propagate(&[leaf, top]);
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn private_fns_do_not_fire() {
+        let mut facts = vec![f("leaf", "core", Some("x"), &[])];
+        facts[0].is_pub = false;
+        let (diags, _, summary) = propagate(&facts);
+        assert!(diags.is_empty());
+        assert_eq!(summary.per_crate["core"].public_fns, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Control-flow-graph lowering for parsed function bodies.
+//!
+//! [`lower`] turns a [`crate::parser::Block`] into basic blocks of
+//! [`Step`]s connected by successor edges. Branches (`if`/`match`) fork
+//! and re-join; loops (`for`/`while`/`loop`) get a header block with a
+//! back edge from the body, and body blocks record their loop depth so
+//! the accumulation lints know which statements repeat.
+//!
+//! The graph is deliberately small-scale: straight-line statements stay
+//! leaf [`Step::Stmt`]s, loop headers carry their binding/iterator
+//! ranges, and `break`/`continue`/`return`/`?` are approximated by the
+//! structural edges (every loop header also reaches its exit, every
+//! branch reaches its join). The approximation only ever *merges* more
+//! states, which keeps the forward analyses conservative.
+
+use crate::parser::{Block, Stmt, StmtKind, TokRange};
+
+/// One unit of work for the dataflow transfer function.
+#[derive(Debug, Clone, Copy)]
+pub enum Step<'a> {
+    /// A leaf statement: `let`, assignment, or opaque expression.
+    Stmt(&'a Stmt),
+    /// A `for` loop header (the referenced statement is `StmtKind::For`);
+    /// binds the loop pattern from the iterated expression.
+    ForHeader(&'a Stmt),
+    /// A branch or loop condition / match scrutinee, uses only.
+    Cond(TokRange),
+}
+
+impl<'a> Step<'a> {
+    /// The source line this step anchors diagnostics to.
+    pub fn line(&self) -> u32 {
+        match self {
+            Step::Stmt(s) | Step::ForHeader(s) => s.line,
+            Step::Cond(_) => 0,
+        }
+    }
+}
+
+/// A straight-line run of steps with successor edges.
+#[derive(Debug, Default)]
+pub struct BasicBlock<'a> {
+    /// The steps, in execution order.
+    pub steps: Vec<Step<'a>>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+    /// How many loops enclose this block (0 = straight-line).
+    pub loop_depth: u32,
+}
+
+/// The control-flow graph of one function body. Block 0 is the entry.
+#[derive(Debug, Default)]
+pub struct Cfg<'a> {
+    /// All basic blocks; edges index into this vector.
+    pub blocks: Vec<BasicBlock<'a>>,
+}
+
+impl<'a> Cfg<'a> {
+    /// Predecessor lists, derived from the successor edges.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                if s < preds.len() {
+                    preds[s].push(b);
+                }
+            }
+        }
+        preds
+    }
+}
+
+struct Builder<'a> {
+    blocks: Vec<BasicBlock<'a>>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self, depth: u32) -> usize {
+        self.blocks.push(BasicBlock {
+            loop_depth: depth,
+            ..BasicBlock::default()
+        });
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(to);
+    }
+
+    /// Lowers `block` starting in `cur`; returns the block that control
+    /// falls out of.
+    fn lower_block(&mut self, block: &'a Block, mut cur: usize, depth: u32) -> usize {
+        for stmt in &block.stmts {
+            match &stmt.kind {
+                StmtKind::Let { .. } | StmtKind::Assign { .. } | StmtKind::Expr(_) => {
+                    self.blocks[cur].steps.push(Step::Stmt(stmt));
+                }
+                StmtKind::Nested(inner) => {
+                    cur = self.lower_block(inner, cur, depth);
+                }
+                StmtKind::If { cond, then, els } => {
+                    self.blocks[cur].steps.push(Step::Cond(*cond));
+                    let then_id = self.new_block(depth);
+                    let join = self.new_block(depth);
+                    self.edge(cur, then_id);
+                    let t_end = self.lower_block(then, then_id, depth);
+                    self.edge(t_end, join);
+                    match els {
+                        Some(e) => {
+                            let els_id = self.new_block(depth);
+                            self.edge(cur, els_id);
+                            let e_end = self.lower_block(e, els_id, depth);
+                            self.edge(e_end, join);
+                        }
+                        None => self.edge(cur, join),
+                    }
+                    cur = join;
+                }
+                StmtKind::Match { scrutinee, arms } => {
+                    self.blocks[cur].steps.push(Step::Cond(*scrutinee));
+                    let join = self.new_block(depth);
+                    if arms.is_empty() {
+                        self.edge(cur, join);
+                    }
+                    for arm in arms {
+                        let arm_id = self.new_block(depth);
+                        self.edge(cur, arm_id);
+                        let a_end = self.lower_block(arm, arm_id, depth);
+                        self.edge(a_end, join);
+                    }
+                    cur = join;
+                }
+                StmtKind::For { body, .. } => {
+                    let header = self.new_block(depth);
+                    self.edge(cur, header);
+                    self.blocks[header].steps.push(Step::ForHeader(stmt));
+                    let body_id = self.new_block(depth + 1);
+                    let exit = self.new_block(depth);
+                    self.edge(header, body_id);
+                    self.edge(header, exit);
+                    let b_end = self.lower_block(body, body_id, depth + 1);
+                    self.edge(b_end, header);
+                    cur = exit;
+                }
+                StmtKind::While { cond, body } => {
+                    let header = self.new_block(depth);
+                    self.edge(cur, header);
+                    self.blocks[header].steps.push(Step::Cond(*cond));
+                    let body_id = self.new_block(depth + 1);
+                    let exit = self.new_block(depth);
+                    self.edge(header, body_id);
+                    self.edge(header, exit);
+                    let b_end = self.lower_block(body, body_id, depth + 1);
+                    self.edge(b_end, header);
+                    cur = exit;
+                }
+                StmtKind::Loop { body } => {
+                    let header = self.new_block(depth);
+                    self.edge(cur, header);
+                    let body_id = self.new_block(depth + 1);
+                    let exit = self.new_block(depth);
+                    self.edge(header, body_id);
+                    // `break` approximation: the loop can be left.
+                    self.edge(header, exit);
+                    let b_end = self.lower_block(body, body_id, depth + 1);
+                    self.edge(b_end, header);
+                    cur = exit;
+                }
+            }
+        }
+        cur
+    }
+}
+
+/// Lowers a function body into its CFG. Block 0 is the entry block.
+pub fn lower(body: &Block) -> Cfg<'_> {
+    let mut b = Builder { blocks: Vec::new() };
+    let entry = b.new_block(0);
+    b.lower_block(body, entry, 0);
+    Cfg { blocks: b.blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> (Vec<u32>, usize) {
+        let lexed = lex(src);
+        let ast = parse(&lexed.tokens);
+        let body = ast.fns[0].body.as_ref().expect("body");
+        let cfg = lower(body);
+        let depths: Vec<u32> = cfg
+            .blocks
+            .iter()
+            .filter(|b| !b.steps.is_empty())
+            .map(|b| b.loop_depth)
+            .collect();
+        (depths, cfg.blocks.len())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (depths, n) = cfg_of("fn f() { let a = 1; let b = 2; }");
+        assert_eq!(depths, vec![0]);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn loops_raise_depth() {
+        let (depths, _) = cfg_of("fn f(xs: &[f64]) { for x in xs { let y = x; } }");
+        // Header at depth 0, body statement at depth 1.
+        assert!(depths.contains(&0));
+        assert!(depths.contains(&1));
+    }
+
+    #[test]
+    fn nested_loops_stack() {
+        let lexed = lex("fn f() { for a in v { for b in w { let c = 1; } } }");
+        let ast = parse(&lexed.tokens);
+        let cfg = lower(ast.fns[0].body.as_ref().expect("body"));
+        let max_depth = cfg.blocks.iter().map(|b| b.loop_depth).max().unwrap_or(0);
+        assert_eq!(max_depth, 2);
+    }
+
+    #[test]
+    fn branches_fork_and_join() {
+        let lexed = lex("fn f(x: u32) { if x > 0 { let a = 1; } else { let b = 2; } let c = 3; }");
+        let ast = parse(&lexed.tokens);
+        let cfg = lower(ast.fns[0].body.as_ref().expect("body"));
+        // Entry forks to two branches.
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        let preds = cfg.preds();
+        // Some block joins both branches back.
+        assert!(preds.iter().any(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn back_edges_exist_for_loops() {
+        let lexed = lex("fn f() { loop { let x = 1; } }");
+        let ast = parse(&lexed.tokens);
+        let cfg = lower(ast.fns[0].body.as_ref().expect("body"));
+        // Some edge points to an earlier block (the back edge).
+        let back = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|&s| s <= i));
+        assert!(back);
+    }
+}

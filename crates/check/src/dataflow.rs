@@ -1,0 +1,537 @@
+//! Forward dataflow over the [`crate::cfg`] graphs.
+//!
+//! One combined analysis tracks, per variable, a small set of facts the
+//! deep lints need:
+//!
+//! - **float scalar / float container** — provably `f64`/`f32`-valued
+//!   bindings (from parameter types, `let` ascriptions, float literals,
+//!   or elements of float containers). The naked-float-accumulation lint
+//!   fires only on accumulators it can *prove* are floats, so `BigUint`
+//!   and `Ratio` accumulation loops stay silent.
+//! - **hash container** — bindings that hold a `HashMap`/`HashSet`,
+//!   whose iteration order is nondeterministic.
+//! - **unordered** — values derived from hash iteration that have not
+//!   been sorted yet (`m.keys().collect::<Vec<_>>()`); a subsequent
+//!   `.sort*()` call clears the fact.
+//!
+//! Facts propagate forward through the CFG with set-union joins at
+//! branch merges and a fixpoint over loop back edges, so a taint picked
+//! up on one path survives to every use it can reach.
+
+use crate::cfg::{Cfg, Step};
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{Param, StmtKind, TokRange};
+use std::collections::BTreeMap;
+
+/// Per-variable fact bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VarFact(u8);
+
+impl VarFact {
+    /// Provably `f64`/`f32`-valued.
+    pub const FLOAT_SCALAR: VarFact = VarFact(1);
+    /// A container (slice/Vec/array) of floats.
+    pub const FLOAT_CONTAINER: VarFact = VarFact(2);
+    /// A `HashMap`/`HashSet`.
+    pub const HASH_CONTAINER: VarFact = VarFact(4);
+    /// Derived from hash iteration and not yet sorted.
+    pub const UNORDERED: VarFact = VarFact(8);
+
+    /// Set union of two fact sets.
+    pub fn union(self, other: VarFact) -> VarFact {
+        VarFact(self.0 | other.0)
+    }
+
+    /// Whether every bit of `other` is present.
+    pub fn has(self, other: VarFact) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether any bit of `other` is present.
+    pub fn any(self, other: VarFact) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether no facts are known.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Removes the bits of `other`.
+    pub fn without(self, other: VarFact) -> VarFact {
+        VarFact(self.0 & !other.0)
+    }
+}
+
+/// The abstract state: facts per variable name.
+pub type Env = BTreeMap<String, VarFact>;
+
+/// Joins two environments key-wise (set union).
+pub fn join(a: &Env, b: &Env) -> Env {
+    let mut out = a.clone();
+    for (k, v) in b {
+        let cur = out.get(k).copied().unwrap_or_default();
+        out.insert(k.clone(), cur.union(*v));
+    }
+    out
+}
+
+/// Hash-iteration adapter methods: calling one of these on a hash
+/// container yields nondeterministically ordered items.
+pub const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Methods that impose a deterministic order on a collection in place.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// The combined variable-fact analysis over one function.
+pub struct VarFlow<'a> {
+    toks: &'a [Token],
+}
+
+impl<'a> VarFlow<'a> {
+    /// Builds the analysis over a file's token stream.
+    pub fn new(toks: &'a [Token]) -> Self {
+        VarFlow { toks }
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    /// Facts encoded by a type's token text (`& [ f64 ]`, `Vec < f64 >`,
+    /// `HashMap < String , f64 >`, plain `f64`).
+    pub fn type_flags_text(ty: &str) -> VarFact {
+        let mut f = VarFact::default();
+        if ty.contains("HashMap") || ty.contains("HashSet") {
+            f = f.union(VarFact::HASH_CONTAINER);
+        }
+        if ty.contains("f64") || ty.contains("f32") {
+            let container = ty.contains('[')
+                || ty.contains("Vec")
+                || ty.contains("VecDeque")
+                || ty.contains("BTreeMap")
+                || ty.contains("HashMap");
+            f = f.union(if container {
+                VarFact::FLOAT_CONTAINER
+            } else {
+                VarFact::FLOAT_SCALAR
+            });
+        }
+        f
+    }
+
+    /// [`Self::type_flags_text`] over a token range.
+    pub fn type_flags_range(&self, r: TokRange) -> VarFact {
+        let text = self.range_text(r);
+        Self::type_flags_text(&text)
+    }
+
+    fn range_text(&self, (start, end): TokRange) -> String {
+        let mut out = String::new();
+        for i in start..end {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(self.text(i));
+        }
+        out
+    }
+
+    /// Whether the range contains a hash-rooted iteration: an identifier
+    /// with the hash fact followed by `.<iter-method> (`, or iterated
+    /// directly (`for x in &m`).
+    pub fn hash_iteration_root(&self, (start, end): TokRange, env: &Env) -> Option<String> {
+        for i in start..end {
+            if self.kind(i) != Some(TokenKind::Ident) {
+                continue;
+            }
+            let name = self.text(i);
+            let fact = env.get(name).copied().unwrap_or_default();
+            if !fact.has(VarFact::HASH_CONTAINER) {
+                continue;
+            }
+            // Direct iteration (`&m`, `m`) or an iteration-adapter chain.
+            if self.text(i + 1) == "."
+                && HASH_ITER_METHODS.contains(&self.text(i + 2))
+                && self.text(i + 3) == "("
+            {
+                return Some(name.to_string());
+            }
+            // Bare/borrowed mention covers `for k in &m`.
+            if self.text(i + 1) != "." {
+                return Some(name.to_string());
+            }
+        }
+        None
+    }
+
+    /// Facts of an initialiser/right-hand-side expression range.
+    pub fn init_flags(&self, r: TokRange, env: &Env) -> VarFact {
+        let (start, end) = r;
+        let mut f = VarFact::default();
+        let mut saw_float_literal = false;
+        let mut vec_macro = false;
+        let mut has_collect = false;
+        let mut hash_iter = false;
+        let mut sorted = false;
+        for i in start..end {
+            let t = self.text(i);
+            match self.kind(i) {
+                Some(TokenKind::Float) => saw_float_literal = true,
+                Some(TokenKind::Ident) => {
+                    match t {
+                        "vec" if self.text(i + 1) == "!" => vec_macro = true,
+                        "f64" | "f32" => saw_float_literal = true,
+                        "HashMap" | "HashSet" if self.text(i + 1) == "::" => {
+                            f = f.union(VarFact::HASH_CONTAINER);
+                        }
+                        "collect" => {
+                            has_collect = true;
+                            // Turbofish: `collect :: < Ty … >`.
+                            if self.text(i + 1) == "::" && self.text(i + 2) == "<" {
+                                let close = self.turbofish_end(i + 2, end);
+                                f = f.union(self.type_flags_range((i + 3, close)));
+                                let ty = self.range_text((i + 3, close));
+                                if ty.contains("BTree") {
+                                    sorted = true;
+                                }
+                            }
+                        }
+                        m if SORT_METHODS.contains(&m) => sorted = true,
+                        _ => {
+                            let fact = env.get(t).copied().unwrap_or_default();
+                            if fact.any(VarFact::FLOAT_SCALAR) {
+                                f = f.union(VarFact::FLOAT_SCALAR);
+                            }
+                            if fact.any(VarFact::FLOAT_CONTAINER) {
+                                // Indexing a float container yields a
+                                // float scalar; aliasing keeps container.
+                                if self.text(i + 1) == "[" {
+                                    f = f.union(VarFact::FLOAT_SCALAR);
+                                } else {
+                                    f = f.union(VarFact::FLOAT_CONTAINER);
+                                }
+                            }
+                            if fact.any(VarFact::UNORDERED) {
+                                f = f.union(VarFact::UNORDERED);
+                            }
+                            if fact.has(VarFact::HASH_CONTAINER)
+                                && self.text(i + 1) == "."
+                                && HASH_ITER_METHODS.contains(&self.text(i + 2))
+                            {
+                                hash_iter = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if saw_float_literal {
+            f = f.union(if vec_macro || self.text(start) == "[" {
+                VarFact::FLOAT_CONTAINER
+            } else {
+                VarFact::FLOAT_SCALAR
+            });
+        }
+        if hash_iter && has_collect && !sorted {
+            f = f.union(VarFact::UNORDERED);
+        }
+        f
+    }
+
+    /// The index just past a `< … >` turbofish starting at `<`.
+    fn turbofish_end(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < end {
+            match self.text(j) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "(" | ";" => return j,
+                _ => {}
+            }
+            if depth <= 0 {
+                return j;
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Initial environment from the function's parameters.
+    pub fn init_env(params: &[Param]) -> Env {
+        let mut env = Env::new();
+        for p in params {
+            let f = Self::type_flags_text(&p.ty);
+            if f.is_empty() {
+                continue;
+            }
+            for name in &p.names {
+                env.insert(name.clone(), f);
+            }
+        }
+        env
+    }
+
+    /// Applies one step's effect to the environment.
+    pub fn transfer(&self, step: &Step<'_>, env: &mut Env) {
+        match step {
+            Step::Stmt(stmt) => match &stmt.kind {
+                StmtKind::Let { names, ty, init } => {
+                    // An explicit ascription is authoritative for the
+                    // type bits (`let n: Vec<u64> = floats…floor()…` is
+                    // not a float container); only the provenance bit
+                    // flows through from the initialiser.
+                    let f = match ty {
+                        Some(t) => {
+                            let mut f = self.type_flags_range(*t);
+                            if let Some(i) = init {
+                                if self.init_flags(*i, env).has(VarFact::UNORDERED) {
+                                    f = f.union(VarFact::UNORDERED);
+                                }
+                            }
+                            f
+                        }
+                        None => init.map(|i| self.init_flags(i, env)).unwrap_or_default(),
+                    };
+                    for name in names {
+                        env.insert(name.clone(), f);
+                    }
+                }
+                StmtKind::Assign { target, op, value } if op == "=" => {
+                    // Plain reassignment of a single identifier.
+                    let (s, e) = *target;
+                    if e == s + 1 && self.kind(s) == Some(TokenKind::Ident) {
+                        let f = self.init_flags(*value, env);
+                        env.insert(self.text(s).to_string(), f);
+                    }
+                }
+                StmtKind::Expr(r) => {
+                    // `v.sort*()` restores deterministic order.
+                    let (start, end) = *r;
+                    for i in start..end {
+                        if self.kind(i) == Some(TokenKind::Ident)
+                            && self.text(i + 1) == "."
+                            && SORT_METHODS.contains(&self.text(i + 2))
+                        {
+                            let name = self.text(i).to_string();
+                            if let Some(f) = env.get(&name).copied() {
+                                env.insert(name, f.without(VarFact::UNORDERED));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            },
+            Step::ForHeader(stmt) => {
+                if let StmtKind::For { names, iter, .. } = &stmt.kind {
+                    let iter_text = self.range_text(*iter);
+                    let enumerated = iter_text.contains("enumerate");
+                    let hash_root = self.hash_iteration_root(*iter, env).is_some();
+                    let element = {
+                        let f = self.init_flags(*iter, env);
+                        let mut e = VarFact::default();
+                        if f.any(VarFact::FLOAT_CONTAINER) {
+                            e = e.union(VarFact::FLOAT_SCALAR);
+                        }
+                        if hash_root || f.any(VarFact::UNORDERED) {
+                            e = e.union(VarFact::UNORDERED);
+                        }
+                        e
+                    };
+                    for (k, name) in names.iter().enumerate() {
+                        // `enumerate()` prepends a counter binding.
+                        let f = if enumerated && k == 0 {
+                            VarFact::default()
+                        } else {
+                            element
+                        };
+                        env.insert(name.clone(), f);
+                    }
+                }
+            }
+            Step::Cond(_) => {}
+        }
+    }
+}
+
+/// Runs the analysis to fixpoint and returns the entry environment of
+/// every block.
+pub fn analyze(cfg: &Cfg<'_>, flow: &VarFlow<'_>, init: Env) -> Vec<Env> {
+    let n = cfg.blocks.len();
+    let mut in_env: Vec<Env> = vec![Env::new(); n];
+    if n == 0 {
+        return in_env;
+    }
+    in_env[0] = init;
+    let preds = cfg.preds();
+    // Chaotic iteration in block order; the lattice has finite height
+    // (bits per variable), so this terminates. The pass cap is a
+    // belt-and-braces guard for degenerate graphs.
+    for _round in 0..64 {
+        let mut changed = false;
+        for b in 0..n {
+            let mut env = if preds[b].is_empty() {
+                in_env[b].clone()
+            } else {
+                let mut acc = Env::new();
+                for &p in &preds[b] {
+                    let mut out = in_env[p].clone();
+                    for step in &cfg.blocks[p].steps {
+                        flow.transfer(step, &mut out);
+                    }
+                    acc = join(&acc, &out);
+                }
+                if b == 0 {
+                    acc = join(&acc, &in_env[0]);
+                }
+                acc
+            };
+            if b == 0 {
+                env = join(&env, &in_env[0]);
+            }
+            if env != in_env[b] {
+                in_env[b] = env;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    in_env
+}
+
+/// Runs the fixpoint, then walks every block's steps in order, invoking
+/// `cb(step, loop_depth, env-before-step)`.
+pub fn visit<F>(cfg: &Cfg<'_>, flow: &VarFlow<'_>, init: Env, mut cb: F)
+where
+    F: FnMut(&Step<'_>, u32, &Env),
+{
+    let in_env = analyze(cfg, flow, init);
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut env = in_env[b].clone();
+        for step in &block.steps {
+            cb(step, block.loop_depth, &env);
+            flow.transfer(step, &mut env);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn facts_at_accum(src: &str) -> Vec<(String, u32, VarFact)> {
+        let lexed = lex(src);
+        let ast = parse(&lexed.tokens);
+        let flow = VarFlow::new(&lexed.tokens);
+        let f = &ast.fns[0];
+        let cfg = lower(f.body.as_ref().expect("body"));
+        let mut out = Vec::new();
+        visit(
+            &cfg,
+            &flow,
+            VarFlow::init_env(&f.params),
+            |step, depth, env| {
+                if let Step::Stmt(s) = step {
+                    if let StmtKind::Assign { target, op, .. } = &s.kind {
+                        if op == "+=" {
+                            let lexed_name = flow.text(target.0).to_string();
+                            let fact = env.get(&lexed_name).copied().unwrap_or_default();
+                            out.push((lexed_name, depth, fact));
+                        }
+                    }
+                }
+            },
+        );
+        out
+    }
+
+    #[test]
+    fn float_accumulator_is_tracked_through_a_loop() {
+        let got = facts_at_accum(
+            "fn f(xs: &[f64]) -> f64 { let mut s = 0.0; for x in xs { s += x; } s }",
+        );
+        assert_eq!(got.len(), 1);
+        let (name, depth, fact) = &got[0];
+        assert_eq!(name, "s");
+        assert_eq!(*depth, 1);
+        assert!(fact.has(VarFact::FLOAT_SCALAR));
+    }
+
+    #[test]
+    fn integer_accumulator_is_not_float() {
+        let got =
+            facts_at_accum("fn f(xs: &[u64]) -> u64 { let mut s = 0; for x in xs { s += x; } s }");
+        assert_eq!(got.len(), 1);
+        assert!(!got[0]
+            .2
+            .any(VarFact::FLOAT_SCALAR.union(VarFact::FLOAT_CONTAINER)));
+    }
+
+    #[test]
+    fn param_types_seed_the_environment() {
+        let env = VarFlow::init_env(
+            &parse(&lex("fn f(a: f64, v: &mut Vec<f64>, m: &HashMap<u32, u32>) {}").tokens).fns[0]
+                .params,
+        );
+        assert!(env["a"].has(VarFact::FLOAT_SCALAR));
+        assert!(env["v"].has(VarFact::FLOAT_CONTAINER));
+        assert!(env["m"].has(VarFact::HASH_CONTAINER));
+    }
+
+    #[test]
+    fn hash_collect_is_unordered_until_sorted() {
+        let src = "fn f(m: &HashMap<u32, u32>) {\n let mut v: Vec<_> = m.keys().collect();\n v.sort();\n for k in v { }\n}";
+        let lexed = lex(src);
+        let ast = parse(&lexed.tokens);
+        let flow = VarFlow::new(&lexed.tokens);
+        let f = &ast.fns[0];
+        let cfg = lower(f.body.as_ref().expect("body"));
+        let mut for_fact = VarFact::default();
+        visit(&cfg, &flow, VarFlow::init_env(&f.params), |step, _, env| {
+            if let Step::ForHeader(_) = step {
+                for_fact = env.get("v").copied().unwrap_or_default();
+            }
+        });
+        // The sort() between collect and the loop cleared the taint.
+        assert!(!for_fact.has(VarFact::UNORDERED));
+        assert!(for_fact.is_empty() || !for_fact.has(VarFact::UNORDERED));
+    }
+
+    #[test]
+    fn branch_join_unions_facts() {
+        let src = "fn f(c: bool) { let mut x = 0; if c { x = 1.0; } let y = x; for _k in 0..2 { x += 1; } }";
+        let got = facts_at_accum(src);
+        // On one path x became a float; the join keeps the possibility.
+        assert!(got[0].2.has(VarFact::FLOAT_SCALAR));
+    }
+}

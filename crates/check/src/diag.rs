@@ -37,6 +37,21 @@ pub enum Lint {
     /// `crates/par` (ad-hoc threads bypass the pool's determinism and
     /// panic-containment contracts).
     ThreadSpawnOutsidePar,
+    /// Naked `f64`/`f32` accumulation in a loop (dataflow-proven float
+    /// `+=`/`-=`/`.sum()` not routed through `KahanSum`/`neumaier_sum`).
+    FloatAccum,
+    /// `HashMap`/`HashSet` iteration flowing into float math, output, or
+    /// collected without a sort (nondeterministic order).
+    NondetIteration,
+    /// `Instant::now` / `SystemTime::now` in library code outside
+    /// `crates/obs`.
+    WallClockInLib,
+    /// Non-`Relaxed` atomic memory ordering without a `// ordering:`
+    /// justification comment.
+    AtomicOrdering,
+    /// A public API in `core`/`protocol`/`sim` that may panic (by
+    /// call-graph propagation) without a `# Panics` doc section.
+    PanicPropagation,
 }
 
 /// Every lint, in reporting order.
@@ -55,6 +70,11 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::AllowMissingReason,
     Lint::SimTimeUnchecked,
     Lint::ThreadSpawnOutsidePar,
+    Lint::FloatAccum,
+    Lint::NondetIteration,
+    Lint::WallClockInLib,
+    Lint::AtomicOrdering,
+    Lint::PanicPropagation,
 ];
 
 impl Lint {
@@ -75,6 +95,11 @@ impl Lint {
             Lint::AllowMissingReason => "allow-missing-reason",
             Lint::SimTimeUnchecked => "sim-time-unchecked",
             Lint::ThreadSpawnOutsidePar => "thread-spawn-outside-par",
+            Lint::FloatAccum => "float-accum",
+            Lint::NondetIteration => "nondet-iteration",
+            Lint::WallClockInLib => "wall-clock-in-lib",
+            Lint::AtomicOrdering => "atomic-ordering",
+            Lint::PanicPropagation => "panic-propagation",
         }
     }
 

@@ -167,20 +167,26 @@ pub fn lex(src: &str) -> Lexed {
                 cur.bump();
             }
             // `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`: the "ident" is
-            // actually a literal prefix.
-            if matches!(text.as_str(), "r" | "b" | "br")
-                && matches!(cur.peek(0), Some('"') | Some('#'))
-            {
-                let tok = if text == "b" && cur.peek(0) == Some('"') {
-                    lex_string(&mut cur, line, col)
-                } else {
-                    lex_raw_string(&mut cur, line, col)
-                };
-                out.tokens.push(Token {
-                    text: format!("{}{}", text, tok.text),
-                    ..tok
-                });
-                continue;
+            // actually a literal prefix — but only when the hashes (if
+            // any) lead to an opening quote. `r#type` is a raw
+            // *identifier* and must not start a string.
+            if matches!(text.as_str(), "r" | "b" | "br") {
+                let mut ahead = 0;
+                while cur.peek(ahead) == Some('#') {
+                    ahead += 1;
+                }
+                if cur.peek(ahead) == Some('"') {
+                    let tok = if text == "b" && ahead == 0 {
+                        lex_string(&mut cur, line, col)
+                    } else {
+                        lex_raw_string(&mut cur, line, col)
+                    };
+                    out.tokens.push(Token {
+                        text: format!("{}{}", text, tok.text),
+                        ..tok
+                    });
+                    continue;
+                }
             }
             out.tokens.push(Token {
                 kind: TokenKind::Ident,
@@ -497,5 +503,151 @@ mod tests {
         let lexed = lex("before /* outer /* inner */ still */ after");
         let idents: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(idents, vec!["before", "after"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_markers_and_track_lines() {
+        let src = "let a = r#\"x // not \"a\" comment\"#;\nlet b = 1; // real";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1, "only the trailing comment counts");
+        assert_eq!(lexed.comments[0].text, "// real");
+        assert_eq!(lexed.comments[0].line, 2);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("raw string token");
+        assert!(s.text.contains("not \"a\" comment"));
+        let b = lexed.tokens.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b.line, 2, "line tracking resumes after the raw string");
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let src = "r##\"first\n// second\n\"# third\"## after";
+        let lexed = lex(src);
+        assert!(
+            lexed.comments.is_empty(),
+            "`//` inside the literal is content"
+        );
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.tokens[0].kind, TokenKind::Str);
+        assert!(lexed.tokens[0].text.contains("\"# third"));
+        assert_eq!(lexed.tokens[1].text, "after");
+        assert_eq!(lexed.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let toks = kinds("let r#type = r#\"s\"#;");
+        let strs = toks.iter().filter(|(k, _)| *k == TokenKind::Str).count();
+        assert_eq!(strs, 1, "`r#type` must not lex as a string");
+        assert!(toks.contains(&(TokenKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn unterminated_raw_string_is_tolerated() {
+        let lexed = lex("r#\"never closed");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].kind, TokenKind::Str);
+        assert!(lexed.comments.is_empty());
+    }
+
+    /// One draw of lexable source text for the fuzz tests: fragments are
+    /// joined with spaces, so every fragment must be self-delimiting.
+    fn fragment() -> impl proptest::strategy::Strategy<Value = String> {
+        use proptest::prelude::*;
+        prop_oneof![
+            Just("ident".to_string()),
+            Just("x1".to_string()),
+            Just("42".to_string()),
+            Just("0x1f".to_string()),
+            Just("1.5e-3".to_string()),
+            Just("2f64".to_string()),
+            Just("'c'".to_string()),
+            Just("&'a".to_string()),
+            Just("\"str with // inside\"".to_string()),
+            Just("r\"plain raw\"".to_string()),
+            Just("r#\"raw \"quoted\" // body\"#".to_string()),
+            Just("br#\"bytes \" here\"#".to_string()),
+            Just("r#match".to_string()),
+            Just("// line comment".to_string()),
+            Just("/* block /* nested */ done */".to_string()),
+            Just("==".to_string()),
+            Just("..=".to_string()),
+            Just("{ }".to_string()),
+            Just("\n".to_string()),
+        ]
+    }
+
+    proptest::proptest! {
+        /// Token soup: whatever the mix, the lexer must terminate, keep
+        /// token lines monotone, and never place anything past the last
+        /// source line.
+        #[test]
+        fn fuzz_token_soup_lines_stay_monotone(
+            frags in proptest::collection::vec(fragment(), 0..30usize),
+        ) {
+            let src = frags.join(" ");
+            let lexed = lex(&src);
+            let max_line = src.matches('\n').count() as u32 + 1;
+            let mut last = 1u32;
+            for t in &lexed.tokens {
+                proptest::prop_assert!(t.line >= last, "line order: {} < {last}", t.line);
+                proptest::prop_assert!(t.line <= max_line);
+                proptest::prop_assert!(t.col >= 1);
+                proptest::prop_assert!(!t.text.is_empty());
+                last = t.line;
+            }
+            for c in &lexed.comments {
+                proptest::prop_assert!(c.line >= 1 && c.line <= max_line);
+            }
+        }
+
+        /// Raw strings built from hostile pieces (`//`, `"`, `#`,
+        /// newlines) must swallow their body whole: no comment leaks out
+        /// of the literal, and the line counter stays exact.
+        #[test]
+        fn fuzz_raw_string_bodies_never_leak_comments(
+            pieces in proptest::collection::vec(
+                {
+                    use proptest::prelude::*;
+                    prop_oneof![
+                        Just("txt"),
+                        Just("//"),
+                        Just("\""),
+                        Just("#"),
+                        Just(" "),
+                        Just("\n"),
+                        Just("'"),
+                    ]
+                },
+                0..12usize,
+            ),
+            extra_hashes in 0usize..2,
+        ) {
+            let body: String = pieces.concat();
+            // The delimiter must out-run every `"` + `#…` sequence the
+            // body contains, or the literal would close early.
+            let chars: Vec<char> = body.chars().collect();
+            let mut needed = 1usize;
+            for (i, &c) in chars.iter().enumerate() {
+                if c == '"' {
+                    let run = chars[i + 1..].iter().take_while(|&&h| h == '#').count();
+                    needed = needed.max(run + 1);
+                }
+            }
+            let h = "#".repeat(needed + extra_hashes);
+            let src = format!("let s = r{h}\"{body}\"{h};\n// tail");
+            let lexed = lex(&src);
+            proptest::prop_assert_eq!(lexed.comments.len(), 1);
+            proptest::prop_assert_eq!(lexed.comments[0].text.as_str(), "// tail");
+            proptest::prop_assert_eq!(
+                lexed.comments[0].line as usize,
+                body.matches('\n').count() + 2
+            );
+            let s = lexed.tokens.iter().find(|t| t.kind == TokenKind::Str);
+            proptest::prop_assert!(s.is_some(), "the raw string must lex as one token");
+        }
     }
 }

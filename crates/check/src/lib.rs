@@ -41,10 +41,15 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
+pub mod explain;
 pub mod json;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 
 use baseline::Baseline;
 use diag::{Diagnostic, Level, Suppressed};
@@ -78,6 +83,8 @@ pub struct Outcome {
     pub suppressed: Vec<Suppressed>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Per-crate may-panic statistics from the call-graph pass.
+    pub call_graph: callgraph::Summary,
 }
 
 impl Outcome {
@@ -102,6 +109,7 @@ pub fn run(config: &Config) -> Result<Outcome, String> {
         ..Outcome::default()
     };
     let mut all_deny = Vec::new();
+    let mut fn_facts = Vec::new();
     for rel in &files {
         let full = config.root.join(rel);
         let src = std::fs::read_to_string(&full)
@@ -111,6 +119,7 @@ pub fn run(config: &Config) -> Result<Outcome, String> {
             .replace(std::path::MAIN_SEPARATOR, "/");
         let scan = lints::scan_file(&rel_str, &src);
         outcome.suppressed.extend(scan.suppressed);
+        fn_facts.extend(scan.fn_facts);
         for diag in scan.diagnostics {
             match diag.level {
                 Level::Warn => outcome.warnings.push(diag),
@@ -118,6 +127,12 @@ pub fn run(config: &Config) -> Result<Outcome, String> {
             }
         }
     }
+
+    // Second phase: close may-panic facts over the cross-file call graph.
+    let (cg_diags, cg_suppressed, cg_summary) = callgraph::propagate(&fn_facts);
+    all_deny.extend(cg_diags);
+    outcome.suppressed.extend(cg_suppressed);
+    outcome.call_graph = cg_summary;
 
     outcome.stale = baseline.stale(all_deny.iter());
     for diag in all_deny {
@@ -302,6 +317,21 @@ pub fn render_json(outcome: &Outcome, deny_warnings: bool) -> String {
                 .collect(),
         ),
     );
+    let mut call_graph = BTreeMap::new();
+    for (krate, stats) in &outcome.call_graph.per_crate {
+        let mut obj = BTreeMap::new();
+        obj.insert("public_fns".into(), Value::Num(stats.public_fns as f64));
+        obj.insert(
+            "may_panic_strong".into(),
+            Value::Num(stats.may_panic_strong as f64),
+        );
+        obj.insert(
+            "may_panic_indexing".into(),
+            Value::Num(stats.may_panic_indexing as f64),
+        );
+        call_graph.insert(krate.clone(), Value::Obj(obj));
+    }
+    root.insert("call_graph".into(), Value::Obj(call_graph));
     let mut summary = BTreeMap::new();
     summary.insert(
         "files_scanned".into(),

@@ -1,8 +1,12 @@
 //! The lint passes: token-stream rules, file classification, allow
 //! comments, and per-file scanning.
 
+use crate::callgraph::FnFacts;
+use crate::cfg::{lower, Step};
+use crate::dataflow::{self, Env, VarFact, VarFlow, HASH_ITER_METHODS};
 use crate::diag::{Diagnostic, Lint, Suppressed};
 use crate::lexer::{lex, Comment, Token, TokenKind};
+use crate::parser::{parse, Ast, Block as AstBlock, StmtKind, TokRange};
 use std::collections::HashMap;
 
 /// How a file participates in linting, derived from its workspace path.
@@ -89,6 +93,9 @@ pub struct FileScan {
     pub diagnostics: Vec<Diagnostic>,
     /// Findings an allow comment waived, with the stated reason.
     pub suppressed: Vec<Suppressed>,
+    /// Per-function facts for the cross-file call-graph pass (library
+    /// sources only).
+    pub fn_facts: Vec<FnFacts>,
 }
 
 /// Scans one file's source, returning its diagnostics.
@@ -107,9 +114,13 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
         in_test: &mask,
     };
 
+    let ast = parse(&lexed.tokens);
     if matches!(class, FileClass::LibrarySrc | FileClass::BinSrc) {
         cx.float_eq(&mut raw);
         let chained = cx.partial_cmp_unwrap(&mut raw);
+        // Stronger-than-Relaxed atomic orderings encode happens-before
+        // arguments; they must be justified wherever they appear.
+        cx.atomic_ordering(&lexed.comments, &mut raw);
         if class == FileClass::LibrarySrc {
             cx.naked_sum(&mut raw);
             cx.unwrap_expect(&mut raw, &chained);
@@ -126,16 +137,30 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
             if !rel.starts_with("crates/par/src/") {
                 cx.thread_spawn_outside_par(&mut raw);
             }
+            // hetero-obs owns wall-clock reads; libraries take time as
+            // data so their behaviour is reproducible.
+            if !rel.starts_with("crates/obs/src/") {
+                cx.wall_clock(&mut raw);
+            }
+            cx.dataflow_lints(&ast, &mut raw);
             cx.indexing(&mut raw);
             cx.crate_policy(src, &mut raw);
             cx.paper_anchor(src, &mut raw);
         }
     }
     cx.constructor_discipline(&mut raw);
+    let fn_facts = if class == FileClass::LibrarySrc {
+        cx.collect_fn_facts(&ast, src, &allows)
+    } else {
+        Vec::new()
+    };
 
     // Apply allow comments: a suppression covers its own line and the
     // following line, so it can sit inline or immediately above.
-    let mut out = FileScan::default();
+    let mut out = FileScan {
+        fn_facts,
+        ..FileScan::default()
+    };
     for diag in raw {
         match allows.get(&(diag.line, diag.lint)) {
             Some(reason) if diag.lint != Lint::AllowMissingReason => {
@@ -607,6 +632,507 @@ impl<'a> Cx<'a> {
         }
     }
 
+    /// `Instant::now` / `SystemTime::now` in library code. Wall-clock
+    /// reads make behaviour time-dependent; only `crates/obs` (which is
+    /// scoped out by the caller) may measure real time.
+    fn wall_clock(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i)
+                || tok.kind != TokenKind::Ident
+                || !matches!(tok.text.as_str(), "Instant" | "SystemTime")
+            {
+                continue;
+            }
+            if self.text(i + 1) != "::" || self.text(i + 2) != "now" || self.text(i + 3) != "(" {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::WallClockInLib,
+                tok,
+                format!(
+                    "`{}::now()` makes library behaviour wall-clock dependent; take \
+                     time as a parameter, use SimTime, or measure through hetero-obs",
+                    tok.text
+                ),
+            );
+        }
+    }
+
+    /// Non-`Relaxed` atomic orderings (`SeqCst`/`Acquire`/`Release`/
+    /// `AcqRel`) need a `// ordering:` comment on the same or previous
+    /// line stating the happens-before edge they establish.
+    fn atomic_ordering(&self, comments: &[Comment], out: &mut Vec<Diagnostic>) {
+        let justified: Vec<u32> = comments
+            .iter()
+            .filter(|c| c.text.contains("ordering:"))
+            .map(|c| c.line)
+            .collect();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i)
+                || tok.kind != TokenKind::Ident
+                || !matches!(
+                    tok.text.as_str(),
+                    "SeqCst" | "Acquire" | "Release" | "AcqRel"
+                )
+            {
+                continue;
+            }
+            // Only the atomic `Ordering` path, never `cmp::Ordering`
+            // variants (`Less`/`Greater`) or unrelated identifiers.
+            if i < 2 || self.text(i - 1) != "::" || self.text(i - 2) != "Ordering" {
+                continue;
+            }
+            if justified.contains(&tok.line) || justified.contains(&tok.line.saturating_sub(1)) {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::AtomicOrdering,
+                tok,
+                format!(
+                    "`Ordering::{}` without a `// ordering:` justification; state the \
+                     happens-before edge it establishes, or relax to `Relaxed`",
+                    tok.text
+                ),
+            );
+        }
+    }
+
+    fn emit_at(&self, out: &mut Vec<Diagnostic>, lint: Lint, line: u32, col: u32, message: String) {
+        out.push(Diagnostic {
+            lint,
+            level: lint.level(),
+            file: self.rel.to_string(),
+            line,
+            col,
+            message,
+        });
+    }
+
+    /// Whether an expression range carries float evidence: a float
+    /// literal, an `f64`/`f32` token, or an identifier the dataflow
+    /// proved float-valued.
+    fn float_evidence(&self, flow: &VarFlow<'_>, (start, end): TokRange, env: &Env) -> bool {
+        let _ = flow;
+        for i in start..end {
+            let Some(tok) = self.tokens.get(i) else { break };
+            match tok.kind {
+                TokenKind::Float => return true,
+                TokenKind::Ident => {
+                    if matches!(tok.text.as_str(), "f64" | "f32") {
+                        return true;
+                    }
+                    let fact = env.get(tok.text.as_str()).copied().unwrap_or_default();
+                    if fact.any(VarFact::FLOAT_SCALAR.union(VarFact::FLOAT_CONTAINER)) {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Whether the range contains a `!`-invocation of an output or
+    /// formatting macro.
+    fn output_macro_in(&self, (start, end): TokRange) -> bool {
+        (start..end).any(|i| {
+            self.is_ident(i)
+                && matches!(
+                    self.text(i),
+                    "write" | "writeln" | "print" | "println" | "eprint" | "eprintln" | "format"
+                )
+                && self.text(i + 1) == "!"
+        })
+    }
+
+    /// The leaf expression ranges of a statement the range-based deep
+    /// lints inspect.
+    fn leaf_ranges(kind: &StmtKind) -> Vec<TokRange> {
+        match kind {
+            StmtKind::Let { ty, init, .. } => {
+                let mut v = Vec::new();
+                if let Some(t) = ty {
+                    v.push(*t);
+                }
+                if let Some(i) = init {
+                    v.push(*i);
+                }
+                v
+            }
+            StmtKind::Assign { target, value, .. } => vec![*target, *value],
+            StmtKind::Expr(r) => vec![*r],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The deep dataflow lints: naked float accumulation and
+    /// nondeterministic hash iteration.
+    fn dataflow_lints(&self, ast: &Ast, out: &mut Vec<Diagnostic>) {
+        let flow = VarFlow::new(self.tokens);
+        // core/symfunc float sums are already gated by `naked-sum`;
+        // float-accum extends the same rule to every other library crate.
+        let in_kernel =
+            self.rel.starts_with("crates/core/src/") || self.rel.starts_with("crates/symfunc/src/");
+        for f in &ast.fns {
+            let Some(body) = &f.body else { continue };
+            if !self.live(f.body_range.0) {
+                continue; // test-only function
+            }
+            let cfg = lower(body);
+            let init = VarFlow::init_env(&f.params);
+            dataflow::visit(&cfg, &flow, init, |step, depth, env| match step {
+                Step::Stmt(stmt) => {
+                    if let StmtKind::Assign { target, op, value } = &stmt.kind {
+                        if matches!(op.as_str(), "+=" | "-=") && depth >= 1 {
+                            let root_fact = (target.0..target.1)
+                                .find(|&i| self.is_ident(i))
+                                .and_then(|i| env.get(self.text(i)))
+                                .copied()
+                                .unwrap_or_default();
+                            let target_float = root_fact
+                                .any(VarFact::FLOAT_SCALAR.union(VarFact::FLOAT_CONTAINER));
+                            if target_float || self.float_evidence(&flow, *value, env) {
+                                self.emit_at(
+                                    out,
+                                    Lint::FloatAccum,
+                                    stmt.line,
+                                    stmt.col,
+                                    format!(
+                                        "naked float accumulation (`{op}`) in a loop is \
+                                         order-sensitive; accumulate through KahanSum / \
+                                         hetero_core::numeric::kahan_sum"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    for r in Self::leaf_ranges(&stmt.kind) {
+                        if !in_kernel {
+                            self.float_sum_in_range(&flow, r, env, stmt.line, stmt.col, out);
+                        }
+                        self.nondet_use_in_range(&flow, r, env, stmt.line, stmt.col, out);
+                    }
+                }
+                Step::ForHeader(stmt) => {
+                    if let StmtKind::For { iter, body, .. } = &stmt.kind {
+                        let hash_rooted = flow.hash_iteration_root(*iter, env).is_some();
+                        let unordered = flow.init_flags(*iter, env).has(VarFact::UNORDERED);
+                        if hash_rooted || unordered {
+                            if let Some(why) = self.order_sensitive(&flow, body, env) {
+                                self.emit_at(
+                                    out,
+                                    Lint::NondetIteration,
+                                    stmt.line,
+                                    stmt.col,
+                                    format!(
+                                        "iteration order here is nondeterministic and the \
+                                         loop body {why}; use BTreeMap/BTreeSet or sort \
+                                         before the order-sensitive use"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                Step::Cond(_) => {}
+            });
+        }
+    }
+
+    /// Float `.sum()` reductions outside the compensated helpers.
+    fn float_sum_in_range(
+        &self,
+        flow: &VarFlow<'_>,
+        r: TokRange,
+        env: &Env,
+        line: u32,
+        col: u32,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for i in r.0..r.1 {
+            if self.text(i) != "." || self.text(i + 1) != "sum" || !self.is_ident(i + 1) {
+                continue;
+            }
+            let fires = match self.text(i + 2) {
+                "::" => matches!(self.text(i + 4), "f64" | "f32"),
+                "(" => self.float_evidence(flow, r, env),
+                _ => false,
+            };
+            if fires {
+                self.emit_at(
+                    out,
+                    Lint::FloatAccum,
+                    line,
+                    col,
+                    "bare float `.sum()` accumulates rounding error in iteration \
+                     order; route through hetero_core::numeric::kahan_sum"
+                        .into(),
+                );
+                return;
+            }
+        }
+    }
+
+    /// Order-sensitive uses of hash-derived data inside one expression:
+    /// a hash iteration chained straight into a reduction, or an
+    /// unsorted hash-derived value flowing into output/appends.
+    fn nondet_use_in_range(
+        &self,
+        flow: &VarFlow<'_>,
+        r: TokRange,
+        env: &Env,
+        line: u32,
+        col: u32,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let _ = flow;
+        for i in r.0..r.1 {
+            if !self.is_ident(i) {
+                continue;
+            }
+            let fact = env.get(self.text(i)).copied().unwrap_or_default();
+            if fact.has(VarFact::HASH_CONTAINER)
+                && self.text(i + 1) == "."
+                && HASH_ITER_METHODS.contains(&self.text(i + 2))
+            {
+                // Chained reduction: `m.values().sum()` / `.fold(..)`.
+                let reduced = (i + 3..r.1).any(|j| {
+                    self.text(j) == "."
+                        && matches!(self.text(j + 1), "sum" | "fold" | "product")
+                        && self.is_ident(j + 1)
+                });
+                if reduced {
+                    self.emit_at(
+                        out,
+                        Lint::NondetIteration,
+                        line,
+                        col,
+                        "hash iteration feeds a reduction; float reductions are \
+                         order-sensitive — use a BTree collection or sort first"
+                            .into(),
+                    );
+                    return;
+                }
+            }
+            if fact.has(VarFact::UNORDERED)
+                && (self.output_macro_in(r)
+                    || ((i + 1..r.1.min(i + 3)).any(|j| self.text(j) == ".")
+                        && matches!(self.text(i + 2), "push" | "extend")))
+            {
+                self.emit_at(
+                    out,
+                    Lint::NondetIteration,
+                    line,
+                    col,
+                    "unsorted hash-derived data flows into output; sort the \
+                     collect before presenting it"
+                        .into(),
+                );
+                return;
+            }
+        }
+    }
+
+    /// Whether a loop body (over a nondeterministic order) does anything
+    /// order-sensitive. Integer counters and inserts into maps/sets are
+    /// order-free; float accumulation, appends, and output are not.
+    fn order_sensitive(
+        &self,
+        flow: &VarFlow<'_>,
+        block: &AstBlock,
+        env: &Env,
+    ) -> Option<&'static str> {
+        for stmt in &block.stmts {
+            match &stmt.kind {
+                StmtKind::Assign { target, op, value } => {
+                    if matches!(op.as_str(), "+=" | "-=" | "*=" | "/=") {
+                        let root_float = (target.0..target.1)
+                            .find(|&i| self.is_ident(i))
+                            .and_then(|i| env.get(self.text(i)))
+                            .copied()
+                            .unwrap_or_default()
+                            .any(VarFact::FLOAT_SCALAR.union(VarFact::FLOAT_CONTAINER));
+                        if root_float || self.float_evidence(flow, *value, env) {
+                            return Some("accumulates floats in that order");
+                        }
+                    }
+                    if self.output_macro_in(*value) {
+                        return Some("emits output in that order");
+                    }
+                }
+                StmtKind::Let { init, .. } => {
+                    if let Some(r) = init {
+                        if self.output_macro_in(*r) {
+                            return Some("emits output in that order");
+                        }
+                    }
+                }
+                StmtKind::Expr(r) => {
+                    if self.output_macro_in(*r) {
+                        return Some("emits output in that order");
+                    }
+                    let appends = (r.0..r.1).any(|i| {
+                        self.text(i) == "."
+                            && matches!(self.text(i + 1), "push" | "extend")
+                            && self.is_ident(i + 1)
+                            && self.text(i + 2) == "("
+                    });
+                    if appends {
+                        return Some("appends to an ordered collection in that order");
+                    }
+                }
+                StmtKind::For { body, .. }
+                | StmtKind::While { body, .. }
+                | StmtKind::Loop { body } => {
+                    if let Some(why) = self.order_sensitive(flow, body, env) {
+                        return Some(why);
+                    }
+                }
+                StmtKind::If { then, els, .. } => {
+                    if let Some(why) = self.order_sensitive(flow, then, env) {
+                        return Some(why);
+                    }
+                    if let Some(e) = els {
+                        if let Some(why) = self.order_sensitive(flow, e, env) {
+                            return Some(why);
+                        }
+                    }
+                }
+                StmtKind::Match { arms, .. } => {
+                    for arm in arms {
+                        if let Some(why) = self.order_sensitive(flow, arm, env) {
+                            return Some(why);
+                        }
+                    }
+                }
+                StmtKind::Nested(inner) => {
+                    if let Some(why) = self.order_sensitive(flow, inner, env) {
+                        return Some(why);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Harvests the per-function facts the call-graph pass consumes.
+    fn collect_fn_facts(
+        &self,
+        ast: &Ast,
+        src: &str,
+        allows: &HashMap<(u32, Lint), String>,
+    ) -> Vec<FnFacts> {
+        let Some(krate) = self
+            .rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split_once('/'))
+            .map(|(k, _)| k.to_string())
+        else {
+            return Vec::new();
+        };
+        let lines: Vec<&str> = src.lines().collect();
+        let mut facts = Vec::new();
+        for f in &ast.fns {
+            if f.body.is_none() || !self.live(f.body_range.0) {
+                continue;
+            }
+            // Contiguous doc block above the declaration.
+            let mut doc_panics = false;
+            let mut l = f.line as usize - 1;
+            while l >= 1 {
+                let t = lines.get(l - 1).map(|s| s.trim_start()).unwrap_or("");
+                if t.starts_with("///") {
+                    if t.contains("# Panics") {
+                        doc_panics = true;
+                    }
+                } else if !(t.starts_with("#[") || t.starts_with("//") || t == "pub") {
+                    break;
+                }
+                l -= 1;
+            }
+            let mut strong: Option<String> = None;
+            let mut indexing = false;
+            let mut calls: Vec<String> = Vec::new();
+            let (bstart, bend) = f.body_range;
+            for i in bstart..bend.min(self.tokens.len()) {
+                if !self.live(i) {
+                    continue;
+                }
+                let tok = &self.tokens[i];
+                match tok.kind {
+                    TokenKind::Punct if tok.text == "." => {
+                        let name = self.text(i + 1);
+                        if matches!(name, "unwrap" | "expect")
+                            && self.is_ident(i + 1)
+                            && self.text(i + 2) == "("
+                        {
+                            let line = self.tokens[i + 1].line;
+                            let justified = [Lint::Unwrap, Lint::Expect, Lint::PartialCmpUnwrap]
+                                .iter()
+                                .any(|l| allows.contains_key(&(line, *l)));
+                            if !justified && strong.is_none() {
+                                strong = Some(format!("calls `.{name}()` at line {line}"));
+                            }
+                        }
+                    }
+                    TokenKind::Punct if tok.text == "[" && i > bstart => {
+                        let prev = &self.tokens[i - 1];
+                        let indexable = match prev.kind {
+                            TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                            TokenKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+                            _ => false,
+                        };
+                        if indexable && !allows.contains_key(&(tok.line, Lint::Indexing)) {
+                            indexing = true;
+                        }
+                    }
+                    TokenKind::Ident => {
+                        if matches!(
+                            tok.text.as_str(),
+                            "panic" | "unreachable" | "todo" | "unimplemented"
+                        ) && self.text(i + 1) == "!"
+                        {
+                            if !allows.contains_key(&(tok.line, Lint::Panic)) && strong.is_none() {
+                                strong =
+                                    Some(format!("invokes `{}!` at line {}", tok.text, tok.line));
+                            }
+                        } else if self.text(i + 1) == "(" && !KEYWORDS.contains(&tok.text.as_str())
+                        {
+                            let key = if i > 0 && self.text(i - 1) == "." {
+                                format!(".{}", tok.text)
+                            } else if i > 1 && self.text(i - 1) == "::" && self.is_ident(i - 2) {
+                                format!("{}::{}", self.text(i - 2), tok.text)
+                            } else {
+                                tok.text.clone()
+                            };
+                            if !calls.contains(&key) {
+                                calls.push(key);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            facts.push(FnFacts {
+                file: self.rel.to_string(),
+                krate: krate.clone(),
+                name: f.name.clone(),
+                qual: f.qual.clone(),
+                is_pub: f.is_pub,
+                line: f.line,
+                col: f.col,
+                doc_panics,
+                strong,
+                indexing,
+                calls,
+                allow_reason: allows.get(&(f.line, Lint::PanicPropagation)).cloned(),
+            });
+        }
+        facts
+    }
+
     /// Expression indexing (advisory).
     fn indexing(&self, out: &mut Vec<Diagnostic>) {
         for (i, tok) in self.tokens.iter().enumerate() {
@@ -968,6 +1494,141 @@ mod tests {
         assert!(lints_of("crates/demo/src/lib.rs", good)
             .iter()
             .all(|(l, _)| *l != Lint::CratePolicy));
+    }
+
+    #[test]
+    fn float_accum_needs_proven_float_in_a_loop() {
+        // Proven float accumulator in a loop fires.
+        let src = "pub fn f(xs: &[f64]) -> f64 { let mut s = 0.0; for x in xs { s += x; } s }";
+        assert!(lints_of("crates/linalg/src/m.rs", src)
+            .iter()
+            .any(|(l, _)| *l == Lint::FloatAccum));
+        // Integer accumulation stays silent.
+        let int = "pub fn f(xs: &[u64]) -> u64 { let mut s = 0; for x in xs { s += x; } s }";
+        assert!(lints_of("crates/linalg/src/m.rs", int)
+            .iter()
+            .all(|(l, _)| *l != Lint::FloatAccum));
+        // Outside a loop a single `+=` is not an accumulation chain.
+        let straight = "pub fn f(mut s: f64, x: f64) -> f64 { s += x; s }";
+        assert!(lints_of("crates/linalg/src/m.rs", straight)
+            .iter()
+            .all(|(l, _)| *l != Lint::FloatAccum));
+        // An explicit non-float ascription defeats float-ish initialisers.
+        let ascribed = "pub fn f(w: &[f64]) { let mut n: Vec<u64> = w.iter().map(|x| *x as u64).collect(); for i in 0..n.len() { n[i] += 1; } }";
+        assert!(lints_of("crates/linalg/src/m.rs", ascribed)
+            .iter()
+            .all(|(l, _)| *l != Lint::FloatAccum));
+        // Float `.sum()` fires outside the kernels (there `naked-sum` owns it).
+        let sum = "pub fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(lints_of("crates/linalg/src/m.rs", sum)
+            .iter()
+            .any(|(l, _)| *l == Lint::FloatAccum));
+        assert!(lints_of("crates/core/src/m.rs", sum)
+            .iter()
+            .all(|(l, _)| *l != Lint::FloatAccum));
+    }
+
+    #[test]
+    fn nondet_iteration_needs_order_sensitivity() {
+        // Hash iteration accumulating floats fires.
+        let hot = "pub fn f(m: &HashMap<u32, f64>) -> f64 { let mut s = 0.0; for v in m.values() { s += v; } s }";
+        assert!(lints_of("crates/sim/src/m.rs", hot)
+            .iter()
+            .any(|(l, _)| *l == Lint::NondetIteration));
+        // Hash iteration chained into a reduction fires.
+        let chain =
+            "pub fn f(m: &HashMap<u32, f64>) -> f64 { m.values().fold(0.0, |a, b| a.max(*b)) }";
+        assert!(lints_of("crates/sim/src/m.rs", chain)
+            .iter()
+            .any(|(l, _)| *l == Lint::NondetIteration));
+        // Order-free bodies (integer counting) stay silent.
+        let count = "pub fn f(m: &HashMap<u32, u32>) -> u64 { let mut n = 0; for _v in m.values() { n += 1; } n }";
+        assert!(lints_of("crates/sim/src/m.rs", count)
+            .iter()
+            .all(|(l, _)| *l != Lint::NondetIteration));
+        // A sorted collect launders the order.
+        let sorted = "pub fn f(m: &HashMap<u32, u32>, out: &mut String) { let mut v: Vec<_> = m.keys().collect(); v.sort(); for k in v { let _ = writeln!(out, \"{k}\"); } }";
+        assert!(lints_of("crates/sim/src/m.rs", sorted)
+            .iter()
+            .all(|(l, _)| *l != Lint::NondetIteration));
+        // Unsorted hash-derived data into output fires.
+        let unsorted = "pub fn f(m: &HashMap<u32, u32>, out: &mut String) { let v: Vec<_> = m.keys().collect(); for k in v { let _ = writeln!(out, \"{k}\"); } }";
+        assert!(lints_of("crates/sim/src/m.rs", unsorted)
+            .iter()
+            .any(|(l, _)| *l == Lint::NondetIteration));
+    }
+
+    #[test]
+    fn wall_clock_scoped_outside_obs() {
+        let src = "pub fn f() -> Instant { Instant::now() }";
+        assert!(lints_of("crates/core/src/m.rs", src)
+            .iter()
+            .any(|(l, _)| *l == Lint::WallClockInLib));
+        let sys = "pub fn f() { let _ = SystemTime::now(); }";
+        assert!(lints_of("crates/protocol/src/m.rs", sys)
+            .iter()
+            .any(|(l, _)| *l == Lint::WallClockInLib));
+        // The observability crate owns real time.
+        assert!(lints_of("crates/obs/src/m.rs", src)
+            .iter()
+            .all(|(l, _)| *l != Lint::WallClockInLib));
+        // Binaries may read the clock.
+        assert!(lints_of("crates/cli/src/main.rs", src)
+            .iter()
+            .all(|(l, _)| *l != Lint::WallClockInLib));
+        // A `use` statement alone does not fire; only the call does.
+        let import = "use std::time::Instant;\npub fn f(t: Instant) -> Instant { t }";
+        assert!(lints_of("crates/core/src/m.rs", import)
+            .iter()
+            .all(|(l, _)| *l != Lint::WallClockInLib));
+    }
+
+    #[test]
+    fn atomic_ordering_needs_justification() {
+        let bare = "pub fn f(x: &AtomicBool) { x.store(true, Ordering::SeqCst); }";
+        assert!(lints_of("crates/obs/src/m.rs", bare)
+            .iter()
+            .any(|(l, _)| *l == Lint::AtomicOrdering));
+        let justified = "pub fn f(x: &AtomicBool) {\n    // ordering: publishes init to readers\n    x.store(true, Ordering::SeqCst);\n}";
+        assert!(lints_of("crates/obs/src/m.rs", justified)
+            .iter()
+            .all(|(l, _)| *l != Lint::AtomicOrdering));
+        // Relaxed needs no justification.
+        let relaxed = "pub fn f(x: &AtomicBool) { x.store(true, Ordering::Relaxed); }";
+        assert!(lints_of("crates/obs/src/m.rs", relaxed)
+            .iter()
+            .all(|(l, _)| *l != Lint::AtomicOrdering));
+        // `cmp::Ordering::Less` never fires.
+        let cmp = "pub fn f(a: u32, b: u32) -> bool { a.cmp(&b) == Ordering::Less }";
+        assert!(lints_of("crates/core/src/m.rs", cmp)
+            .iter()
+            .all(|(l, _)| *l != Lint::AtomicOrdering));
+    }
+
+    #[test]
+    fn fn_facts_feed_the_call_graph() {
+        let src = "/// Docs.\npub fn risky(x: Option<u8>) -> u8 { x.unwrap() }\n\n/// Docs.\n///\n/// # Panics\n/// Panics when `x` is `None`.\npub fn documented(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let scan = scan_file("crates/core/src/m.rs", src);
+        let risky = scan.fn_facts.iter().find(|f| f.name == "risky").unwrap();
+        assert!(risky.strong.is_some());
+        assert!(!risky.doc_panics);
+        let documented = scan
+            .fn_facts
+            .iter()
+            .find(|f| f.name == "documented")
+            .unwrap();
+        assert!(documented.doc_panics);
+        // Allow-justified unwraps are not strong facts.
+        let allowed = "pub fn safe(x: Option<u8>) -> u8 {\n    // hetero-check: allow(unwrap) — checked by caller\n    x.unwrap()\n}";
+        let scan = scan_file("crates/core/src/m.rs", allowed);
+        assert!(scan.fn_facts[0].strong.is_none());
+        // Calls are harvested with their shape.
+        let calls = "pub fn top(p: &Pool) { helper(); Pool::build(); p.map(); }";
+        let scan = scan_file("crates/core/src/m.rs", calls);
+        let keys = &scan.fn_facts[0].calls;
+        assert!(keys.contains(&"helper".to_string()));
+        assert!(keys.contains(&"Pool::build".to_string()));
+        assert!(keys.contains(&".map".to_string()));
     }
 
     #[test]

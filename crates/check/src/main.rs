@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! cargo run -p hetero-check -- [--json] [--deny-warnings] \
-//!     [--root DIR] [--write-baseline] [paths...]
+//!     [--root DIR] [--write-baseline] [--prune-baseline] \
+//!     [--explain LINT] [paths...]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
 
-use hetero_check::{baseline::Baseline, load_baseline, render_json, render_text, run, Config};
+use hetero_check::{
+    baseline::Baseline, explain, load_baseline, render_json, render_text, run, Config,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +27,11 @@ options:
                     check-baseline.json or Cargo.toml)
   --write-baseline  grandfather all current violations into
                     check-baseline.json and exit 0
+  --prune-baseline  rewrite check-baseline.json without entries that no
+                    longer match any current violation, and exit 0
+  --explain LINT    print the documentation page for one lint (what it
+                    fires on, why it matters, how to fix it) and exit;
+                    unknown lints exit 2 and list the catalogue
   --help            show this help
 
 paths are root-relative files or directories; default is the whole
@@ -50,6 +58,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut deny_warnings = false;
     let mut write_baseline = false;
+    let mut prune_baseline = false;
     let mut root: Option<PathBuf> = None;
     let mut paths = Vec::new();
 
@@ -59,6 +68,26 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
             "--write-baseline" => write_baseline = true,
+            "--prune-baseline" => prune_baseline = true,
+            "--explain" => {
+                let Some(lint) = args.next() else {
+                    eprintln!("hetero-check: --explain needs a lint name\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                return match explain::render(&lint) {
+                    Some(page) => {
+                        print!("{page}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprint!(
+                            "hetero-check: unknown lint `{lint}`\n{}",
+                            explain::catalog()
+                        );
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -118,6 +147,36 @@ fn main() -> ExitCode {
             "hetero-check: grandfathered {} violations into {}",
             outcome.new_deny.len(),
             path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if prune_baseline {
+        let b = match load_baseline(&config.root) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("hetero-check: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if outcome.stale.is_empty() {
+            println!(
+                "hetero-check: no stale entries; check-baseline.json untouched ({} entries)",
+                b.entries.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let pruned = b.pruned(&outcome.stale);
+        let path = config.root.join("check-baseline.json");
+        if let Err(e) = std::fs::write(&path, pruned.render()) {
+            eprintln!("hetero-check: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "hetero-check: pruned {} stale entries from {} ({} remain)",
+            outcome.stale.len(),
+            path.display(),
+            pruned.entries.len()
         );
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,894 @@
+//! A tolerant per-item parser over the [`crate::lexer`] token stream.
+//!
+//! The lexer-level lints see tokens; the dataflow lints need *structure*:
+//! which tokens form a function, which statements its body contains, and
+//! how those statements nest inside loops and branches. This module
+//! recovers exactly that much syntax — function items (with visibility,
+//! parameters, return type, and impl context) and a statement-level AST
+//! of their bodies — without attempting full Rust expression parsing.
+//! Expressions stay as token ranges; [`crate::cfg`] and
+//! [`crate::dataflow`] inspect them with conservative token patterns.
+//!
+//! The parser is tolerant by construction: anything it does not
+//! recognise is swallowed as an opaque expression statement, so a novel
+//! construct can never panic the linter — it can only make the analysis
+//! more conservative.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A half-open range `[start, end)` of token indices.
+pub type TokRange = (usize, usize);
+
+/// One parsed function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding names introduced by the parameter pattern (a plain
+    /// identifier yields one name; tuple/struct patterns yield several,
+    /// all sharing the parameter's type).
+    pub names: Vec<String>,
+    /// The raw type text, space-joined.
+    pub ty: String,
+}
+
+/// A parsed function item, from anywhere in the file (top level, impl
+/// blocks, trait default methods, nested functions).
+#[derive(Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing impl/trait self-type name, if any (`Pool` for
+    /// `impl Pool { fn map … }`).
+    pub qual: Option<String>,
+    /// `pub` without a restriction (`pub(crate)` is not public API).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Parameters, in order.
+    pub params: Vec<Param>,
+    /// Raw return-type text (empty for `()`).
+    pub ret: String,
+    /// The body, if the item has one (trait declarations do not).
+    pub body: Option<Block>,
+    /// Token range of the body including braces, for mask lookups.
+    pub body_range: TokRange,
+}
+
+/// A `{ … }` sequence of statements.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement with its source anchor.
+#[derive(Debug)]
+pub struct Stmt {
+    /// What kind of statement, with nested blocks where applicable.
+    pub kind: StmtKind,
+    /// 1-based line of the statement's first token.
+    pub line: u32,
+    /// 1-based column of the statement's first token.
+    pub col: u32,
+}
+
+/// The statement-level syntax the dataflow passes understand.
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let <pat>[: ty] [= init];`
+    Let {
+        /// Names bound by the pattern.
+        names: Vec<String>,
+        /// Token range of the type ascription, if present.
+        ty: Option<TokRange>,
+        /// Token range of the initialiser, if present.
+        init: Option<TokRange>,
+    },
+    /// `<target> <op>= <value>;` where op is `=`, `+=`, `-=`, ….
+    Assign {
+        /// Token range of the assignment target (left of the operator).
+        target: TokRange,
+        /// The operator text (`=`, `+=`, …).
+        op: String,
+        /// Token range of the right-hand side.
+        value: TokRange,
+    },
+    /// `for <pat> in <iter> { … }`
+    For {
+        /// Names bound by the loop pattern, in source order.
+        names: Vec<String>,
+        /// Token range of the iterated expression.
+        iter: TokRange,
+        /// The loop body.
+        body: Block,
+    },
+    /// `while <cond> { … }` (including `while let`).
+    While {
+        /// Token range of the condition.
+        cond: TokRange,
+        /// The loop body.
+        body: Block,
+    },
+    /// `loop { … }`
+    Loop {
+        /// The loop body.
+        body: Block,
+    },
+    /// `if <cond> { … } [else …]` (including `if let`).
+    If {
+        /// Token range of the condition.
+        cond: TokRange,
+        /// The `then` branch.
+        then: Block,
+        /// The `else` branch (an `else if` chain nests here).
+        els: Option<Block>,
+    },
+    /// `match <scrutinee> { arms… }`; each arm body is a block.
+    Match {
+        /// Token range of the scrutinee.
+        scrutinee: TokRange,
+        /// One block per arm (expression arms become single-statement
+        /// blocks).
+        arms: Vec<Block>,
+    },
+    /// A bare or `unsafe` block.
+    Nested(Block),
+    /// Any other expression statement, kept as its token range.
+    Expr(TokRange),
+}
+
+/// Everything [`parse`] recovered from one file.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Every function item found, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+/// Keywords that introduce non-function items we skip over inside item
+/// scans and bodies.
+const ITEM_KEYWORDS: &[&str] = &[
+    "struct",
+    "enum",
+    "union",
+    "type",
+    "use",
+    "static",
+    "const",
+    "extern",
+    "macro_rules",
+];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    fns: Vec<FnItem>,
+}
+
+/// Parses a token stream into its function items.
+pub fn parse(tokens: &[Token]) -> Ast {
+    let mut p = Parser {
+        toks: tokens,
+        fns: Vec::new(),
+    };
+    p.items(0, tokens.len(), None);
+    Ast { fns: p.fns }
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    /// Skips a balanced delimiter group starting at `i` (which must point
+    /// at an opening `(`/`[`/`{`); returns the index just past the close.
+    fn skip_group(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Skips a balanced generic-argument group starting at `<`. Counts
+    /// `<<`/`>>` as two and tolerates expressions by bailing out at `;`
+    /// or an unbalanced close.
+    fn skip_angles(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                ";" | "{" => return j,
+                _ => {}
+            }
+            if depth <= 0 {
+                return j + 1;
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Collects the binding names of a pattern in `[start, end)`:
+    /// identifiers that are not path segments (`Foo::`), constructor or
+    /// struct names (`Some(`, `Point {`), macros, or binding modes.
+    fn pat_names(&self, start: usize, end: usize) -> Vec<String> {
+        let mut names = Vec::new();
+        for k in start..end {
+            let t = self.text(k);
+            if !self.is_ident(k) || matches!(t, "mut" | "ref" | "box" | "_" | "self") {
+                continue;
+            }
+            if matches!(self.text(k + 1), "(" | "{" | "::" | "!") {
+                continue;
+            }
+            if k > start && self.text(k - 1) == "::" {
+                continue;
+            }
+            names.push(t.to_string());
+        }
+        names
+    }
+
+    /// Finds the next token with `target` text at delimiter depth 0,
+    /// starting from `i`, stopping before `end`.
+    fn find_at_depth0(&self, i: usize, end: usize, targets: &[&str]) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            let t = self.text(j);
+            // The target check runs before depth bookkeeping so that an
+            // opening delimiter can itself be found at depth 0.
+            if depth == 0 && targets.contains(&t) {
+                return Some(j);
+            }
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return None;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Scans items in `[i, end)` with the given impl/trait context,
+    /// parsing every `fn` into [`FnItem`].
+    fn items(&mut self, mut i: usize, end: usize, qual: Option<&str>) {
+        let mut pending_pub = false;
+        while i < end {
+            let t = self.text(i);
+            match t {
+                "#" if self.text(i + 1) == "[" => {
+                    // Attribute: skip the bracket group.
+                    i = self.skip_group(i + 1, end);
+                }
+                "pub" => {
+                    // `pub(crate)`/`pub(super)` are restricted, not public.
+                    pending_pub = self.text(i + 1) != "(";
+                    i += 1;
+                    if self.text(i) == "(" {
+                        i = self.skip_group(i, end);
+                    }
+                }
+                "fn" if self.is_ident(i + 1) => {
+                    i = self.function(i, end, qual, pending_pub);
+                    pending_pub = false;
+                }
+                "impl" | "trait" => {
+                    i = self.impl_or_trait(i, end, t == "trait");
+                    pending_pub = false;
+                }
+                "mod" => {
+                    // `mod name { … }` — recurse; `mod name;` — skip.
+                    let mut j = i + 1;
+                    while j < end && self.text(j) != "{" && self.text(j) != ";" {
+                        j += 1;
+                    }
+                    if self.text(j) == "{" {
+                        let close = self.skip_group(j, end);
+                        self.items(j + 1, close.saturating_sub(1), qual);
+                        i = close;
+                    } else {
+                        i = j + 1;
+                    }
+                    pending_pub = false;
+                }
+                kw if ITEM_KEYWORDS.contains(&kw) && self.is_ident(i) => {
+                    // Skip the item: up to `;` or a balanced `{ … }`.
+                    let mut j = i + 1;
+                    let mut depth = 0i32;
+                    while j < end {
+                        match self.text(j) {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" if depth == 0 => {
+                                j = self.skip_group(j, end);
+                                break;
+                            }
+                            ";" if depth == 0 => {
+                                j += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    pending_pub = false;
+                }
+                _ => {
+                    i += 1;
+                    pending_pub = false;
+                }
+            }
+        }
+    }
+
+    /// Parses `impl … { items }` / `trait Name { items }`, recursing into
+    /// the body with the recovered self-type name as qualifier.
+    fn impl_or_trait(&mut self, i: usize, end: usize, is_trait: bool) -> usize {
+        // Find the body `{` at depth 0, tracking the self-type name: the
+        // last depth-0 identifier (after `for`, if one appears).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut name: Option<String> = None;
+        while j < end {
+            match self.text(j) {
+                "<" => angle += 1,
+                "<<" => angle += 2,
+                ">" => angle = (angle - 1).max(0),
+                ">>" => angle = (angle - 2).max(0),
+                "{" if angle <= 0 => break,
+                ";" => return j + 1, // `impl Trait for Type;`-like degenerate
+                "for" if angle <= 0 => name = None,
+                "where" if angle <= 0 => {
+                    // Type name is settled; scan on for the `{`.
+                }
+                // Keep the first segment after `for`, else the first
+                // overall — `Vec` of `Vec<Foo>`, `Bar` of `a::Bar`.
+                // Later segments of a path overwrite.
+                txt if angle <= 0
+                    && self.is_ident(j)
+                    && !matches!(txt, "dyn" | "mut" | "const" | "unsafe" | "for" | "where")
+                    && (name.is_none() || self.text(j.wrapping_sub(1)) == "::") =>
+                {
+                    name = Some(txt.to_string());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if self.text(j) != "{" {
+            return j;
+        }
+        let close = self.skip_group(j, end);
+        let qual = name.unwrap_or_default();
+        let _ = is_trait;
+        self.items(j + 1, close.saturating_sub(1), Some(&qual));
+        close
+    }
+
+    /// Parses one `fn` item starting at the `fn` keyword; returns the
+    /// index just past the item.
+    fn function(&mut self, i: usize, end: usize, qual: Option<&str>, is_pub: bool) -> usize {
+        let fn_tok = &self.toks[i];
+        let name = self.text(i + 1).to_string();
+        let mut j = i + 2;
+        // Generic parameters.
+        if self.text(j) == "<" {
+            j = self.skip_angles(j, end);
+        }
+        // Parameters.
+        let mut params = Vec::new();
+        if self.text(j) == "(" {
+            let close = self.skip_group(j, end);
+            params = self.params(j + 1, close.saturating_sub(1));
+            j = close;
+        }
+        // Return type: `-> …` until `{`, `;`, or `where`.
+        let mut ret = String::new();
+        if self.text(j) == "->" {
+            j += 1;
+            let mut depth = 0i32;
+            while j < end {
+                match self.text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" | ";" if depth == 0 => break,
+                    "where" if depth == 0 => break,
+                    _ => {}
+                }
+                if !ret.is_empty() {
+                    ret.push(' ');
+                }
+                ret.push_str(self.text(j));
+                j += 1;
+            }
+        }
+        // Where clause: skip to the body `{` or `;`.
+        while j < end && self.text(j) != "{" && self.text(j) != ";" {
+            j += 1;
+        }
+        let (body, body_range, next) = if self.text(j) == "{" {
+            let close = self.skip_group(j, end);
+            let block = self.block(j + 1, close.saturating_sub(1));
+            (Some(block), (j, close), close)
+        } else {
+            (None, (j, j), j + 1)
+        };
+        self.fns.push(FnItem {
+            name,
+            qual: qual.map(str::to_string),
+            is_pub,
+            line: fn_tok.line,
+            col: fn_tok.col,
+            params,
+            ret,
+            body,
+            body_range,
+        });
+        next
+    }
+
+    /// Finds the next comma separating two parameters: at depth 0 of
+    /// `()`/`[]`/`{}` *and* outside `<...>` generics, so the comma in
+    /// `&HashMap<String, f64>` does not split the type in half. `>>`
+    /// lexes as one shift token in nested generics and closes two.
+    fn param_comma(&self, start: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut angles = 0i32;
+        let mut i = start;
+        while i < end {
+            match self.text(i) {
+                "," if depth == 0 && angles <= 0 => return i,
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "<" if depth == 0 => angles += 1,
+                ">" if depth == 0 => angles -= 1,
+                ">>" if depth == 0 => angles -= 2,
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parses a parameter list between (exclusive) paren indices.
+    fn params(&self, start: usize, end: usize) -> Vec<Param> {
+        let mut out = Vec::new();
+        let mut i = start;
+        while i < end {
+            // One parameter: up to a comma outside brackets and generics.
+            let comma = self.param_comma(i, end);
+            let colon = self.find_at_depth0(i, comma, &[":"]);
+            let pat_end = colon.unwrap_or(comma);
+            let names = self.pat_names(i, pat_end);
+            let receiver = (i..pat_end).any(|k| self.text(k) == "self");
+            if let Some(c) = colon {
+                if !receiver {
+                    let mut ty = String::new();
+                    for k in c + 1..comma {
+                        if !ty.is_empty() {
+                            ty.push(' ');
+                        }
+                        ty.push_str(self.text(k));
+                    }
+                    out.push(Param { names, ty });
+                }
+            }
+            i = comma + 1;
+        }
+        out
+    }
+
+    /// Parses the statements between (exclusive) brace indices.
+    fn block(&mut self, start: usize, end: usize) -> Block {
+        let mut stmts = Vec::new();
+        let mut i = start;
+        while i < end {
+            let (line, col) = self.toks.get(i).map(|t| (t.line, t.col)).unwrap_or((0, 0));
+            let anchor = |kind: StmtKind| Stmt { kind, line, col };
+            match self.text(i) {
+                ";" => {
+                    i += 1;
+                }
+                "#" if self.text(i + 1) == "[" => {
+                    i = self.skip_group(i + 1, end);
+                }
+                "let" => {
+                    let (stmt, next) = self.let_stmt(i, end);
+                    stmts.push(anchor(stmt));
+                    i = next;
+                }
+                "for" => {
+                    let in_kw = self.find_at_depth0(i + 1, end, &["in"]).unwrap_or(i + 1);
+                    let names = self.pat_names(i + 1, in_kw);
+                    let open = self.find_at_depth0(in_kw + 1, end, &["{"]).unwrap_or(end);
+                    let close = self.skip_group(open, end);
+                    let body = self.block(open + 1, close.saturating_sub(1));
+                    stmts.push(anchor(StmtKind::For {
+                        names,
+                        iter: (in_kw + 1, open),
+                        body,
+                    }));
+                    i = close;
+                }
+                "while" => {
+                    let open = self.find_at_depth0(i + 1, end, &["{"]).unwrap_or(end);
+                    let close = self.skip_group(open, end);
+                    let body = self.block(open + 1, close.saturating_sub(1));
+                    stmts.push(anchor(StmtKind::While {
+                        cond: (i + 1, open),
+                        body,
+                    }));
+                    i = close;
+                }
+                "loop" => {
+                    let open = self.find_at_depth0(i + 1, end, &["{"]).unwrap_or(end);
+                    let close = self.skip_group(open, end);
+                    let body = self.block(open + 1, close.saturating_sub(1));
+                    stmts.push(anchor(StmtKind::Loop { body }));
+                    i = close;
+                }
+                "if" => {
+                    let (stmt, next) = self.if_stmt(i, end);
+                    stmts.push(anchor(stmt));
+                    i = next;
+                }
+                "match" => {
+                    let open = self.find_at_depth0(i + 1, end, &["{"]).unwrap_or(end);
+                    let close = self.skip_group(open, end);
+                    let arms = self.match_arms(open + 1, close.saturating_sub(1));
+                    stmts.push(anchor(StmtKind::Match {
+                        scrutinee: (i + 1, open),
+                        arms,
+                    }));
+                    i = close;
+                }
+                "unsafe" if self.text(i + 1) == "{" => {
+                    let close = self.skip_group(i + 1, end);
+                    let inner = self.block(i + 2, close.saturating_sub(1));
+                    stmts.push(anchor(StmtKind::Nested(inner)));
+                    i = close;
+                }
+                "{" => {
+                    let close = self.skip_group(i, end);
+                    let inner = self.block(i + 1, close.saturating_sub(1));
+                    stmts.push(anchor(StmtKind::Nested(inner)));
+                    i = close;
+                }
+                "fn" if self.is_ident(i + 1) => {
+                    // Nested function item.
+                    i = self.function(i, end, None, false);
+                }
+                "pub" | "impl" | "mod" | "trait" | "struct" | "enum" | "use" | "const"
+                | "static" | "type"
+                    if self.is_ident(i) =>
+                {
+                    // Nested item: delegate to the item scanner for just
+                    // this item by finding its extent.
+                    let from = i;
+                    let mut j = i;
+                    let mut depth = 0i32;
+                    while j < end {
+                        match self.text(j) {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" if depth == 0 => {
+                                j = self.skip_group(j, end);
+                                break;
+                            }
+                            ";" if depth == 0 => {
+                                j += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    self.items(from, j, None);
+                    i = j;
+                }
+                _ => {
+                    let (stmt, next) = self.expr_stmt(i, end);
+                    stmts.push(anchor(stmt));
+                    i = next;
+                }
+            }
+        }
+        Block { stmts }
+    }
+
+    /// Parses `let <pat>[: ty] [= init] [else { … }];`.
+    fn let_stmt(&mut self, i: usize, end: usize) -> (StmtKind, usize) {
+        let semi = self.stmt_end(i, end);
+        // Pattern: up to `:` or `=` at depth 0.
+        let stop = self
+            .find_at_depth0(i + 1, semi, &[":", "="])
+            .unwrap_or(semi);
+        let names = self.pat_names(i + 1, stop);
+        let mut ty = None;
+        let mut eq = None;
+        if self.text(stop) == ":" {
+            let eq_at = self.find_at_depth0(stop + 1, semi, &["="]);
+            ty = Some((stop + 1, eq_at.unwrap_or(semi)));
+            eq = eq_at;
+        } else if self.text(stop) == "=" {
+            eq = Some(stop);
+        }
+        let init = eq.map(|e| (e + 1, semi));
+        (StmtKind::Let { names, ty, init }, semi + 1)
+    }
+
+    /// Parses `if <cond> { … } [else if … | else { … }]`.
+    fn if_stmt(&mut self, i: usize, end: usize) -> (StmtKind, usize) {
+        let open = self.find_at_depth0(i + 1, end, &["{"]).unwrap_or(end);
+        let close = self.skip_group(open, end);
+        let then = self.block(open + 1, close.saturating_sub(1));
+        let cond = (i + 1, open);
+        if self.text(close) == "else" {
+            if self.text(close + 1) == "if" {
+                let (nested, next) = self.if_stmt(close + 1, end);
+                let (line, col) = self
+                    .toks
+                    .get(close + 1)
+                    .map(|t| (t.line, t.col))
+                    .unwrap_or((0, 0));
+                let els = Block {
+                    stmts: vec![Stmt {
+                        kind: nested,
+                        line,
+                        col,
+                    }],
+                };
+                return (
+                    StmtKind::If {
+                        cond,
+                        then,
+                        els: Some(els),
+                    },
+                    next,
+                );
+            }
+            if self.text(close + 1) == "{" {
+                let eclose = self.skip_group(close + 1, end);
+                let els = self.block(close + 2, eclose.saturating_sub(1));
+                return (
+                    StmtKind::If {
+                        cond,
+                        then,
+                        els: Some(els),
+                    },
+                    eclose,
+                );
+            }
+        }
+        (
+            StmtKind::If {
+                cond,
+                then,
+                els: None,
+            },
+            close,
+        )
+    }
+
+    /// Parses match arms between (exclusive) brace indices into blocks.
+    fn match_arms(&mut self, start: usize, end: usize) -> Vec<Block> {
+        let mut arms = Vec::new();
+        let mut i = start;
+        while i < end {
+            let Some(arrow) = self.find_at_depth0(i, end, &["=>"]) else {
+                break;
+            };
+            if self.text(arrow + 1) == "{" {
+                let close = self.skip_group(arrow + 1, end);
+                arms.push(self.block(arrow + 2, close.saturating_sub(1)));
+                i = close;
+                if self.text(i) == "," {
+                    i += 1;
+                }
+            } else {
+                let stop = self.find_at_depth0(arrow + 1, end, &[","]).unwrap_or(end);
+                let (line, col) = self
+                    .toks
+                    .get(arrow + 1)
+                    .map(|t| (t.line, t.col))
+                    .unwrap_or((0, 0));
+                arms.push(Block {
+                    stmts: vec![Stmt {
+                        kind: StmtKind::Expr((arrow + 1, stop)),
+                        line,
+                        col,
+                    }],
+                });
+                i = stop + 1;
+            }
+        }
+        arms
+    }
+
+    /// Finds the end of an expression statement: the `;` at depth 0, or
+    /// `end` for a trailing expression.
+    fn stmt_end(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses an expression statement, recognising depth-0 assignments.
+    fn expr_stmt(&mut self, i: usize, end: usize) -> (StmtKind, usize) {
+        let semi = self.stmt_end(i, end);
+        const ASSIGN_OPS: &[&str] = &[
+            "=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>=",
+        ];
+        if let Some(op_at) = self.find_at_depth0(i, semi, ASSIGN_OPS) {
+            // `a == b` lexes as one token, so a bare `=` here really is
+            // an assignment. `|x| y = z` closures sit inside parens at
+            // depth > 0 in practice.
+            let op = self.text(op_at).to_string();
+            let kind = StmtKind::Assign {
+                target: (i, op_at),
+                op,
+                value: (op_at + 1, semi),
+            };
+            return (kind, semi + 1);
+        }
+        (StmtKind::Expr((i, semi)), semi + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn finds_functions_with_visibility_and_qual() {
+        let ast = parse_src(
+            "pub fn a() {}\nfn b() {}\npub(crate) fn c() {}\nimpl Pool { pub fn map(&self) {} }",
+        );
+        let names: Vec<(&str, bool, Option<&str>)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub, f.qual.as_deref()))
+            .collect();
+        assert!(names.contains(&("a", true, None)));
+        assert!(names.contains(&("b", false, None)));
+        assert!(names.contains(&("c", false, None)));
+        assert!(names.contains(&("map", true, Some("Pool"))));
+    }
+
+    #[test]
+    fn impl_for_takes_the_self_type() {
+        let ast = parse_src("impl<T> Display for Wrapper<T> { fn fmt(&self) {} }");
+        assert_eq!(ast.fns[0].qual.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn params_carry_names_and_types() {
+        let ast = parse_src("fn f(x: f64, ys: &[f64], (a, b): (u32, u32)) {}");
+        let f = &ast.fns[0];
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].names, vec!["x"]);
+        assert_eq!(f.params[0].ty, "f64");
+        assert_eq!(f.params[1].ty, "& [ f64 ]");
+        assert_eq!(f.params[2].names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn generic_param_types_are_not_split_at_inner_commas() {
+        let ast =
+            parse_src("fn f(m: &HashMap<String, f64>, n: BTreeMap<u64, Vec<Vec<f64>>>, k: u32) {}");
+        let f = &ast.fns[0];
+        assert_eq!(f.params.len(), 3, "{:?}", f.params);
+        assert_eq!(f.params[0].names, vec!["m"]);
+        assert!(f.params[0].ty.contains("HashMap") && f.params[0].ty.contains("f64"));
+        // `>>` lexes as one shift token and must close two angle levels.
+        assert_eq!(f.params[1].names, vec!["n"]);
+        assert!(f.params[1].ty.contains("Vec") && f.params[1].ty.contains("f64"));
+        assert_eq!(f.params[2].names, vec!["k"]);
+        assert_eq!(f.params[2].ty, "u32");
+    }
+
+    #[test]
+    fn body_statements_nest() {
+        let ast = parse_src(
+            "fn f(xs: &[f64]) -> f64 {\n let mut s = 0.0;\n for x in xs { s += x; }\n s\n}",
+        );
+        let body = ast.fns[0].body.as_ref().expect("has body");
+        assert_eq!(body.stmts.len(), 3);
+        assert!(matches!(body.stmts[0].kind, StmtKind::Let { .. }));
+        match &body.stmts[1].kind {
+            StmtKind::For { names, body, .. } => {
+                assert_eq!(names, &vec!["x".to_string()]);
+                assert!(
+                    matches!(body.stmts[0].kind, StmtKind::Assign { ref op, .. } if op == "+=")
+                );
+            }
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_chains_and_match_arms() {
+        let ast = parse_src(
+            "fn f(x: u32) -> u32 {\n if x > 1 { 1 } else if x > 0 { 2 } else { 3 };\n match x { 0 => 0, _ => { 9 } }\n}",
+        );
+        let body = ast.fns[0].body.as_ref().expect("has body");
+        assert!(matches!(
+            body.stmts[0].kind,
+            StmtKind::If { els: Some(_), .. }
+        ));
+        match &body.stmts[1].kind {
+            StmtKind::Match { arms, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("expected Match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerates_weird_input_without_panicking() {
+        for src in [
+            "fn",
+            "fn f(",
+            "impl {",
+            "fn f() { let = ; }",
+            "fn f() { match x { } }",
+            "fn f() { if }",
+            "}}}{{{",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+
+    #[test]
+    fn trait_methods_without_bodies_are_recorded() {
+        let ast = parse_src("trait T { fn required(&self) -> f64; fn provided(&self) {} }");
+        assert_eq!(ast.fns.len(), 2);
+        assert!(ast
+            .fns
+            .iter()
+            .any(|f| f.name == "required" && f.body.is_none()));
+        assert!(ast
+            .fns
+            .iter()
+            .any(|f| f.name == "provided" && f.body.is_some()));
+    }
+}

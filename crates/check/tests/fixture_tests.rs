@@ -159,9 +159,64 @@ fn violations_fixture_fires_every_deny_lint() {
         .expect("indexing reported");
     assert_eq!(level, "warn");
 
-    assert_eq!(summary_num(&r, "violations"), 17);
+    // The dataflow generation: each deep lint fires at its planted site.
+    assert!(has(&d, "float-accum", "crates/demo/src/accum.rs", 7));
+    assert!(has(&d, "nondet-iteration", "crates/demo/src/nondet.rs", 8));
+    assert!(has(&d, "float-accum", "crates/demo/src/nondet.rs", 9));
+    // The chained `hash.values().sum()` form fires both lints on one line.
+    assert!(has(&d, "nondet-iteration", "crates/demo/src/nondet.rs", 16));
+    assert!(has(&d, "float-accum", "crates/demo/src/nondet.rs", 16));
+    assert!(has(&d, "wall-clock-in-lib", "crates/demo/src/clock.rs", 5));
+    assert!(has(&d, "atomic-ordering", "crates/demo/src/atomic.rs", 10));
+    // Interprocedural: `risky` panics through `helper`'s unwrap; only the
+    // undocumented public fn fires, not `documented` or `waived`.
+    assert!(has(&d, "unwrap", "crates/core/src/panicky.rs", 4));
+    assert!(has(
+        &d,
+        "panic-propagation",
+        "crates/core/src/panicky.rs",
+        8
+    ));
+    let panics = d
+        .iter()
+        .filter(|(l, _, _, _)| l == "panic-propagation")
+        .count();
+    assert_eq!(panics, 1, "{d:?}");
+
+    assert_eq!(summary_num(&r, "violations"), 26);
     assert_eq!(summary_num(&r, "warnings"), 1);
     assert_eq!(summary_num(&r, "exit_code"), 1);
+}
+
+#[test]
+fn waived_panic_propagation_is_suppressed_with_reason() {
+    let r = run_check("violations", &[]);
+    let suppressed = rows(&r, "suppressed");
+    assert!(
+        has(
+            &suppressed,
+            "panic-propagation",
+            "crates/core/src/panicky.rs",
+            23
+        ),
+        "{suppressed:?}"
+    );
+}
+
+#[test]
+fn call_graph_summary_counts_may_panic_public_fns() {
+    let r = run_check("violations", &[]);
+    let core = r
+        .root
+        .get("call_graph")
+        .and_then(|g| g.get("core"))
+        .expect("call_graph has a core entry");
+    let num = |key: &str| core.get(key).and_then(Value::as_num).unwrap_or(-1.0) as i64;
+    // risky + waived count: an allow waives the diagnostic, not the fact.
+    // documented does not: a `# Panics` section settles the contract.
+    assert_eq!(num("public_fns"), 4);
+    assert_eq!(num("may_panic_strong"), 2);
+    assert_eq!(num("may_panic_indexing"), 0);
 }
 
 #[test]
@@ -182,18 +237,55 @@ fn clean_fixture_passes_with_zero_findings() {
     assert_eq!(summary_num(&r, "violations"), 0);
     assert_eq!(summary_num(&r, "warnings"), 0);
     assert!(rows(&r, "diagnostics").is_empty());
-    // The documented sentinel was waived, with its reason recorded.
+    // Every waiver is on record with its reason; look the float-eq one up
+    // by position (the clean tree now carries several suppressions).
     let suppressed = rows(&r, "suppressed");
     assert!(has(&suppressed, "float-eq", "crates/demo/src/lib.rs", 20));
     let reason = r
         .root
         .get("suppressed")
         .and_then(Value::as_arr)
-        .and_then(|a| a.first())
+        .unwrap_or(&[])
+        .iter()
+        .find(|s| {
+            s.get("lint").and_then(Value::as_str) == Some("float-eq")
+                && s.get("file").and_then(Value::as_str) == Some("crates/demo/src/lib.rs")
+        })
         .and_then(|s| s.get("reason"))
         .and_then(Value::as_str)
         .expect("suppression carries its reason");
     assert_eq!(reason, "zero is an exact sentinel here");
+    // The dataflow-lint waivers from hygiene.rs ride along.
+    assert!(has(
+        &suppressed,
+        "float-accum",
+        "crates/demo/src/hygiene.rs",
+        44
+    ));
+    assert!(has(
+        &suppressed,
+        "nondet-iteration",
+        "crates/demo/src/hygiene.rs",
+        53
+    ));
+    assert!(has(
+        &suppressed,
+        "wall-clock-in-lib",
+        "crates/demo/src/hygiene.rs",
+        63
+    ));
+}
+
+#[test]
+fn obs_crate_is_exempt_from_wall_clock_in_lib() {
+    // clean/crates/obs/src/timing.rs calls Instant::now(): the lint is
+    // scoped out of the observability crate by design.
+    let r = run_check("clean", &[]);
+    let d = rows(&r, "diagnostics");
+    assert!(
+        d.iter().all(|(l, _, _, _)| l != "wall-clock-in-lib"),
+        "{d:?}"
+    );
 }
 
 #[test]
@@ -239,6 +331,77 @@ fn baselined_violations_pass_and_stale_entries_are_reported() {
         has(&stale, "expect", "crates/demo/src/gone.rs", 3),
         "{stale:?}"
     );
+}
+
+#[test]
+fn prune_baseline_rewrites_the_file_without_stale_entries() {
+    // `--prune-baseline` rewrites check-baseline.json in place, so run it
+    // against a throwaway copy of the baselined fixture.
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("prune-baseline");
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(scratch.join("crates/demo/src")).expect("mkdir scratch tree");
+    for rel in ["check-baseline.json", "crates/demo/src/lib.rs"] {
+        std::fs::copy(fixture("baselined").join(rel), scratch.join(rel)).expect("copy fixture");
+    }
+
+    let run = |extra: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_hetero-check"))
+            .arg("--json")
+            .arg("--root")
+            .arg(&scratch)
+            .args(extra)
+            .output()
+            .expect("hetero-check binary runs")
+    };
+
+    let pruned = run(&["--prune-baseline"]);
+    assert_eq!(pruned.status.code(), Some(0));
+    let stdout = String::from_utf8(pruned.stdout).expect("stdout is UTF-8");
+    assert!(stdout.contains("pruned 1 stale"), "{stdout}");
+
+    // The surviving entry still baselines the live unwrap; the stale
+    // `gone.rs` entry is out of the file for good.
+    let text = std::fs::read_to_string(scratch.join("check-baseline.json")).expect("read pruned");
+    assert!(text.contains("crates/demo/src/lib.rs"), "{text}");
+    assert!(!text.contains("gone.rs"), "{text}");
+    let again = run(&[]);
+    assert_eq!(again.status.code(), Some(0));
+    let root =
+        parse(&String::from_utf8(again.stdout).expect("stdout is UTF-8")).unwrap_or(Value::Null);
+    let num = |key: &str| {
+        root.get("summary")
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_num)
+            .unwrap_or(-1.0) as i64
+    };
+    assert_eq!(num("baselined"), 1);
+    assert_eq!(num("stale_baseline"), 0);
+
+    // A second prune is a no-op that leaves the file untouched.
+    let noop = run(&["--prune-baseline"]);
+    assert_eq!(noop.status.code(), Some(0));
+    let stdout = String::from_utf8(noop.stdout).expect("stdout is UTF-8");
+    assert!(stdout.contains("no stale entries"), "{stdout}");
+}
+
+// --- lint documentation -------------------------------------------------
+
+#[test]
+fn explain_prints_a_doc_page_for_every_catalogued_lint() {
+    for lint in ["float-accum", "panic-propagation", "nondet-iteration"] {
+        let r = run_check("clean", &["--explain", lint]);
+        assert_eq!(r.code, 0, "stderr: {}", r.stderr);
+        assert!(r.stdout.contains(lint), "{}", r.stdout);
+        assert!(r.stdout.contains("Why"), "{}", r.stdout);
+    }
+}
+
+#[test]
+fn explain_unknown_lint_is_a_usage_error_listing_known_lints() {
+    let r = run_check("clean", &["--explain", "no-such-lint"]);
+    assert_eq!(r.code, 2);
+    assert!(r.stderr.contains("unknown lint"), "{}", r.stderr);
+    assert!(r.stderr.contains("float-accum"), "{}", r.stderr);
 }
 
 // --- IO and usage errors ------------------------------------------------

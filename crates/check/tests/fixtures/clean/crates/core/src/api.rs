@@ -1,0 +1,24 @@
+//! Call-graph counterparts: contained panics never reach a public API
+//! undocumented.
+
+fn checked(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}
+
+/// No panic path anywhere: the call graph stays quiet.
+pub fn safe_total(v: &[u64]) -> u64 {
+    checked(v).unwrap_or(0)
+}
+
+fn contained(v: &[u64]) -> u64 {
+    // hetero-check: allow(unwrap) — fixture: every caller checks emptiness first
+    v.first().copied().unwrap()
+}
+
+/// The waived unwrap above is not a may-panic fact: silent.
+pub fn guarded(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    contained(v)
+}

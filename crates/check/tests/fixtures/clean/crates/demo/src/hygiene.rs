@@ -1,0 +1,74 @@
+//! Disciplined counterparts and justified waivers for the dataflow
+//! lints: nothing in this file may fire.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Event counter for the ordering demo below.
+pub static TICKS: AtomicUsize = AtomicUsize::new(0);
+
+/// Integer accumulation is order-free: never fires float-accum.
+pub fn count_nonzero(xs: &[u64]) -> usize {
+    let mut n = 0usize;
+    for x in xs {
+        if *x != 0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Ordered iteration is deterministic: BTreeMap never fires.
+pub fn ordered_total(weights: &BTreeMap<String, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (_k, v) in weights.iter() {
+        acc += v;
+    }
+    acc
+}
+
+/// Order-insensitive hash iteration stays silent.
+pub fn hash_count(m: &HashMap<u64, u64>) -> usize {
+    let mut n = 0usize;
+    for (_k, _v) in m.iter() {
+        n += 1;
+    }
+    n
+}
+
+/// A waived float accumulation, with its reason on record.
+pub fn residual(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for x in xs {
+        // hetero-check: allow(float-accum) — fixture: compensated upstream
+        acc += x;
+    }
+    acc
+}
+
+/// A waived hash iteration: the keys are sorted right below.
+pub fn hash_keys(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut keys = Vec::new();
+    // hetero-check: allow(nondet-iteration) — fixture: sorted immediately below
+    for (k, _v) in m.iter() {
+        keys.push(*k);
+    }
+    keys.sort_unstable();
+    keys
+}
+
+/// A waived wall-clock read.
+pub fn stamp_micros() -> u128 {
+    // hetero-check: allow(wall-clock-in-lib) — fixture: coarse log timestamp only
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_micros(),
+        Err(_) => 0,
+    }
+}
+
+/// `Relaxed` needs no comment; the release store documents its edge.
+pub fn tick() {
+    let _ = TICKS.load(Ordering::Relaxed);
+    // ordering: fixture — release publishes the counter to acquire readers
+    TICKS.store(1, Ordering::Release);
+}

@@ -1,0 +1,7 @@
+//! Wall-clock reads live in obs by design: exempt from
+//! wall-clock-in-lib.
+
+/// The current instant, for spans.
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

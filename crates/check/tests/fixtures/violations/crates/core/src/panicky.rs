@@ -1,0 +1,25 @@
+//! May-panic public API without a `# Panics` doc section.
+
+fn helper(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}
+
+/// Fires: may panic through `helper`, and nothing documents that.
+pub fn risky(v: &[u64]) -> u64 {
+    helper(v)
+}
+
+/// Silent: the `# Panics` section documents the contract.
+///
+/// # Panics
+///
+/// Panics when `v` is empty.
+pub fn documented(v: &[u64]) -> u64 {
+    helper(v)
+}
+
+/// Waived: the allow converts the finding into a suppression.
+// hetero-check: allow(panic-propagation) — fixture: panic contract owned by the harness
+pub fn waived(v: &[u64]) -> u64 {
+    helper(v)
+}

@@ -1,0 +1,10 @@
+//! Naked float accumulation in a loop.
+
+/// Order-sensitive mean: fires float-accum.
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total / xs.len() as f64
+}

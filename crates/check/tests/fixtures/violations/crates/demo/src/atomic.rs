@@ -1,0 +1,11 @@
+//! Strong atomic ordering without a happens-before justification.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared counter.
+pub static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// Fires: `SeqCst` with no `// ordering:` comment.
+pub fn bump() -> usize {
+    COUNTER.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,6 @@
+//! Wall-clock read in library code.
+
+/// Fires: libraries must take time as data.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,18 @@
+//! Nondeterministic hash iteration feeding order-sensitive work.
+
+use std::collections::HashMap;
+
+/// Fires: float accumulation over hash iteration order.
+pub fn total(weights: &HashMap<String, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_k, v) in weights.iter() {
+        acc += v;
+    }
+    acc
+}
+
+/// Fires: hash values chained straight into a float reduction.
+pub fn chained(weights: &HashMap<String, f64>) -> f64 {
+    let total: f64 = weights.values().sum();
+    total
+}

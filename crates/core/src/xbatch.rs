@@ -208,6 +208,7 @@ fn lockstep_x(params: &Params, batch: &ProfileBatch, n: usize, out: &mut [f64]) 
                     // Inlined KahanSum::add — the branch compiles to a
                     // select, keeping the loop branch-free.
                     let t = sum[l] + term;
+                    // hetero-check: allow(float-accum) — this IS the Kahan compensation update (inlined KahanSum::add)
                     comp[l] += if sum[l].abs() >= term.abs() {
                         (sum[l] - t) + term
                     } else {
@@ -287,6 +288,7 @@ fn lockstep_hecr(
                 for l in 0..LANES {
                     let term = (-(a - td) / (b * rhos[l] + a)).ln_1p();
                     let t = sum[l] + term;
+                    // hetero-check: allow(float-accum) — inlined KahanSum::add compensation, as in the lanes kernel above
                     comp[l] += if sum[l].abs() >= term.abs() {
                         (sum[l] - t) + term
                     } else {

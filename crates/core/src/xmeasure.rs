@@ -56,6 +56,7 @@ pub fn x_measure_naive(params: &Params, rhos: &[f64]) -> f64 {
     let mut sum = 0.0f64;
     for &rho in rhos {
         let denom = b * rho + a;
+        // hetero-check: allow(float-accum) — deliberately uncompensated: this is the naive baseline the accuracy ablation measures against
         sum += product / denom;
         product *= (b * rho + td) / denom;
     }

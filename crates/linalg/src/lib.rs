@@ -114,6 +114,7 @@ impl Matrix {
     /// Panics when `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
+        // hetero-check: allow(float-accum) — row-major dot product in pinned index order; LU goldens fix these bits
         (0..self.rows)
             .map(|i| {
                 let row = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -243,6 +244,7 @@ impl Lu {
         let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
         for i in 1..n {
             for j in 0..i {
+                // hetero-check: allow(float-accum) — forward substitution updates in the fixed j order the factorization defines
                 y[i] -= self.lu[(i, j)] * y[j];
             }
         }
@@ -251,6 +253,7 @@ impl Lu {
         for i in (0..n).rev() {
             for j in (i + 1)..n {
                 let xj = x[j];
+                // hetero-check: allow(float-accum) — back substitution, same pinned elimination order as above
                 x[i] -= self.lu[(i, j)] * xj;
             }
             x[i] /= self.lu[(i, i)];

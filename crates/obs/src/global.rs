@@ -45,12 +45,14 @@ pub fn enabled() -> bool {
 /// Turns telemetry on (and pins the span epoch on first use).
 pub fn enable() {
     let _ = epoch();
+    // ordering: SeqCst publishes the epoch initialisation above to every thread that observes `enabled() == true`
     ENABLED.store(true, Ordering::SeqCst);
 }
 
 /// Turns telemetry off. Instrumentation becomes a no-op again; collected
 /// data is kept until [`reset`].
 pub fn disable() {
+    // ordering: symmetric with `enable` — SeqCst keeps the flag flip ordered after in-flight counter writes
     ENABLED.store(false, Ordering::SeqCst);
 }
 

@@ -32,6 +32,7 @@
 
 pub mod pool;
 pub mod seed;
+mod sync;
 
 pub use pool::{configured_threads, Pool};
 

@@ -23,9 +23,10 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex};
 use hetero_obs::counters::PAR_POOL_JOBS;
 
 /// The worker-thread count in effect for pooled sweeps: the
@@ -65,7 +66,7 @@ struct Shared {
 /// workers simply stay parked between sweeps.
 pub struct Pool {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
     threads: usize,
 }
 
@@ -108,7 +109,7 @@ impl Pool {
         let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("hetero-pool-{i}"))
                     .spawn(move || worker_loop(&shared))
                     // hetero-check: allow(expect) — thread spawn fails only on OS resource exhaustion at startup

@@ -1,0 +1,26 @@
+//! Synchronisation-primitive facade for the pool.
+//!
+//! Normal builds re-export `std`; building with `RUSTFLAGS="--cfg loom"`
+//! swaps in the model-checker's instrumented types (the offline
+//! `shims/loom` stand-in) so `tests/loom_pool.rs` can perturb thread
+//! interleavings without the production code changing. Both sides hand
+//! back `std`'s guard types, so [`crate::pool`] compiles identically
+//! under either cfg.
+//!
+//! `OnceLock` (backing [`crate::Pool::global`]) deliberately stays on
+//! `std`: the process-wide pool outlives any single model iteration, so
+//! instrumenting it would only pin one iteration's seed into the next.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic;
+#[cfg(loom)]
+pub(crate) use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(loom)]
+pub(crate) use loom::thread;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic;
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Arc, Condvar, Mutex};
+#[cfg(not(loom))]
+pub(crate) use std::thread;

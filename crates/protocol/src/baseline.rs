@@ -37,6 +37,7 @@ pub fn weighted_plan(
         return Err(ProtocolError::InvalidOrder);
     }
     let order: Vec<usize> = (0..profile.n()).collect();
+    // hetero-check: allow(float-accum) — normalisation over the caller's fixed weight order; golden protocol tables pin it
     let weight_sum: f64 = weights.iter().sum();
     let unit: Vec<f64> = weights.iter().map(|w| w / weight_sum).collect();
 

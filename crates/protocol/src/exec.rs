@@ -82,6 +82,7 @@ impl Execution {
     /// relative tolerance for float round-off at the lifespan boundary).
     pub fn work_completed_by(&self, t: f64) -> f64 {
         let cutoff = t * (1.0 + 1e-9);
+        // hetero-check: allow(float-accum) — diagnostic total over the fixed worker order; pinned CLI goldens cover these bits
         self.arrivals
             .iter()
             .zip(&self.plan.work)

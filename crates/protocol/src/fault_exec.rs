@@ -195,6 +195,7 @@ impl FaultedExecution {
     /// [`Execution::work_completed_by`]: crate::exec::Execution::work_completed_by
     pub fn work_completed_by(&self, t: f64) -> f64 {
         let cutoff = t * (1.0 + 1e-9);
+        // hetero-check: allow(float-accum) — same fixed worker order as Execution::work_completed_by; the two must agree bit-for-bit
         self.arrivals
             .iter()
             .zip(&self.plan.work)

@@ -71,8 +71,10 @@ pub fn general_plan(
         // ready(f_k) − ready(f_{k−1}) − τδ·w_{f_{k−1}} = 0.
         let mut row = ready_row(finishing[k]);
         for (c, p) in row.iter_mut().zip(ready_row(finishing[k - 1])) {
+            // hetero-check: allow(float-accum) — elementwise row difference in pinned column order while assembling the linear system
             *c -= p;
         }
+        // hetero-check: allow(float-accum) — single coefficient adjustment, not an accumulation chain
         row[finishing[k - 1]] -= td;
         rows.push(row);
     }
@@ -94,9 +96,11 @@ pub fn general_plan(
     // ... and the first results transmission must not collide with the
     // tail of the work sends: ready(f₁) ≥ S_n (cf. `alloc::fifo_feasible`,
     // which is this check specialized to Σ = Φ).
+    // hetero-check: allow(float-accum) — feasibility check over the solver's fixed output order; not part of the returned plan
     let total: f64 = w_by_computer.iter().sum();
     let send_end = a * total;
     let f1 = finishing[0];
+    // hetero-check: allow(float-accum) — prefix sum over the fixed startup order; mirrors alloc::fifo_feasible exactly
     let ready_f1: f64 = startup[..=pos_in_startup[f1]]
         .iter()
         .map(|&j| a * w_by_computer[j])

@@ -133,12 +133,14 @@ impl AdaptiveExecution {
     /// Work units (original + top-up) whose results were back by `t`.
     pub fn work_completed_by(&self, t: f64) -> f64 {
         let cutoff = t * (1.0 + 1e-9);
+        // hetero-check: allow(float-accum) — fixed worker order, mirrors Execution::work_completed_by bit-for-bit
         let original: f64 = self
             .arrivals
             .iter()
             .zip(&self.final_work)
             .filter_map(|(arr, w)| arr.filter(|a| a.get() <= cutoff).map(|_| w))
             .sum();
+        // hetero-check: allow(float-accum) — top-ups are recorded in deterministic replan order; goldens pin the total
         let bonus: f64 = self
             .topups
             .iter()

@@ -1,0 +1,323 @@
+//! Offline shim for `loom`: a schedule-perturbation stress harness with
+//! the model checker's API shape.
+//!
+//! The real loom exhaustively enumerates thread interleavings under a
+//! C11-subset memory model. That requires its simulated `UnsafeCell` /
+//! lazy-static machinery and is not reproducible offline, so this shim
+//! approximates the exploration instead: [`model`] runs the body many
+//! times, and every instrumented primitive (`Mutex::lock`,
+//! `Condvar::notify_*`, atomic RMW/load/store, `thread::spawn`) injects
+//! a deterministic pseudo-random *schedule point* — a yield, a short
+//! spin, or nothing — derived from the iteration seed and a global
+//! operation counter. Distinct iterations therefore nudge the OS
+//! scheduler toward distinct interleavings, which is what surfaces
+//! lost-wakeup and ordering bugs in practice on a real SMP host.
+//!
+//! Caveats, by design:
+//!
+//! * Coverage is probabilistic, not exhaustive: a pass raises
+//!   confidence, it is not a proof.
+//! * The memory model is the host's (x86-TSO or ARM), not C11's — the
+//!   shim cannot manufacture weak-memory reorderings the hardware does
+//!   not perform.
+//! * `loom::lazy_static!` and `loom::cell::UnsafeCell` are not
+//!   provided; the workspace's pool keeps its `OnceLock` global on
+//!   `std` and its tests construct fresh pools inside [`model`].
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Per-iteration schedule seed (set by [`model`], read by every
+/// schedule point).
+static SEED: AtomicU64 = AtomicU64::new(0);
+/// Monotone operation counter within one iteration; combined with
+/// [`SEED`] it makes each schedule point's decision deterministic for a
+/// given (iteration, operation) pair.
+static OPS: AtomicU64 = AtomicU64::new(0);
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One perturbation point: consult the iteration seed and operation
+/// counter, then yield, spin briefly, or fall straight through.
+fn schedule_point() {
+    let n = OPS.fetch_add(1, StdOrdering::Relaxed);
+    let r = mix(SEED.load(StdOrdering::Relaxed) ^ n);
+    match r & 0x7 {
+        0 | 1 => std::thread::yield_now(),
+        2 => {
+            // A short, data-dependent spin keeps the thread runnable
+            // (unlike a yield) while still shifting relative timing.
+            for _ in 0..(r >> 8) & 0x3f {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+/// How many perturbed iterations one [`model`] call runs. Override with
+/// `LOOM_SHIM_ITERS` (the real loom's knobs, e.g.
+/// `LOOM_MAX_PREEMPTIONS`, have no meaning here and are ignored).
+fn iterations() -> u64 {
+    std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(64)
+}
+
+/// Runs `f` under the perturbation harness: once per iteration, each
+/// iteration with a fresh deterministic schedule seed.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for it in 0..iterations() {
+        SEED.store(mix(it), StdOrdering::Relaxed);
+        OPS.store(0, StdOrdering::Relaxed);
+        f();
+    }
+}
+
+/// Instrumented `std::thread` subset: `spawn`/`Builder` inject a
+/// schedule point on both sides of the spawn so the parent/child order
+/// varies across iterations.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Mirrors `std::thread::spawn`, with schedule perturbation.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::schedule_point();
+        std::thread::spawn(move || {
+            super::schedule_point();
+            f()
+        })
+    }
+
+    /// Mirrors `std::thread::Builder` (the `name` + `spawn` subset the
+    /// workspace uses).
+    #[derive(Debug)]
+    pub struct Builder {
+        inner: std::thread::Builder,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder {
+                inner: std::thread::Builder::new(),
+            }
+        }
+
+        pub fn name(self, name: String) -> Self {
+            Builder {
+                inner: self.inner.name(name),
+            }
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            super::schedule_point();
+            self.inner.spawn(move || {
+                super::schedule_point();
+                f()
+            })
+        }
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+/// Instrumented `std::sync` subset. The wrappers delegate to `std` and
+/// hand back `std`'s own guard types, so code written against this
+/// facade keeps compiling unchanged when the `loom` cfg is off.
+pub mod sync {
+    pub use std::sync::{Arc, LockResult, MutexGuard};
+
+    /// `std::sync::Mutex` with a schedule point before every `lock`.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(t: T) -> Self {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            super::schedule_point();
+            self.0.lock()
+        }
+    }
+
+    /// `std::sync::Condvar` with schedule points around waits and
+    /// notifies — the exact sites where lost-wakeup bugs live.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            super::schedule_point();
+            self.0.wait(guard)
+        }
+
+        pub fn notify_one(&self) {
+            super::schedule_point();
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            super::schedule_point();
+            self.0.notify_all();
+        }
+    }
+
+    /// Instrumented atomics: every access is a schedule point, so the
+    /// window between an RMW and the action it guards stretches and
+    /// shrinks across iterations.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// `std::sync::atomic::AtomicUsize` with schedule points.
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            pub const fn new(v: usize) -> Self {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+            }
+
+            pub fn load(&self, ord: Ordering) -> usize {
+                super::super::schedule_point();
+                self.0.load(ord)
+            }
+
+            pub fn store(&self, v: usize, ord: Ordering) {
+                super::super::schedule_point();
+                self.0.store(v, ord);
+            }
+
+            pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+                super::super::schedule_point();
+                self.0.fetch_add(v, ord)
+            }
+
+            pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+                super::super::schedule_point();
+                self.0.fetch_sub(v, ord)
+            }
+
+            pub fn swap(&self, v: usize, ord: Ordering) -> usize {
+                super::super::schedule_point();
+                self.0.swap(v, ord)
+            }
+        }
+
+        /// `std::sync::atomic::AtomicBool` with schedule points.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub const fn new(v: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            pub fn load(&self, ord: Ordering) -> bool {
+                super::super::schedule_point();
+                self.0.load(ord)
+            }
+
+            pub fn store(&self, v: bool, ord: Ordering) {
+                super::super::schedule_point();
+                self.0.store(v, ord);
+            }
+
+            pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+                super::super::schedule_point();
+                self.0.swap(v, ord)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_runs_the_body_and_seeds_vary() {
+        let seeds = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let s = std::sync::Arc::clone(&seeds);
+        model(move || {
+            s.lock().unwrap().push(SEED.load(StdOrdering::Relaxed));
+        });
+        let seen = seeds.lock().unwrap();
+        assert!(!seen.is_empty(), "model must run the body");
+        let distinct: std::collections::BTreeSet<u64> = seen.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            seen.len(),
+            "every iteration gets a fresh seed"
+        );
+    }
+
+    #[test]
+    fn instrumented_primitives_behave_like_std() {
+        let m = sync::Mutex::new(5usize);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 6);
+
+        let a = sync::atomic::AtomicUsize::new(3);
+        assert_eq!(a.fetch_add(4, sync::atomic::Ordering::Relaxed), 3);
+        assert_eq!(a.load(sync::atomic::Ordering::Relaxed), 7);
+
+        let b = sync::atomic::AtomicBool::new(false);
+        b.store(true, sync::atomic::Ordering::Relaxed);
+        assert!(b.load(sync::atomic::Ordering::Relaxed));
+
+        let h = thread::Builder::new()
+            .name("loom-shim-test".into())
+            .spawn(|| 11usize)
+            .unwrap();
+        assert_eq!(h.join().unwrap(), 11);
+    }
+
+    #[test]
+    fn condvar_handoff_works_under_perturbation() {
+        SEED.store(mix(1), StdOrdering::Relaxed);
+        let pair = sync::Arc::new((sync::Mutex::new(false), sync::Condvar::new()));
+        let p2 = sync::Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        h.join().unwrap();
+    }
+}
