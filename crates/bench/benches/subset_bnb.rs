@@ -1,0 +1,53 @@
+//! Bench — branch-and-bound exact best-k selection vs the exhaustive
+//! Gray-code walk.
+//!
+//! The Gray walk touches every one of the `2ⁿ − 1` nonempty subsets at
+//! O(1) per step; the branch-and-bound search reaches the same winner —
+//! bit-identical, proptested in `crates/core/src/selection.rs` — by
+//! expanding only the nodes the Proposition 3 dominance rule and the
+//! summary-tree admissible bound cannot discard. The head-to-head at
+//! n ∈ {24, 28} is the PR 7 acceptance number (B&B must beat the serial
+//! walk ≥ 10× at n = 28); the scale group runs the search alone at sizes
+//! the walk cannot touch (its hard cap is n = 63).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::selection::{best_k_subset_gray, best_k_subset_with_stats};
+use hetero_core::{Params, Profile};
+use std::hint::black_box;
+
+const HEAD_TO_HEAD: [usize; 2] = [24, 28];
+const SCALE: [usize; 3] = [128, 1024, 4096];
+
+fn bench_bnb(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    let mut group = c.benchmark_group("selection/bnb_vs_gray");
+    // The n = 28 walk is ~1.4 s/iter on the bench host; hold the sample
+    // count at criterion's floor.
+    group.sample_size(10);
+    for n in HEAD_TO_HEAD {
+        let profile = Profile::uniform_spread(n);
+        let k = n / 2;
+
+        group.bench_with_input(BenchmarkId::new("gray", n), &profile, |b, p| {
+            b.iter(|| best_k_subset_gray(&params, black_box(p), k).expect("valid k"))
+        });
+        group.bench_with_input(BenchmarkId::new("bnb", n), &profile, |b, p| {
+            b.iter(|| best_k_subset_with_stats(&params, black_box(p), k).expect("valid k"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("selection/bnb_scale");
+    for n in SCALE {
+        let profile = Profile::uniform_spread(n);
+        let k = n / 2;
+        group.bench_with_input(BenchmarkId::new("bnb", n), &profile, |b, p| {
+            b.iter(|| best_k_subset_with_stats(&params, black_box(p), k).expect("valid k"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bnb);
+criterion_main!(benches);

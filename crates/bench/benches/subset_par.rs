@@ -4,14 +4,21 @@
 //! The parallel search partitions the 2ⁿ mask space into contiguous
 //! Gray-code segments, seeds each segment's running level stack in O(n),
 //! and reduces with the serial tie-break (max X, then lowest mask), so
-//! the winner is bit-identical at every thread count. The 8-thread
-//! speedup at n = 28 is the headline number recorded in
-//! `BENCH_pr5.json`; on a single-core host the pool degrades to the
-//! serial walk plus segmentation overhead, which this bench makes
-//! visible rather than hiding.
+//! the winner is bit-identical at every thread count. Two variants are
+//! timed against the serial walk:
+//!
+//! * `par-public` — the public [`best_k_subset_par`] entry point, which
+//!   since PR 7 falls back to the serial walk whenever the pool is
+//!   configured with a single worker. On a one-core host this guard must
+//!   hold the public path at ~1.0× of serial (the BENCH_pr5 regression
+//!   was 0.76–0.81×); that ratio is the bench-guard recorded in
+//!   `BENCH_pr7.json`.
+//! * `par{t}` — the raw segmented walk (`best_k_subset_par_segments`),
+//!   bypassing the fallback, which keeps the segmentation overhead
+//!   visible rather than hiding it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hetero_core::selection::{best_k_subset, best_k_subset_par};
+use hetero_core::selection::{best_k_subset_gray, best_k_subset_par, best_k_subset_par_segments};
 use hetero_core::{Params, Profile};
 use std::hint::black_box;
 
@@ -29,7 +36,13 @@ fn bench_subset(c: &mut Criterion) {
         let k = n / 2;
 
         group.bench_with_input(BenchmarkId::new("serial", n), &profile, |b, p| {
-            b.iter(|| best_k_subset(&params, black_box(p), k).expect("valid k"))
+            b.iter(|| best_k_subset_gray(&params, black_box(p), k).expect("valid k"))
+        });
+
+        // The public entry point: on a single-core host the fallback
+        // routes this straight to the serial walk (≈1.0× is the guard).
+        group.bench_with_input(BenchmarkId::new("par-public", n), &profile, |b, p| {
+            b.iter(|| best_k_subset_par(&params, black_box(p), k, 8).expect("valid k"))
         });
 
         for threads in [2usize, 8] {
@@ -38,7 +51,8 @@ fn bench_subset(c: &mut Criterion) {
                 &profile,
                 |b, p| {
                     b.iter(|| {
-                        best_k_subset_par(&params, black_box(p), k, threads).expect("valid k")
+                        best_k_subset_par_segments(&params, black_box(p), k, threads)
+                            .expect("valid k")
                     })
                 },
             );

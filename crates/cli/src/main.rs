@@ -32,6 +32,13 @@
 //!                           replanning (E18); --smoke runs a small,
 //!                           CI-sized sweep
 //!   fleet                   extension: fleet sizing vs X saturation
+//!   select [--smoke] [--exact --k K --n N]
+//!                           extension: exact best-k selection by
+//!                           branch-and-bound (E20); the sweep reports
+//!                           nodes pruned vs the 2^n enumeration plus a
+//!                           10^6-worker compression demo; --exact solves
+//!                           one (n, k) instance — any n, far past the
+//!                           n = 63 walk cap
 //!   all                     everything above with default settings
 //! ```
 //!
@@ -64,8 +71,8 @@ use std::process::ExitCode;
 use hetero_core::Params;
 use hetero_experiments::{
     examples42, fault_sweep, fifo_lifo, fig34, fleet, gantt, granularity, majorization_ext,
-    moments_ext, obs_export, protocol_check, robustness, scaling, sensitivity, table3, table4,
-    threshold, variance,
+    moments_ext, obs_export, protocol_check, robustness, scaling, selection_sweep, sensitivity,
+    table3, table4, threshold, variance,
 };
 
 /// Parsed command-line options.
@@ -78,6 +85,9 @@ struct Opts {
     threads: usize,
     bench_scaling: bool,
     smoke: bool,
+    exact: bool,
+    k: Option<usize>,
+    n: Option<usize>,
     obs: bool,
     obs_json: Option<String>,
     obs_trace: Option<String>,
@@ -101,6 +111,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         threads: hetero_par::configured_threads(),
         bench_scaling: false,
         smoke: false,
+        exact: false,
+        k: None,
+        n: None,
         obs: false,
         obs_json: None,
         obs_trace: None,
@@ -112,6 +125,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--hard" => opts.hard = true,
             "--bench-scaling" => opts.bench_scaling = true,
             "--smoke" => opts.smoke = true,
+            "--exact" => opts.exact = true,
+            "--k" => {
+                let v = it.next().ok_or("--k needs a value")?;
+                opts.k = Some(v.parse().map_err(|_| format!("bad --k {v}"))?);
+            }
+            "--n" => {
+                let v = it.next().ok_or("--n needs a value")?;
+                opts.n = Some(v.parse().map_err(|_| format!("bad --n {v}"))?);
+            }
             "--obs" => opts.obs = true,
             "--obs-json" => {
                 let v = it.next().ok_or("--obs-json needs a path")?;
@@ -252,6 +274,60 @@ fn cmd_bench_scaling(opts: &Opts) {
     println!("(per-round time of the xengine-backed greedy vs re-evaluating every candidate from scratch)");
 }
 
+fn cmd_select(opts: &Opts) -> Result<(), String> {
+    if opts.exact {
+        let n = opts.n.ok_or("select --exact needs --n")?;
+        let k = opts.k.ok_or("select --exact needs --k")?;
+        let params = Params::paper_table1();
+        let profile = hetero_core::Profile::harmonic(n);
+        let (winner, stats) =
+            hetero_core::selection::best_k_subset_with_stats(&params, &profile, k)
+                .map_err(|e| format!("select --exact: {e}"))?;
+        let fastest =
+            hetero_core::selection::fastest_k(&profile, k).map_err(|e| format!("select: {e}"))?;
+        let is_fastest = winner
+            .rhos()
+            .iter()
+            .zip(fastest.rhos())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let mut t = hetero_experiments::render::Table::new(
+            "exact best-k subset (branch-and-bound, harmonic profile)",
+            &[
+                "n",
+                "k",
+                "X(winner)",
+                "nodes visited",
+                "nodes pruned",
+                "pruned %",
+                "winner = fastest-k",
+            ],
+        );
+        t.row(vec![
+            n.to_string(),
+            k.to_string(),
+            hetero_experiments::render::fmt_f(
+                hetero_core::xmeasure::x_measure_of_rhos(&params, winner.rhos()),
+                4,
+            ),
+            stats.nodes_visited.to_string(),
+            stats.nodes_pruned.to_string(),
+            hetero_experiments::render::fmt_f(100.0 * stats.pruned_fraction(n), 12),
+            if is_fastest { "yes" } else { "tie" }.to_string(),
+        ]);
+        print_table(&t, opts.csv);
+    } else {
+        let s = if opts.smoke {
+            selection_sweep::run_smoke()
+        } else {
+            selection_sweep::run_paper()
+        };
+        print_table(&s.table(), opts.csv);
+        print_table(&s.demo_table(), opts.csv);
+        println!("(exact winners past the n = 63 enumeration cap; pruning stats also land in the obs manifest counters)");
+    }
+    Ok(())
+}
+
 fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
     match cmd {
         "params" => cmd_params(opts),
@@ -287,6 +363,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
         "lifo" => print_table(&fifo_lifo::run_paper().table(), opts.csv),
         "granularity" => print_table(&granularity::run_paper().table(), opts.csv),
         "fleet" => print_table(&fleet::run_paper().table(), opts.csv),
+        "select" => cmd_select(opts)?,
         "robustness" => {
             let cfg = robustness::RobustnessConfig {
                 trials: opts.trials.unwrap_or(200),
@@ -357,6 +434,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
                 "robustness",
                 "faults",
                 "fleet",
+                "select",
             ] {
                 println!("──────────────────────────────────────── {c}");
                 run_command(c, opts)?;
@@ -435,11 +513,12 @@ fn main() -> ExitCode {
         println!(
             "commands: params table3 table4 fig3 fig4 variance threshold minorize \
              protocol gantt moments lifo sensitivity scaling majorize-ext \
-             granularity robustness faults fleet all"
+             granularity robustness faults fleet select all"
         );
         println!(
             "options:  --csv --trials N --max-n N --seed S --threads N --hard \
-             --bench-scaling --smoke --obs --obs-json PATH --obs-trace PATH"
+             --bench-scaling --smoke --exact --k K --n N --obs --obs-json PATH \
+             --obs-trace PATH"
         );
         return ExitCode::SUCCESS;
     }
@@ -484,8 +563,9 @@ mod tests {
     #[test]
     fn parse_opts_defaults() {
         let o = parse_opts(&[]).unwrap();
-        assert!(!o.csv && !o.hard && !o.bench_scaling && !o.smoke && !o.obs);
+        assert!(!o.csv && !o.hard && !o.bench_scaling && !o.smoke && !o.obs && !o.exact);
         assert!(o.trials.is_none() && o.max_n.is_none() && o.seed.is_none());
+        assert!(o.k.is_none() && o.n.is_none());
         assert!(o.obs_json.is_none() && o.obs_trace.is_none());
         assert!(!o.obs_active());
     }
@@ -519,16 +599,25 @@ mod tests {
             "7",
             "--threads",
             "3",
+            "--exact",
+            "--k",
+            "5",
+            "--n",
+            "80",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         let o = parse_opts(&args).unwrap();
-        assert!(o.csv && o.hard && o.bench_scaling && o.smoke);
+        assert!(o.csv && o.hard && o.bench_scaling && o.smoke && o.exact);
         assert_eq!(o.trials, Some(42));
         assert_eq!(o.max_n, Some(128));
         assert_eq!(o.seed, Some(7));
         assert_eq!(o.threads, 3);
+        assert_eq!(o.k, Some(5));
+        assert_eq!(o.n, Some(80));
+        assert!(parse_opts(&["--k".into()]).is_err());
+        assert!(parse_opts(&["--n".into(), "abc".into()]).is_err());
     }
 
     #[test]
@@ -558,6 +647,9 @@ mod tests {
             threads: 1,
             bench_scaling: true,
             smoke: false,
+            exact: false,
+            k: None,
+            n: None,
             obs: false,
             obs_json: None,
             obs_trace: None,
@@ -576,11 +668,45 @@ mod tests {
             threads: 2,
             bench_scaling: false,
             smoke: true,
+            exact: false,
+            k: None,
+            n: None,
             obs: false,
             obs_json: None,
             obs_trace: None,
         };
         run_command("faults", &opts).unwrap();
+    }
+
+    #[test]
+    fn select_commands_run() {
+        let mut opts = Opts {
+            csv: true,
+            trials: None,
+            max_n: None,
+            seed: None,
+            hard: false,
+            threads: 1,
+            bench_scaling: false,
+            smoke: true,
+            exact: false,
+            k: None,
+            n: None,
+            obs: false,
+            obs_json: None,
+            obs_trace: None,
+        };
+        run_command("select", &opts).unwrap();
+        // --exact solves a single instance well past the n = 63 walk cap.
+        opts.exact = true;
+        opts.k = Some(4);
+        opts.n = Some(80);
+        run_command("select", &opts).unwrap();
+        opts.k = None;
+        assert!(run_command("select", &opts).is_err());
+        opts.k = Some(4);
+        opts.n = None;
+        assert!(run_command("select", &opts).is_err());
     }
 
     #[test]
@@ -607,6 +733,9 @@ mod tests {
             threads: 2,
             bench_scaling: false,
             smoke: false,
+            exact: false,
+            k: None,
+            n: None,
             obs: false,
             obs_json: None,
             obs_trace: None,

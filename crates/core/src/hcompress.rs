@@ -1,0 +1,537 @@
+//! Hierarchical HECR compression (paper §2.4, Proposition 1).
+//!
+//! Proposition 1 collapses any sub-cluster to a *homogeneous equivalent*:
+//! the single speed `ρ_C` such that `c` copies of `ρ_C` produce exactly
+//! the sub-cluster's X-measure. Because the log residual
+//!
+//! ```text
+//! ln Π_i r_i = Σ_i ln r_i,     r_i = (Bρ_i + τδ)/(Bρ_i + A)
+//! ```
+//!
+//! is *additive over disjoint sub-clusters* (a telescoping identity of
+//! the §2.2 X-measure, order-free by Theorem 1(2)), a fleet can be
+//! summarized hierarchically: a [`SummaryTree`] stores each node's
+//! compensated log-residual partial sum together with a certified error
+//! bound, and answers X/HECR queries about the whole fleet — or any
+//! contiguous slice of it — in O(log n) without touching the leaves.
+//!
+//! Two consumers drive the design:
+//!
+//! * **Fleet-scale queries.** For 10^6 synthetic workers, `X`, HECR, and
+//!   "X of the `c` fastest" queries run off the summaries; error is
+//!   bounded per node and certified against exact flat evaluation in the
+//!   test suite (the bounds are floating-point slack only — in real
+//!   arithmetic the summaries are exact).
+//! * **Branch-and-bound selection.** The admissible bound of
+//!   [`best_k_subset`](crate::selection::best_k_subset) needs "X of the
+//!   `s` fastest remaining workers" at every search node;
+//!   [`SummaryTree::x_of_fastest`] serves it from the tree.
+//!
+//! [`SummaryTree::compress`] goes one step further and materializes a
+//! [`CompressedFleet`]: at most `max_clusters` Proposition 1 homogeneous
+//! equivalents `(ρ_C, count)` that reproduce the fleet's X within the
+//! certified bound at a fraction of the storage.
+
+use crate::hecr::{hecr_from_log_residual, log_residual};
+use crate::numeric::{kahan_sum, KahanSum};
+use crate::{ModelError, Params, Profile};
+
+/// Elements per summary-tree leaf. Partial-range queries touch at most
+/// two leaves' raw elements; everything else is node combines.
+pub const DEFAULT_LEAF_SIZE: usize = 256;
+
+/// One summary node: a compensated log-residual partial sum over a
+/// contiguous element range, plus a certified bound on its floating-point
+/// error (`|stored − exact| ≤ err` in log-residual units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSummary {
+    /// `Σ ln r_i` over the node's range (≤ 0; every factor `r_i < 1`).
+    pub lnr: f64,
+    /// Certified absolute error bound on `lnr`.
+    pub err: f64,
+}
+
+const IDENTITY: NodeSummary = NodeSummary { lnr: 0.0, err: 0.0 };
+
+/// Per-term slack: one `ln_1p` rounding plus Neumaier summation, both
+/// bounded by small multiples of ε·Σ|term|, and Σ|term| = |Σ term|
+/// because every `ln r_i` is negative.
+const TERM_SLACK: f64 = 4.0 * f64::EPSILON;
+
+impl NodeSummary {
+    /// Combines two adjacent ranges: log residuals add (Theorem 1(2)
+    /// order independence makes the split point immaterial); the single
+    /// addition contributes one more ε of relative slack.
+    fn merge(l: NodeSummary, r: NodeSummary) -> NodeSummary {
+        let lnr = l.lnr + r.lnr;
+        NodeSummary {
+            lnr,
+            err: l.err + r.err + f64::EPSILON * lnr.abs(),
+        }
+    }
+}
+
+/// A hierarchical log-residual summary of a fleet: per-element `ln r_i`
+/// leaves, fixed-size leaf chunks, and a power-of-two segment tree of
+/// [`NodeSummary`] partial sums. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct SummaryTree {
+    params: Params,
+    leaf_size: usize,
+    /// `ln r_i` per element, in input order.
+    lnrs: Vec<f64>,
+    /// Heap-layout segment tree over leaf chunks; `tree[1]` is the root.
+    tree: Vec<NodeSummary>,
+    /// Leaf capacity of `tree` (power of two ≥ number of chunks).
+    cap: usize,
+    chunks: usize,
+}
+
+impl SummaryTree {
+    /// Builds a summary tree over raw speeds with the default leaf size.
+    /// Validates every ρ the way [`Profile`] does.
+    pub fn new(params: &Params, rhos: &[f64]) -> Result<Self, ModelError> {
+        Self::with_leaf_size(params, rhos, DEFAULT_LEAF_SIZE)
+    }
+
+    /// [`SummaryTree::new`] with an explicit leaf size (tests shrink it to
+    /// force deep trees on small fleets).
+    pub fn with_leaf_size(
+        params: &Params,
+        rhos: &[f64],
+        leaf_size: usize,
+    ) -> Result<Self, ModelError> {
+        if rhos.is_empty() {
+            return Err(ModelError::EmptyProfile);
+        }
+        if leaf_size == 0 {
+            return Err(ModelError::InvalidParam {
+                name: "leaf_size",
+                value: 0.0,
+            });
+        }
+        for (index, &rho) in rhos.iter().enumerate() {
+            if !(rho.is_finite() && rho > 0.0) {
+                return Err(ModelError::InvalidRho { index, value: rho });
+            }
+        }
+        let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+        let lnrs: Vec<f64> = rhos
+            .iter()
+            .map(|&rho| (-(a - td) / (b * rho + a)).ln_1p())
+            .collect();
+        let chunks = lnrs.len().div_ceil(leaf_size);
+        let cap = chunks.next_power_of_two();
+        let mut tree = vec![IDENTITY; 2 * cap];
+        for (c, chunk) in lnrs.chunks(leaf_size).enumerate() {
+            let lnr = kahan_sum(chunk.iter().copied());
+            tree[cap + c] = NodeSummary {
+                lnr,
+                err: TERM_SLACK * lnr.abs(),
+            };
+        }
+        for i in (1..cap).rev() {
+            tree[i] = NodeSummary::merge(tree[2 * i], tree[2 * i + 1]);
+        }
+        Ok(SummaryTree {
+            params: *params,
+            leaf_size,
+            lnrs,
+            tree,
+            cap,
+            chunks,
+        })
+    }
+
+    /// [`SummaryTree::new`] over a validated [`Profile`]. Profiles are
+    /// nonincreasing (slowest first), which is what gives
+    /// [`SummaryTree::x_of_fastest`] its meaning.
+    pub fn from_profile(params: &Params, profile: &Profile) -> Self {
+        // hetero-check: allow(expect) — Profile construction already validated every ρ finite and positive
+        Self::new(params, profile.rhos()).expect("profiles hold validated speeds")
+    }
+
+    /// Fleet size.
+    pub fn n(&self) -> usize {
+        self.lnrs.len()
+    }
+
+    /// The whole fleet's log residual `ln Π_i r_i` (root summary).
+    pub fn log_residual(&self) -> f64 {
+        self.tree[1].lnr
+    }
+
+    /// Certified error bound on [`SummaryTree::log_residual`].
+    pub fn error_bound(&self) -> f64 {
+        self.tree[1].err
+    }
+
+    /// The fleet's X-measure from the root summary:
+    /// `X = (1 − e^{lnr})/(A − τδ)` (Theorem 2 telescoped).
+    pub fn x(&self) -> f64 {
+        self.x_from_lnr(self.tree[1].lnr)
+    }
+
+    /// Certified error bound on [`SummaryTree::x`]. Since
+    /// `dX/d(lnr) = −e^{lnr}/(A−τδ)` and `e^{lnr} ≤ 1`, a log-residual
+    /// slack of `err` moves X by at most `err/(A−τδ)`.
+    pub fn x_error_bound(&self) -> f64 {
+        self.tree[1].err / (self.params.a() - self.params.tau_delta())
+    }
+
+    /// The fleet's HECR via the Proposition 1 closed form on the root
+    /// summary.
+    pub fn hecr(&self) -> Result<f64, ModelError> {
+        hecr_from_log_residual(&self.params, self.tree[1].lnr, self.n())
+    }
+
+    /// Log residual of the element range `[from, n)` — full leaf chunks
+    /// come from tree nodes, the one partial chunk from a direct
+    /// compensated pass over its raw elements.
+    pub fn log_residual_suffix(&self, from: usize) -> Result<f64, ModelError> {
+        let n = self.n();
+        if from > n {
+            return Err(ModelError::IndexOutOfRange { index: from, n });
+        }
+        if from == n {
+            return Ok(0.0);
+        }
+        let chunk = from / self.leaf_size;
+        let chunk_end = ((chunk + 1) * self.leaf_size).min(n);
+        let mut acc = KahanSum::new();
+        for &t in &self.lnrs[from..chunk_end] {
+            acc.add(t);
+        }
+        // Full chunks [chunk + 1, chunks): standard iterative segment-tree
+        // range fold, left-to-right so the combine order is deterministic.
+        let mut partials: Vec<f64> = Vec::new();
+        let (mut lo, mut hi) = (self.cap + chunk + 1, self.cap + self.chunks);
+        let mut right: Vec<f64> = Vec::new();
+        while lo < hi {
+            if lo & 1 == 1 {
+                partials.push(self.tree[lo].lnr);
+                lo += 1;
+            }
+            if hi & 1 == 1 {
+                hi -= 1;
+                right.push(self.tree[hi].lnr);
+            }
+            lo /= 2;
+            hi /= 2;
+        }
+        for p in partials.into_iter().chain(right.into_iter().rev()) {
+            acc.add(p);
+        }
+        Ok(acc.value())
+    }
+
+    /// X-measure of the element range `[from, n)`.
+    pub fn x_of_suffix(&self, from: usize) -> Result<f64, ModelError> {
+        Ok(self.x_from_lnr(self.log_residual_suffix(from)?))
+    }
+
+    /// X-measure of the `c` *fastest* workers. Meaningful when the tree
+    /// was built over a nonincreasing (slowest-first) profile, where the
+    /// fastest `c` are exactly the last `c` — the Proposition 2 optimal
+    /// `c`-subset, and the admissible-bound query of the
+    /// branch-and-bound search.
+    pub fn x_of_fastest(&self, c: usize) -> Result<f64, ModelError> {
+        let n = self.n();
+        if c > n {
+            return Err(ModelError::IndexOutOfRange { index: c, n });
+        }
+        self.x_of_suffix(n - c)
+    }
+
+    /// Collapses the fleet to at most `max_clusters` Proposition 1
+    /// homogeneous equivalents — contiguous groups, each replaced by
+    /// `(ρ_C, count)` with `ρ_C` the group's HECR. In real arithmetic the
+    /// compressed fleet's X equals the original's *exactly* (Proposition 1
+    /// preserves each group's log residual and Theorem 1(2) makes them
+    /// additive); in floats the error is the certified per-node slack
+    /// plus one closed-form inversion round trip per group.
+    pub fn compress(&self, max_clusters: usize) -> Result<CompressedFleet, ModelError> {
+        if max_clusters == 0 {
+            return Err(ModelError::InvalidParam {
+                name: "max_clusters",
+                value: 0.0,
+            });
+        }
+        let n = self.n();
+        let group = n.div_ceil(max_clusters);
+        let mut clusters = Vec::with_capacity(n.div_ceil(group));
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + group).min(n);
+            let count = end - start;
+            // Group residual = suffix(start) − suffix(end) would cancel
+            // catastrophically; sum the group's leaves directly instead.
+            let lnr = kahan_sum(self.lnrs[start..end].iter().copied());
+            let rho_c = hecr_from_log_residual(&self.params, lnr, count)?;
+            clusters.push(HomogeneousCluster { rho_c, count });
+            start = end;
+        }
+        Ok(CompressedFleet {
+            params: self.params,
+            clusters,
+            n,
+        })
+    }
+
+    /// Worst certification slack across every node: the max over nodes of
+    /// `|stored − fresh flat recompute| / bound`. The per-node error
+    /// bounds hold iff this is ≤ 1 — enforced by the property suite.
+    pub fn certification_slack(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        // Walk every materialized node level by level; node i at height h
+        // covers chunks [i·2^h − cap·…]; easier: recurse on ranges.
+        let mut stack = vec![(1usize, 0usize, self.cap)];
+        while let Some((node, chunk_lo, chunk_hi)) = stack.pop() {
+            let lo = chunk_lo * self.leaf_size;
+            if lo >= self.lnrs.len() {
+                continue;
+            }
+            let hi = (chunk_hi * self.leaf_size).min(self.lnrs.len());
+            let exact = kahan_sum(self.lnrs[lo..hi].iter().copied());
+            let node_summary = self.tree[node];
+            let diff = (node_summary.lnr - exact).abs();
+            if diff > 0.0 {
+                let bound = node_summary.err.max(f64::MIN_POSITIVE);
+                worst = worst.max(diff / bound);
+            }
+            if chunk_hi - chunk_lo > 1 {
+                let mid = (chunk_lo + chunk_hi) / 2;
+                stack.push((2 * node, chunk_lo, mid));
+                stack.push((2 * node + 1, mid, chunk_hi));
+            }
+        }
+        worst
+    }
+
+    fn x_from_lnr(&self, lnr: f64) -> f64 {
+        -lnr.exp_m1() / (self.params.a() - self.params.tau_delta())
+    }
+}
+
+/// One Proposition 1 homogeneous equivalent: `count` identical computers
+/// of speed `rho_c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HomogeneousCluster {
+    /// The group's HECR (per-unit work time of the equivalent computers).
+    pub rho_c: f64,
+    /// How many computers the group stands in for.
+    pub count: usize,
+}
+
+/// A fleet collapsed to a handful of Proposition 1 homogeneous
+/// equivalents — constant-size storage for million-worker fleets, with X
+/// and HECR still answerable to within the summary tree's certified
+/// bounds.
+#[derive(Debug, Clone)]
+pub struct CompressedFleet {
+    params: Params,
+    clusters: Vec<HomogeneousCluster>,
+    n: usize,
+}
+
+impl CompressedFleet {
+    /// The homogeneous equivalents, in original fleet order.
+    pub fn clusters(&self) -> &[HomogeneousCluster] {
+        &self.clusters
+    }
+
+    /// Number of equivalents retained.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total workers the compressed fleet represents.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The compressed fleet's log residual:
+    /// `Σ_j count_j · ln r(ρ_{C,j})`.
+    pub fn log_residual(&self) -> f64 {
+        kahan_sum(
+            self.clusters
+                .iter()
+                .map(|c| c.count as f64 * log_residual(&self.params, &[c.rho_c])),
+        )
+    }
+
+    /// The compressed fleet's X-measure.
+    pub fn x(&self) -> f64 {
+        let (a, td) = (self.params.a(), self.params.tau_delta());
+        -self.log_residual().exp_m1() / (a - td)
+    }
+
+    /// The compressed fleet's HECR via the Proposition 1 closed form.
+    pub fn hecr(&self) -> Result<f64, ModelError> {
+        hecr_from_log_residual(&self.params, self.log_residual(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmeasure::x_measure_of_rhos;
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+    }
+
+    #[test]
+    fn root_summary_matches_flat_evaluation() {
+        let p = params();
+        for n in [1usize, 7, 256, 257, 1000] {
+            let profile = Profile::harmonic(n);
+            let tree = SummaryTree::from_profile(&p, &profile);
+            let flat = x_measure_of_rhos(&p, profile.rhos());
+            // The certificate bounds |tree − exact|; the flat pass carries
+            // its own few-ulp rounding, allowed for separately.
+            assert!(
+                (tree.x() - flat).abs() <= tree.x_error_bound() + 1e-14 * flat.abs(),
+                "n={n}: tree {} vs flat {} (bound {})",
+                tree.x(),
+                flat,
+                tree.x_error_bound()
+            );
+            let hecr_flat = crate::hecr::hecr(&p, &profile).unwrap();
+            assert!(rel_err(tree.hecr().unwrap(), hecr_flat) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn suffix_queries_match_flat_suffix_evaluation() {
+        let p = params();
+        let profile = Profile::uniform_spread(700);
+        let tree = SummaryTree::with_leaf_size(&p, profile.rhos(), 16).unwrap();
+        for from in [0usize, 1, 15, 16, 17, 350, 699, 700] {
+            let flat = if from == 700 {
+                0.0
+            } else {
+                x_measure_of_rhos(&p, &profile.rhos()[from..])
+            };
+            let got = tree.x_of_suffix(from).unwrap();
+            assert!(
+                (got - flat).abs() < 1e-12 * flat.max(1.0),
+                "from={from}: {got} vs {flat}"
+            );
+        }
+        assert!(tree.x_of_suffix(701).is_err());
+    }
+
+    #[test]
+    fn fastest_c_is_the_profile_suffix() {
+        let p = params();
+        let profile = Profile::harmonic(40);
+        let tree = SummaryTree::with_leaf_size(&p, profile.rhos(), 8).unwrap();
+        for c in [0usize, 1, 8, 9, 39, 40] {
+            let flat = if c == 0 {
+                0.0
+            } else {
+                x_measure_of_rhos(&p, &profile.rhos()[40 - c..])
+            };
+            let got = tree.x_of_fastest(c).unwrap();
+            assert!(
+                (got - flat).abs() < 1e-12 * flat.max(1.0),
+                "c={c}: {got} vs {flat}"
+            );
+        }
+        assert!(tree.x_of_fastest(41).is_err());
+    }
+
+    #[test]
+    fn per_node_certificates_hold() {
+        let p = params();
+        for leaf_size in [1usize, 3, 16, 256] {
+            let profile = Profile::uniform_spread(513);
+            let tree = SummaryTree::with_leaf_size(&p, profile.rhos(), leaf_size).unwrap();
+            let slack = tree.certification_slack();
+            assert!(slack <= 1.0, "leaf_size={leaf_size}: slack {slack}");
+        }
+    }
+
+    #[test]
+    fn compression_preserves_x_within_bound() {
+        let p = params();
+        let profile = Profile::harmonic(1000);
+        let tree = SummaryTree::from_profile(&p, &profile);
+        let flat = x_measure_of_rhos(&p, profile.rhos());
+        for max_clusters in [1usize, 2, 7, 100, 1000] {
+            let fleet = tree.compress(max_clusters).unwrap();
+            assert!(fleet.num_clusters() <= max_clusters);
+            assert_eq!(fleet.n(), 1000);
+            assert!(
+                rel_err(fleet.x(), flat) < 1e-11,
+                "max_clusters={max_clusters}: {} vs {flat}",
+                fleet.x()
+            );
+            assert!(
+                rel_err(
+                    fleet.hecr().unwrap(),
+                    crate::hecr::hecr(&p, &profile).unwrap()
+                ) < 1e-9
+            );
+        }
+        assert!(tree.compress(0).is_err());
+    }
+
+    #[test]
+    fn homogeneous_groups_compress_losslessly() {
+        // A fleet of two homogeneous halves compresses to exactly those
+        // two speeds (Proposition 1 is the identity on homogeneous input).
+        let p = params();
+        let mut rhos = vec![1.0; 64];
+        rhos.extend(vec![0.25; 64]);
+        let tree = SummaryTree::new(&p, &rhos).unwrap();
+        let fleet = tree.compress(2).unwrap();
+        assert_eq!(fleet.num_clusters(), 2);
+        assert!((fleet.clusters()[0].rho_c - 1.0).abs() < 1e-9);
+        assert!((fleet.clusters()[1].rho_c - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = params();
+        assert!(matches!(
+            SummaryTree::new(&p, &[]),
+            Err(ModelError::EmptyProfile)
+        ));
+        assert!(matches!(
+            SummaryTree::new(&p, &[1.0, -2.0]),
+            Err(ModelError::InvalidRho { index: 1, .. })
+        ));
+        assert!(SummaryTree::with_leaf_size(&p, &[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn scales_to_a_large_synthetic_fleet() {
+        // 200k workers from a cheap deterministic generator: build, query,
+        // and compress in one pass; the million-worker demo lives in the
+        // E20 experiment driver.
+        let p = params();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let rhos: Vec<f64> = (0..200_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Speeds in (2^-8, 1]: a wide but benign spread.
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                0.00390625 + u * 0.99609375
+            })
+            .collect();
+        let tree = SummaryTree::new(&p, &rhos).unwrap();
+        assert!(tree.x() > 0.0 && tree.x().is_finite());
+        assert!(tree.hecr().unwrap() > 0.0);
+        let fleet = tree.compress(64).unwrap();
+        assert!(rel_err(fleet.x(), tree.x()) < 1e-10);
+        assert!(tree.certification_slack() <= 1.0);
+    }
+}

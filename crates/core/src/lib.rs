@@ -40,6 +40,14 @@
 //! * [`xbatch`] — structure-of-arrays batched evaluation: a lockstep
 //!   kernel advancing the Theorem 2 recurrence for whole blocks of
 //!   same-length profiles at once, bit-identical to the scalar path.
+//! * [`xstream`] — streaming X-measure maintenance under fleet churn:
+//!   segmented Neumaier scans behind a summary tree for amortized
+//!   O(log n) `insert`/`delete`/`replace`, exploiting Theorem 1(2)
+//!   order independence.
+//! * [`hcompress`] — hierarchical HECR compression: sub-clusters
+//!   collapsed to their Proposition 1 homogeneous equivalents behind a
+//!   summary tree, for bounded-error X/HECR queries over million-worker
+//!   fleets and the admissible bound of the branch-and-bound search.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +77,7 @@ mod error;
 mod params;
 mod profile;
 
+pub mod hcompress;
 pub mod hecr;
 pub mod numeric;
 pub mod selection;
@@ -76,6 +85,7 @@ pub mod speedup;
 pub mod xbatch;
 pub mod xengine;
 pub mod xmeasure;
+pub mod xstream;
 
 pub use error::ModelError;
 pub use params::Params;

@@ -1,0 +1,501 @@
+//! Streaming X-measure maintenance under fleet churn.
+//!
+//! [`XScan`](crate::xengine::XScan) answers O(1) *replace* queries but
+//! pays O(n) whenever membership changes — fine for the §3 upgrade
+//! engine, fatal for a million-worker fleet where computers join and
+//! leave continuously. [`ChurnScan`] keeps the Theorem 2 sum
+//!
+//! ```text
+//! X(P) = Σ_i S_i / d_i     with  d_i = Bρ_i + A,
+//!                                r_i = (Bρ_i + τδ)/d_i,
+//!                                S_i = Π_{j<i} r_j
+//! ```
+//!
+//! live under `insert`/`delete`/`replace` at amortized O(log n) per
+//! operation, using two facts:
+//!
+//! * **Order independence** (Theorem 1(2)): `X` does not depend on the
+//!   order in which the ρ-values are listed, so a deletion anywhere may
+//!   be *backfilled by the global tail element* and an insertion may
+//!   always append — membership edits never shift more than one slot.
+//! * **Segmented associativity**: over a concatenation `L ++ R`,
+//!   `X(L ++ R) = X(L) + S(L)·X(R)` where `S(L) = Π_{i∈L} r_i`. The pair
+//!   `(X, S)` is therefore a monoid summary, and a balanced tree of
+//!   segment summaries re-derives the fleet value from one edited
+//!   segment in O(log n) combines.
+//!
+//! The scan keeps workers in fixed-capacity segments of
+//! [`SEGMENT_CAPACITY`] elements. Each segment stores Neumaier-compensated
+//! *prefix snapshots* of its local sum and prefix product — appending is
+//! O(1), truncating its tail is O(1), and rewriting an interior slot
+//! re-consolidates only the local suffix (lazy re-consolidation: at most
+//! `SEGMENT_CAPACITY` fused Neumaier steps, never the whole fleet). A
+//! power-of-two segment tree over the `(sum, prod)` summaries then folds
+//! the global value.
+//!
+//! The result is *not* bit-identical to a flat
+//! [`x_measure_of_rhos`](crate::xmeasure::x_measure_of_rhos) pass — the
+//! segment combines associate the sum differently — but it stays within
+//! the workspace-wide ≤ 1e-12 relative bound of a from-scratch rebuild
+//! under arbitrarily long churn sequences (property-tested, plus
+//! exact-rational Ratio oracle spot checks in the integration suite).
+
+use crate::numeric::KahanSum;
+use crate::{ModelError, Params, Profile};
+
+/// Workers per segment. Deletions re-consolidate at most this many
+/// Neumaier steps, so the constant bounds the "O(1)-ish" local cost while
+/// `n / SEGMENT_CAPACITY` summaries keep the tree shallow.
+pub const SEGMENT_CAPACITY: usize = 64;
+
+/// A stable handle naming one worker inside a [`ChurnScan`], valid until
+/// that worker is deleted. Handles survive the internal slot moves that
+/// deletions cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkerId(u64);
+
+impl WorkerId {
+    /// The raw handle value (diagnostic display only).
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// One fixed-capacity block of workers with prefix snapshots of the
+/// fused Neumaier recurrence, exactly as
+/// [`x_measure_of_rhos`](crate::xmeasure::x_measure_of_rhos) would leave
+/// them after each local element.
+#[derive(Debug, Clone, Default)]
+struct Segment {
+    ids: Vec<u64>,
+    rhos: Vec<f64>,
+    d: Vec<f64>,
+    r: Vec<f64>,
+    /// `sums[k]` = compensated local sum after elements `0..k`
+    /// (`sums[0]` is the empty accumulator).
+    sums: Vec<KahanSum>,
+    /// `prods[k]` = local prefix product after elements `0..k`
+    /// (`prods[0] = 1`).
+    prods: Vec<f64>,
+}
+
+impl Segment {
+    fn new() -> Self {
+        Segment {
+            ids: Vec::with_capacity(SEGMENT_CAPACITY),
+            rhos: Vec::with_capacity(SEGMENT_CAPACITY),
+            d: Vec::with_capacity(SEGMENT_CAPACITY),
+            r: Vec::with_capacity(SEGMENT_CAPACITY),
+            sums: vec![KahanSum::new()],
+            prods: vec![1.0],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// O(1) append: one fused Neumaier step extends the snapshots.
+    fn push(&mut self, id: u64, rho: f64, d: f64, r: f64) {
+        let k = self.len();
+        self.ids.push(id);
+        self.rhos.push(rho);
+        self.d.push(d);
+        self.r.push(r);
+        let mut sum = self.sums[k];
+        sum.add(self.prods[k] / d);
+        self.sums.push(sum);
+        self.prods.push(self.prods[k] * r);
+    }
+
+    /// O(1) tail removal: truncating restores the previous snapshots.
+    fn pop(&mut self) -> (u64, f64) {
+        // hetero-check: allow(expect) — callers only pop non-empty segments (the scan's tail invariant)
+        let id = self.ids.pop().expect("pop on empty segment");
+        let rho = self.rhos.pop().unwrap_or(0.0);
+        self.d.pop();
+        self.r.pop();
+        self.sums.pop();
+        self.prods.pop();
+        (id, rho)
+    }
+
+    /// Lazy re-consolidation: recompute the snapshot suffix from `slot`
+    /// after an interior overwrite — at most [`SEGMENT_CAPACITY`] steps.
+    fn reconsolidate_from(&mut self, slot: usize) {
+        for k in slot..self.len() {
+            let mut sum = self.sums[k];
+            sum.add(self.prods[k] / self.d[k]);
+            self.sums[k + 1] = sum;
+            self.prods[k + 1] = self.prods[k] * self.r[k];
+        }
+    }
+
+    /// The `(X, S)` monoid summary of this segment.
+    fn summary(&self) -> (f64, f64) {
+        let k = self.len();
+        (self.sums[k].value(), self.prods[k])
+    }
+}
+
+/// The `(sum, prod)` combine over a concatenation: right segment's terms
+/// all carry the left segment's residual product.
+#[inline]
+fn combine(l: (f64, f64), r: (f64, f64)) -> (f64, f64) {
+    (l.0 + l.1 * r.0, l.1 * r.1)
+}
+
+/// Identity of [`combine`]: the empty cluster (`X = 0`, `S = 1`).
+const IDENTITY: (f64, f64) = (0.0, 1.0);
+
+/// A streaming X-measure scan over a churning fleet: amortized-O(log n)
+/// [`insert`](ChurnScan::insert), [`delete`](ChurnScan::delete), and
+/// [`replace`](ChurnScan::replace) with the live value always one O(1)
+/// [`x`](ChurnScan::x) read away. See the module docs for the layout.
+#[derive(Debug, Clone)]
+pub struct ChurnScan {
+    a: f64,
+    b: f64,
+    td: f64,
+    segs: Vec<Segment>,
+    /// Segment tree over segment summaries: `tree[cap + i]` is segment
+    /// `i`'s summary, `tree[1]` the fleet's `(X, S)`.
+    tree: Vec<(f64, f64)>,
+    /// Leaf capacity of `tree` (power of two ≥ `segs.len()`).
+    cap: usize,
+    /// Handle → (segment, slot); `None` after deletion.
+    loc: Vec<Option<(u32, u32)>>,
+    n: usize,
+}
+
+impl ChurnScan {
+    /// An empty scan (`X = 0`) for the given environment parameters.
+    pub fn new(params: &Params) -> Self {
+        ChurnScan {
+            a: params.a(),
+            b: params.b(),
+            td: params.tau_delta(),
+            segs: vec![Segment::new()],
+            tree: vec![IDENTITY; 2],
+            cap: 1,
+            loc: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// A scan pre-loaded with a fleet, returning each worker's handle in
+    /// input order. Validates every ρ the way [`Profile`] does.
+    pub fn from_rhos(params: &Params, rhos: &[f64]) -> Result<(Self, Vec<WorkerId>), ModelError> {
+        let mut scan = ChurnScan::new(params);
+        let mut ids = Vec::with_capacity(rhos.len());
+        for &rho in rhos {
+            ids.push(scan.insert(rho)?);
+        }
+        Ok((scan, ids))
+    }
+
+    /// [`ChurnScan::from_rhos`] over a validated [`Profile`].
+    pub fn from_profile(params: &Params, profile: &Profile) -> (Self, Vec<WorkerId>) {
+        // hetero-check: allow(expect) — Profile construction already validated every ρ finite and positive
+        Self::from_rhos(params, profile.rhos()).expect("profiles hold validated speeds")
+    }
+
+    /// Fleet size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no workers remain.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The live `X` of the current fleet (0 for an empty fleet) — an O(1)
+    /// read of the tree root.
+    pub fn x(&self) -> f64 {
+        self.tree[1].0
+    }
+
+    /// The live residual product `S = Π_i r_i` (the quantity whose log
+    /// the [`hcompress`](crate::hcompress) summaries track).
+    pub fn residual_product(&self) -> f64 {
+        self.tree[1].1
+    }
+
+    /// The current ρ of a worker.
+    pub fn rho_of(&self, id: WorkerId) -> Result<f64, ModelError> {
+        let (si, slot) = self.locate(id)?;
+        Ok(self.segs[si].rhos[slot])
+    }
+
+    /// The current fleet's speeds in scan order (tests compare this
+    /// arrangement against a from-scratch rebuild; by Theorem 1(2) the
+    /// order itself carries no meaning).
+    pub fn to_rhos(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n);
+        for seg in &self.segs {
+            out.extend_from_slice(&seg.rhos);
+        }
+        out
+    }
+
+    /// Adds a worker, returning its stable handle. Amortized O(1) local
+    /// work (one fused Neumaier append) plus an O(log n) tree path.
+    pub fn insert(&mut self, rho: f64) -> Result<WorkerId, ModelError> {
+        if !(rho.is_finite() && rho > 0.0) {
+            return Err(ModelError::InvalidRho {
+                index: self.n,
+                value: rho,
+            });
+        }
+        hetero_obs::counters::XSCAN_INSERT.bump();
+        let id = self.loc.len() as u64;
+        // hetero-check: allow(expect) — the scan always keeps at least one (possibly empty) segment
+        if self.segs.last().expect("segment list is never empty").len() == SEGMENT_CAPACITY {
+            self.segs.push(Segment::new());
+            if self.segs.len() > self.cap {
+                self.grow_tree();
+            }
+        }
+        let si = self.segs.len() - 1;
+        let slot = self.segs[si].len();
+        let denom = self.b * rho + self.a;
+        let ratio = (self.b * rho + self.td) / denom;
+        self.segs[si].push(id, rho, denom, ratio);
+        self.loc.push(Some((si as u32, slot as u32)));
+        self.n += 1;
+        self.refresh_leaf(si);
+        Ok(WorkerId(id))
+    }
+
+    /// Removes a worker. The hole is backfilled by the fleet's tail
+    /// element (legal by Theorem 1(2) order independence), so only one
+    /// segment suffix re-consolidates: O([`SEGMENT_CAPACITY`]) local work
+    /// plus O(log n) tree updates.
+    pub fn delete(&mut self, id: WorkerId) -> Result<(), ModelError> {
+        let (si, slot) = self.locate(id)?;
+        hetero_obs::counters::XSCAN_DELETE.bump();
+        self.loc[id.0 as usize] = None;
+        self.n -= 1;
+        let last = self.segs.len() - 1;
+        let tail_slot = self.segs[last].len() - 1;
+        if si == last && slot == tail_slot {
+            // Deleting the global tail: a pure truncation.
+            self.segs[last].pop();
+        } else {
+            let (tid, trho) = self.segs[last].pop();
+            let seg = &mut self.segs[si];
+            seg.ids[slot] = tid;
+            seg.rhos[slot] = trho;
+            seg.d[slot] = self.b * trho + self.a;
+            seg.r[slot] = (self.b * trho + self.td) / seg.d[slot];
+            seg.reconsolidate_from(slot);
+            self.loc[tid as usize] = Some((si as u32, slot as u32));
+            self.refresh_leaf(si);
+        }
+        if self.segs[last].len() == 0 && self.segs.len() > 1 {
+            self.segs.pop();
+            self.tree_set(last, IDENTITY);
+        } else {
+            self.refresh_leaf(last);
+        }
+        Ok(())
+    }
+
+    /// Rescales one worker's speed in place: a local suffix
+    /// re-consolidation plus an O(log n) tree path. The churn-scan
+    /// counterpart of [`XScan::commit`](crate::xengine::XScan::commit),
+    /// but O(log n) instead of O(n).
+    pub fn replace(&mut self, id: WorkerId, rho: f64) -> Result<(), ModelError> {
+        let (si, slot) = self.locate(id)?;
+        if !(rho.is_finite() && rho > 0.0) {
+            return Err(ModelError::InvalidRho {
+                index: slot,
+                value: rho,
+            });
+        }
+        let seg = &mut self.segs[si];
+        seg.rhos[slot] = rho;
+        seg.d[slot] = self.b * rho + self.a;
+        seg.r[slot] = (self.b * rho + self.td) / seg.d[slot];
+        seg.reconsolidate_from(slot);
+        self.refresh_leaf(si);
+        Ok(())
+    }
+
+    fn locate(&self, id: WorkerId) -> Result<(usize, usize), ModelError> {
+        match self.loc.get(id.0 as usize).copied().flatten() {
+            Some((si, slot)) => Ok((si as usize, slot as usize)),
+            None => Err(ModelError::IndexOutOfRange {
+                index: id.0 as usize,
+                n: self.n,
+            }),
+        }
+    }
+
+    fn refresh_leaf(&mut self, si: usize) {
+        let summary = self.segs[si].summary();
+        self.tree_set(si, summary);
+    }
+
+    fn tree_set(&mut self, leaf: usize, summary: (f64, f64)) {
+        let mut i = self.cap + leaf;
+        self.tree[i] = summary;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = combine(self.tree[2 * i], self.tree[2 * i + 1]);
+        }
+    }
+
+    /// Doubles the tree's leaf capacity and refolds every summary —
+    /// O(segments), amortized O(1) per insert across the growth schedule.
+    fn grow_tree(&mut self) {
+        self.cap = self.segs.len().next_power_of_two();
+        self.tree.clear();
+        self.tree.resize(2 * self.cap, IDENTITY);
+        for (i, seg) in self.segs.iter().enumerate() {
+            self.tree[self.cap + i] = seg.summary();
+        }
+        for i in (1..self.cap).rev() {
+            self.tree[i] = combine(self.tree[2 * i], self.tree[2 * i + 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmeasure::x_measure_of_rhos;
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+    }
+
+    /// The scan's value vs a from-scratch flat evaluation of its current
+    /// arrangement — the workspace-wide incremental-vs-scratch bound.
+    fn assert_matches_rebuild(scan: &ChurnScan, p: &Params) {
+        let rhos = scan.to_rhos();
+        if rhos.is_empty() {
+            assert_eq!(scan.x(), 0.0);
+        } else {
+            let direct = x_measure_of_rhos(p, &rhos);
+            assert!(
+                rel_err(scan.x(), direct) < 1e-12,
+                "churn {} vs rebuild {}",
+                scan.x(),
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn empty_scan_is_zero() {
+        let scan = ChurnScan::new(&params());
+        assert!(scan.is_empty());
+        assert_eq!(scan.x(), 0.0);
+        assert_eq!(scan.residual_product(), 1.0);
+    }
+
+    #[test]
+    fn inserts_track_the_flat_evaluation_across_segment_boundaries() {
+        let p = params();
+        let mut scan = ChurnScan::new(&p);
+        // Straddle several segment boundaries (63/64/65, 127/128/129 …).
+        for i in 0..300usize {
+            scan.insert(1.0 / (1 + i % 17) as f64).unwrap();
+            assert_eq!(scan.n(), i + 1);
+            assert_matches_rebuild(&scan, &p);
+        }
+    }
+
+    #[test]
+    fn delete_backfills_from_the_tail() {
+        let p = params();
+        let profile = Profile::harmonic(130);
+        let (mut scan, ids) = ChurnScan::from_profile(&p, &profile);
+        // Delete from the front, the middle, a segment boundary, and the tail.
+        for &victim in &[0usize, 64, 63, 129, 65, 1] {
+            scan.delete(ids[victim]).unwrap();
+            assert_matches_rebuild(&scan, &p);
+        }
+        assert_eq!(scan.n(), 124);
+        // A deleted handle is gone.
+        assert!(matches!(
+            scan.delete(ids[0]),
+            Err(ModelError::IndexOutOfRange { .. })
+        ));
+        assert!(scan.rho_of(ids[0]).is_err());
+    }
+
+    #[test]
+    fn drain_to_empty_and_refill() {
+        let p = params();
+        let (mut scan, ids) = ChurnScan::from_rhos(&p, &[1.0, 0.5, 0.25]).unwrap();
+        for id in ids {
+            scan.delete(id).unwrap();
+        }
+        assert!(scan.is_empty());
+        assert_eq!(scan.x(), 0.0);
+        let id = scan.insert(0.5).unwrap();
+        assert_matches_rebuild(&scan, &p);
+        assert_eq!(scan.rho_of(id).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn replace_rescales_in_place() {
+        let p = params();
+        let profile = Profile::uniform_spread(100);
+        let (mut scan, ids) = ChurnScan::from_profile(&p, &profile);
+        scan.replace(ids[3], 0.01).unwrap();
+        scan.replace(ids[99], 2.5).unwrap();
+        assert_matches_rebuild(&scan, &p);
+        assert_eq!(scan.rho_of(ids[3]).unwrap(), 0.01);
+        assert_eq!(scan.n(), 100);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let p = params();
+        let mut scan = ChurnScan::new(&p);
+        assert!(matches!(
+            scan.insert(-1.0),
+            Err(ModelError::InvalidRho { .. })
+        ));
+        assert!(matches!(
+            scan.insert(f64::NAN),
+            Err(ModelError::InvalidRho { .. })
+        ));
+        let id = scan.insert(1.0).unwrap();
+        assert!(matches!(
+            scan.replace(id, f64::INFINITY),
+            Err(ModelError::InvalidRho { .. })
+        ));
+        assert!(ChurnScan::from_rhos(&p, &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn order_independence_of_the_value() {
+        // Theorem 1(2): the same multiset reached by different churn
+        // histories yields the same X within the incremental bound.
+        let p = params();
+        let (scan_a, _) = ChurnScan::from_rhos(&p, &[1.0, 0.5, 0.25, 0.125]).unwrap();
+        let (mut scan_b, ids) =
+            ChurnScan::from_rhos(&p, &[0.125, 0.9, 0.25, 1.0, 0.5, 0.7]).unwrap();
+        scan_b.delete(ids[1]).unwrap();
+        scan_b.delete(ids[5]).unwrap();
+        assert!(rel_err(scan_a.x(), scan_b.x()) < 1e-12);
+    }
+
+    #[test]
+    fn matches_the_xscan_engine_on_a_static_fleet() {
+        let p = params();
+        let profile = Profile::harmonic(500);
+        let (scan, _) = ChurnScan::from_profile(&p, &profile);
+        let engine = crate::xengine::XScan::from_profile(&p, &profile);
+        assert!(rel_err(scan.x(), engine.x()) < 1e-12);
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`robustness`] | extension: planning under speed-estimation error |
 //! | [`fault_sweep`] | extension: fault injection vs adaptive replanning |
 //! | [`fleet`] | extension: fleet sizing against X-measure saturation |
+//! | [`selection_sweep`] | extension: branch-and-bound exact selection at fleet scale |
 //!
 //! Every experiment is a pure function of its configuration (including RNG
 //! seeds), returns a typed result struct, and renders through [`render`]'s
@@ -46,6 +47,7 @@ pub mod protocol_check;
 pub mod render;
 pub mod robustness;
 pub mod scaling;
+pub mod selection_sweep;
 pub mod sensitivity;
 pub mod table3;
 pub mod table4;

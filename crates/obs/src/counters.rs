@@ -82,9 +82,18 @@ pub static XBATCH_EVAL: HotCounter = HotCounter::new("xbatch.eval");
 pub static XBATCH_RAGGED_FALLBACK: HotCounter = HotCounter::new("xbatch.ragged_fallback");
 /// Chunk-stealing jobs dispatched to the persistent worker pool.
 pub static PAR_POOL_JOBS: HotCounter = HotCounter::new("par.pool.jobs");
+/// Decision nodes expanded by the branch-and-bound subset search.
+pub static SELECT_BNB_NODES_VISITED: HotCounter = HotCounter::new("select.bnb.nodes_visited");
+/// Branches cut by the branch-and-bound search (admissible bound plus
+/// dominance tests), each eliminating a whole subtree of subsets.
+pub static SELECT_BNB_NODES_PRUNED: HotCounter = HotCounter::new("select.bnb.nodes_pruned");
+/// Workers inserted into a streaming churn scan.
+pub static XSCAN_INSERT: HotCounter = HotCounter::new("xscan.insert");
+/// Workers deleted from a streaming churn scan.
+pub static XSCAN_DELETE: HotCounter = HotCounter::new("xscan.delete");
 
 /// Every static hot counter, in reporting order.
-pub fn all() -> [&'static HotCounter; 11] {
+pub fn all() -> [&'static HotCounter; 15] {
     [
         &XENGINE_REPLACE,
         &XENGINE_COMMIT,
@@ -97,6 +106,10 @@ pub fn all() -> [&'static HotCounter; 11] {
         &XBATCH_EVAL,
         &XBATCH_RAGGED_FALLBACK,
         &PAR_POOL_JOBS,
+        &SELECT_BNB_NODES_VISITED,
+        &SELECT_BNB_NODES_PRUNED,
+        &XSCAN_INSERT,
+        &XSCAN_DELETE,
     ]
 }
 
@@ -120,7 +133,11 @@ mod tests {
                 "faults.skipped_sends",
                 "xbatch.eval",
                 "xbatch.ragged_fallback",
-                "par.pool.jobs"
+                "par.pool.jobs",
+                "select.bnb.nodes_visited",
+                "select.bnb.nodes_pruned",
+                "xscan.insert",
+                "xscan.delete"
             ]
         );
     }

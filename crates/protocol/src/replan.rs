@@ -12,14 +12,16 @@
 //!   on each doomed package).
 //! * **Re-solve** — when new faults were detected since the last solve,
 //!   the remaining workload is re-optimized over the surviving suffix:
-//!   detected slowdowns rescale the affected ρ through the incremental
-//!   [`XScan`] (a single-straggler update is an O(k) `commit`, set
-//!   changes an O(k) buffer-reusing `rebuild` — never a from-scratch
-//!   solver construction), and the no-gap recurrence re-sizes the
-//!   suffix to the *hedged* window. Allocations **never grow** past the
-//!   original plan — under pure crashes the re-solve reproduces the
-//!   original sizes exactly, which is what makes replanned throughput
-//!   provably ≥ oblivious throughput (pinned by a property test).
+//!   the live X-measure is maintained by a streaming [`ChurnScan`], so
+//!   each boundary syncs by *diff* — sent positions and newly detected
+//!   crashes are O(log n) `delete`s, detected slowdowns are O(log n)
+//!   `replace`s, top-up positions are O(log n) `insert`s — never a
+//!   from-scratch solver construction over the whole suffix. The no-gap
+//!   recurrence then re-sizes the suffix to the *hedged* window.
+//!   Allocations **never grow** past the original plan — under pure
+//!   crashes the re-solve reproduces the original sizes exactly, which
+//!   is what makes replanned throughput provably ≥ oblivious throughput
+//!   (pinned by a property test).
 //! * **Hedge** — [`HedgePolicy`] shaves the deadline to
 //!   [`hedged_lifespan`]`(L, margin)` so perturbation noise lands in the
 //!   margin instead of past the deadline, bounds retransmission attempts
@@ -34,9 +36,10 @@
 //! executor performs the exact schedule — bit-identical trace — of the
 //! pristine one.
 //!
-//! [`XScan`]: hetero_core::xengine::XScan
+//! [`ChurnScan`]: hetero_core::xstream::ChurnScan
 
-use hetero_core::xengine::XScan;
+use hetero_core::xmeasure::x_measure_of_rhos;
+use hetero_core::xstream::{ChurnScan, WorkerId};
 use hetero_core::{Params, Profile};
 use hetero_faults::FaultPlan;
 use hetero_sim::{EventQueue, SimTime, Trace, UnitResource};
@@ -219,8 +222,8 @@ struct AdaptState<'f> {
     channel: UnitResource,
     trace: Trace,
     faults: &'f FaultPlan,
-    scan: Option<XScan>,
-    scan_members: Vec<usize>, // positions the scan currently decomposes
+    scan: ChurnScan,
+    scan_ids: Vec<Option<WorkerId>>, // per position: live churn-scan handle
     dirty: bool,
     original_n: usize,
     resolved: usize,
@@ -265,8 +268,8 @@ pub fn execute_adaptive(
         channel: UnitResource::new(),
         trace: Trace::new(),
         faults,
-        scan: None,
-        scan_members: Vec::new(),
+        scan: ChurnScan::new(params),
+        scan_ids: vec![None; n],
         dirty: false,
         original_n: n,
         resolved: 0,
@@ -370,41 +373,33 @@ fn resolve_suffix(st: &mut AdaptState<'_>, pos: usize, now: SimTime) -> Result<(
     let _span = hetero_obs::timed("faults.replan");
     hetero_obs::counters::FAULTS_REPLANS.bump();
     st.replans += 1;
-    let rhos: Vec<f64> = survivors.iter().map(|&j| st.eff_rhos[j]).collect();
-    // Incremental X-measure maintenance: a lone rescaled ρ over the same
-    // member set is an in-place commit; membership changes rebuild into
-    // the scan's existing buffers. Neither path re-validates or
-    // re-allocates the way a from-scratch solver construction would.
-    let x = match &mut st.scan {
-        Some(scan) if st.scan_members == survivors => {
-            let changed: Vec<usize> = (0..rhos.len())
-                .filter(|&k| scan.rhos()[k] != rhos[k])
-                .collect();
-            match changed.as_slice() {
-                [] => scan.x(),
-                [k] => {
-                    scan.commit(*k, rhos[*k])?;
-                    scan.x()
+    // Streaming X-measure maintenance: sync the churn scan to the
+    // surviving suffix by diff. Sent and newly crashed positions leave
+    // (O(log n) deletes), detected slowdowns rescale in place (O(log n)
+    // replaces), top-up positions join (O(log n) inserts) — membership
+    // changes never trigger an O(n) from-scratch re-solve.
+    for j in 0..pos.min(st.order.len()) {
+        if let Some(id) = st.scan_ids[j].take() {
+            st.scan.delete(id)?;
+        }
+    }
+    for j in pos..st.order.len() {
+        if st.known_crashed[j] {
+            if let Some(id) = st.scan_ids[j].take() {
+                st.scan.delete(id)?;
+            }
+        } else {
+            match st.scan_ids[j] {
+                Some(id) => {
+                    if st.scan.rho_of(id)?.to_bits() != st.eff_rhos[j].to_bits() {
+                        st.scan.replace(id, st.eff_rhos[j])?;
+                    }
                 }
-                _ => {
-                    scan.rebuild(&rhos)?;
-                    scan.x()
-                }
+                None => st.scan_ids[j] = Some(st.scan.insert(st.eff_rhos[j])?),
             }
         }
-        Some(scan) => {
-            scan.rebuild(&rhos)?;
-            st.scan_members = survivors.clone();
-            scan.x()
-        }
-        None => {
-            let scan = XScan::new(&st.params, &rhos)?;
-            let x = scan.x();
-            st.scan = Some(scan);
-            st.scan_members = survivors.clone();
-            x
-        }
-    };
+    }
+    let x = st.scan.x();
     let (a, b, td) = (st.params.a(), st.params.b(), st.params.tau_delta());
     let c = remaining / (1.0 + td * x);
     let mut product = 1.0f64;
@@ -448,20 +443,11 @@ fn mark_resolved(
     if alive.is_empty() {
         return Ok(());
     }
+    // The bonus round is a one-shot flat solve over a different member
+    // set; the churn scan keeps tracking the planned suffix, and the new
+    // positions join it through resolve_suffix's insert diff.
     let rhos: Vec<f64> = alive.iter().map(|&p| st.eff_rhos[p]).collect();
-    let x = match &mut st.scan {
-        Some(scan) => {
-            scan.rebuild(&rhos)?;
-            scan.x()
-        }
-        None => {
-            let scan = XScan::new(&st.params, &rhos)?;
-            let x = scan.x();
-            st.scan = Some(scan);
-            x
-        }
-    };
-    st.scan_members.clear(); // top-up membership is position-aliased; force future rebuilds
+    let x = x_measure_of_rhos(&st.params, &rhos);
     let (a, b, td) = (st.params.a(), st.params.b(), st.params.tau_delta());
     let c = window / (1.0 + td * x);
     let first_new = st.order.len();
@@ -484,6 +470,7 @@ fn mark_resolved(
         st.detected_slow.push(st.detected_slow[p]);
         st.arrivals.push(None);
         st.retries_used.push(0);
+        st.scan_ids.push(None);
     }
     if st.order.len() > first_new {
         q.schedule_at(start, Event::StartSend { pos: first_new });

@@ -5,7 +5,9 @@
 //! serial winner at every thread count, and the pinned paper cells must
 //! come out byte-for-byte unchanged through the batched drivers.
 
-use hetero_core::selection::{best_k_subset, best_k_subset_par};
+use hetero_core::selection::{
+    best_k_subset, best_k_subset_gray, best_k_subset_par, best_k_subset_par_segments,
+};
 use hetero_core::xbatch::{self, ProfileBatch};
 use hetero_core::{hecr, xmeasure, Params, Profile};
 use hetero_experiments::{fig34, scaling, table3};
@@ -84,15 +86,19 @@ proptest! {
         prop_assume!(k <= rhos.len());
         let params = Params::paper_table1();
         let profile = Profile::from_unsorted(rhos).expect("positive finite speeds");
-        let serial = best_k_subset(&params, &profile, k).expect("valid k");
+        // Three routes to the same winner: the exhaustive Gray walk (the
+        // oracle), the branch-and-bound default, and the segmented walk
+        // driven directly so fan-out is exercised even where the public
+        // entry point's single-worker fallback would route it serial.
+        let serial = best_k_subset_gray(&params, &profile, k).expect("valid k");
+        let bnb = best_k_subset(&params, &profile, k).expect("valid k");
+        prop_assert_eq!(bnb.rhos(), serial.rhos(), "branch-and-bound vs walk");
         for threads in 1..=8 {
             let par = best_k_subset_par(&params, &profile, k, threads).expect("valid k");
-            prop_assert_eq!(
-                par.rhos(),
-                serial.rhos(),
-                "threads = {}",
-                threads
-            );
+            prop_assert_eq!(par.rhos(), serial.rhos(), "public, threads = {}", threads);
+            let seg =
+                best_k_subset_par_segments(&params, &profile, k, threads).expect("valid k");
+            prop_assert_eq!(seg.rhos(), serial.rhos(), "segments, threads = {}", threads);
         }
     }
 }
@@ -104,10 +110,16 @@ fn parallel_subset_search_matches_serial_past_the_fanout_gate() {
     let params = Params::paper_table1();
     let profile = Profile::uniform_spread(17);
     for k in [1, 2, 9, 16, 17] {
-        let serial = best_k_subset(&params, &profile, k).expect("valid k");
+        let serial = best_k_subset_gray(&params, &profile, k).expect("valid k");
         for threads in [1, 2, 5, 8] {
             let par = best_k_subset_par(&params, &profile, k, threads).expect("valid k");
             assert_eq!(par.rhos(), serial.rhos(), "k = {k}, threads = {threads}");
+            let seg = best_k_subset_par_segments(&params, &profile, k, threads).expect("valid k");
+            assert_eq!(
+                seg.rhos(),
+                serial.rhos(),
+                "seg k = {k}, threads = {threads}"
+            );
         }
     }
 }
