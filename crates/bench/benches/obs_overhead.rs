@@ -1,0 +1,56 @@
+//! Bench — observability gate overhead on the protocol hot path.
+//!
+//! One iteration builds nothing: it executes a pre-built optimal FIFO
+//! plan on the discrete-event simulator, the most heavily instrumented
+//! loop in the workspace (per-phase Welford observations, quantile
+//! sketches, utilisation gauges, and causal span recording). The
+//! `disabled` group measures the one-relaxed-atomic-load fast path the
+//! whole workspace pays by default; the `enabled` group measures full
+//! recording into the thread-local collector. The PR 8 acceptance bar
+//! is disabled ≤ noise floor and enabled ≤ 2% over disabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_bench::{battery_profile, params};
+use hetero_protocol::{alloc, exec};
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let p = params();
+    let lifespan = 1000.0;
+
+    let mut group = c.benchmark_group("obs/execute_gate");
+    for n in [32usize, 256] {
+        let profile = battery_profile(n);
+        let plan = alloc::fifo_plan(&p, &profile, lifespan).expect("plan");
+
+        hetero_obs::disable();
+        group.bench_with_input(
+            BenchmarkId::new("disabled", n),
+            &(&profile, &plan),
+            |b, (prof, plan)| {
+                b.iter(|| {
+                    let run = exec::execute(&p, prof, plan);
+                    black_box(run.work_completed_by(lifespan))
+                })
+            },
+        );
+
+        hetero_obs::enable();
+        group.bench_with_input(
+            BenchmarkId::new("enabled", n),
+            &(&profile, &plan),
+            |b, (prof, plan)| {
+                b.iter(|| {
+                    let run = exec::execute(&p, prof, plan);
+                    black_box(run.work_completed_by(lifespan))
+                })
+            },
+        );
+        hetero_obs::disable();
+        hetero_obs::reset();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -12,7 +12,10 @@ fn bench_protocol(c: &mut Criterion) {
     let lifespan = 1000.0;
 
     let mut group = c.benchmark_group("protocol/fifo_plan");
-    for n in [4usize, 32, 256, 2048] {
+    // n = 2048 battery fleets saturate the channel under Table 1
+    // parameters (A·X > 1): fifo_plan correctly refuses, so the sweep
+    // stops at the largest feasible size.
+    for n in [4usize, 32, 256] {
         let profile = battery_profile(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &profile, |b, prof| {
             b.iter(|| black_box(alloc::fifo_plan(&p, prof, lifespan).unwrap().total_work()))

@@ -52,6 +52,9 @@ pub enum Lint {
     /// A public API in `core`/`protocol`/`sim` that may panic (by
     /// call-graph propagation) without a `# Panics` doc section.
     PanicPropagation,
+    /// A literal metric name passed to a `hetero_obs` recorder that is
+    /// not listed in `hetero_obs::counters::REGISTRY`.
+    CounterNameDiscipline,
 }
 
 /// Every lint, in reporting order.
@@ -75,6 +78,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::WallClockInLib,
     Lint::AtomicOrdering,
     Lint::PanicPropagation,
+    Lint::CounterNameDiscipline,
 ];
 
 impl Lint {
@@ -100,6 +104,7 @@ impl Lint {
             Lint::WallClockInLib => "wall-clock-in-lib",
             Lint::AtomicOrdering => "atomic-ordering",
             Lint::PanicPropagation => "panic-propagation",
+            Lint::CounterNameDiscipline => "counter-name-discipline",
         }
     }
 

@@ -218,6 +218,21 @@ pub const PAGES: &[Page] = &[
               unreachable, or return an error instead.",
         anchor: None,
     },
+    Page {
+        lint: Lint::CounterNameDiscipline,
+        what: "A string-literal metric name passed to a `hetero_obs` \
+               recorder (`count`, `gauge_max`, `observe`, `observe_hist`, \
+               `sketch`, `timed`) in library code that is not listed in \
+               `hetero_obs::counters::REGISTRY`.",
+        why: "The registry is the contract `obsdiff` and the JSONL \
+              consumers key on; an unregistered name silently forks the \
+              metric namespace and its runs can never be diffed against \
+              a baseline.",
+        fix: "Add the name to `REGISTRY` in `crates/obs/src/counters.rs` \
+              (with a comment saying who records it), or reuse an \
+              existing registered name.",
+        anchor: None,
+    },
 ];
 
 /// Renders the page for `name`, or `None` if the lint is unknown.

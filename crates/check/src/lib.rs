@@ -25,6 +25,10 @@
 //! - **Stdio discipline** — no `println!` / `eprintln!` / `print!` /
 //!   `eprint!` in library crates (`print-in-lib`): libraries return data
 //!   or record metrics through `hetero-obs`; only binaries present.
+//! - **Metric-name discipline** — literal names passed to `hetero_obs`
+//!   recorders in library code must appear in
+//!   `hetero_obs::counters::REGISTRY` (`counter-name-discipline`), so
+//!   the `obsdiff` namespace never silently forks.
 //!
 //! Findings are suppressible only with an inline
 //! `// hetero-check: allow(<lint>) — <reason>` comment; the reason is
@@ -103,6 +107,7 @@ impl Outcome {
 pub fn run(config: &Config) -> Result<Outcome, String> {
     let files = collect_files(config)?;
     let baseline = load_baseline(&config.root)?;
+    let registry = load_counter_registry(&config.root);
 
     let mut outcome = Outcome {
         files_scanned: files.len(),
@@ -117,7 +122,7 @@ pub fn run(config: &Config) -> Result<Outcome, String> {
         let rel_str = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        let scan = lints::scan_file(&rel_str, &src);
+        let scan = lints::scan_file_with_registry(&rel_str, &src, registry.as_deref());
         outcome.suppressed.extend(scan.suppressed);
         fn_facts.extend(scan.fn_facts);
         for diag in scan.diagnostics {
@@ -147,6 +152,34 @@ pub fn run(config: &Config) -> Result<Outcome, String> {
     outcome.warnings.sort_by_key(by_pos);
     outcome.baselined.sort_by_key(by_pos);
     Ok(outcome)
+}
+
+/// Loads the metric-name registry from
+/// `<root>/crates/obs/src/counters.rs` by lexing the file and collecting
+/// the string literals of its `REGISTRY` array. `None` (registry file
+/// absent or array not found) leaves the `counter-name-discipline` lint
+/// inert, so the checker still works on partial trees and fixtures.
+pub fn load_counter_registry(root: &Path) -> Option<Vec<String>> {
+    let src = std::fs::read_to_string(root.join("crates/obs/src/counters.rs")).ok()?;
+    let lexed = lexer::lex(&src);
+    let toks = &lexed.tokens;
+    let start = toks.iter().position(|t| t.text == "REGISTRY")?;
+    // Walk past the `=` (the declared type also contains `[`), then to
+    // the opening `[` of the array literal, and collect string literals
+    // until the matching `]`.
+    let eq = toks[start..].iter().position(|t| t.text == "=")? + start;
+    let open = toks[eq..].iter().position(|t| t.text == "[")? + eq;
+    let mut names = Vec::new();
+    for t in &toks[open + 1..] {
+        match t.text.as_str() {
+            "]" => return Some(names),
+            _ if t.kind == lexer::TokenKind::Str && t.text.starts_with('"') => {
+                names.push(t.text.trim_matches('"').to_string());
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Loads `check-baseline.json` from the root; a missing file is an empty

@@ -98,8 +98,17 @@ pub struct FileScan {
     pub fn_facts: Vec<FnFacts>,
 }
 
-/// Scans one file's source, returning its diagnostics.
+/// Scans one file's source, returning its diagnostics. Counter-name
+/// discipline is inert in this entry point (no registry); the full
+/// runner uses [`scan_file_with_registry`].
 pub fn scan_file(rel: &str, src: &str) -> FileScan {
+    scan_file_with_registry(rel, src, None)
+}
+
+/// Scans one file's source with the metric-name registry loaded from
+/// `crates/obs/src/counters.rs` (`None` disables counter-name
+/// discipline — e.g. in a tree without the obs crate).
+pub fn scan_file_with_registry(rel: &str, src: &str, registry: Option<&[String]>) -> FileScan {
     let class = classify(rel);
     if class == FileClass::Skip {
         return FileScan::default();
@@ -141,6 +150,11 @@ pub fn scan_file(rel: &str, src: &str) -> FileScan {
             // data so their behaviour is reproducible.
             if !rel.starts_with("crates/obs/src/") {
                 cx.wall_clock(&mut raw);
+            }
+            // Literal metric names in library code must come from the
+            // registry, so `obsdiff` baselines never silently fork.
+            if let Some(reg) = registry {
+                cx.counter_name_discipline(reg, &mut raw);
             }
             cx.dataflow_lints(&ast, &mut raw);
             cx.indexing(&mut raw);
@@ -654,6 +668,53 @@ impl<'a> Cx<'a> {
                     "`{}::now()` makes library behaviour wall-clock dependent; take \
                      time as a parameter, use SimTime, or measure through hetero-obs",
                     tok.text
+                ),
+            );
+        }
+    }
+
+    /// `hetero_obs::{count, gauge_max, observe, observe_hist, sketch,
+    /// timed}` called with a string-literal metric name that is not in
+    /// `hetero_obs::counters::REGISTRY`. Dynamic names (variables,
+    /// `format!`) are out of scope — the lint is purely syntactic, like
+    /// the rest of the pass.
+    fn counter_name_discipline(&self, registry: &[String], out: &mut Vec<Diagnostic>) {
+        const RECORDERS: &[&str] = &[
+            "count",
+            "gauge_max",
+            "observe",
+            "observe_hist",
+            "sketch",
+            "timed",
+        ];
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.kind != TokenKind::Ident || tok.text != "hetero_obs" {
+                continue;
+            }
+            if self.text(i + 1) != "::" || !RECORDERS.contains(&self.text(i + 2)) {
+                continue;
+            }
+            if self.text(i + 3) != "(" {
+                continue;
+            }
+            let Some(arg) = self.tokens.get(i + 4) else {
+                continue;
+            };
+            if arg.kind != TokenKind::Str || !arg.text.starts_with('"') {
+                continue;
+            }
+            let name = arg.text.trim_matches('"');
+            if registry.iter().any(|r| r == name) {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::CounterNameDiscipline,
+                arg,
+                format!(
+                    "metric name \"{name}\" is not in hetero_obs::counters::REGISTRY; \
+                     register it there (or reuse a registered name) so obsdiff \
+                     baselines cover it"
                 ),
             );
         }
@@ -1642,5 +1703,59 @@ mod tests {
             .collect();
         assert_eq!(idx.len(), 1);
         assert_eq!(idx[0].level, crate::diag::Level::Warn);
+    }
+
+    fn names_of(rel: &str, src: &str, registry: &[&str]) -> Vec<(Lint, u32)> {
+        let reg: Vec<String> = registry.iter().map(|s| s.to_string()).collect();
+        scan_file_with_registry(rel, src, Some(&reg))
+            .diagnostics
+            .iter()
+            .map(|d| (d.lint, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn counter_name_discipline_checks_literals_against_the_registry() {
+        let src = "pub fn f() { hetero_obs::count(\"a.b\", 1); }";
+        let found = names_of(LIB, src, &["a.b"]);
+        assert!(found.iter().all(|(l, _)| *l != Lint::CounterNameDiscipline));
+        let found = names_of(LIB, src, &["other"]);
+        assert!(found.contains(&(Lint::CounterNameDiscipline, 1)));
+        // Every recorder entry point is covered.
+        let sketch = "pub fn f() { hetero_obs::sketch(\"x.y\", 2.0); }";
+        assert!(names_of(LIB, sketch, &[]).contains(&(Lint::CounterNameDiscipline, 1)));
+    }
+
+    #[test]
+    fn counter_name_discipline_skips_dynamic_names_and_binaries() {
+        // Non-literal names cannot be checked statically: stay silent.
+        let dynamic = "pub fn f(n: &str) { hetero_obs::count(n, 1); }";
+        assert!(names_of(LIB, dynamic, &[])
+            .iter()
+            .all(|(l, _)| *l != Lint::CounterNameDiscipline));
+        // Binaries may record ad-hoc names.
+        let src = "pub fn f() { hetero_obs::count(\"ad.hoc\", 1); }";
+        assert!(names_of("crates/cli/src/main.rs", src, &[])
+            .iter()
+            .all(|(l, _)| *l != Lint::CounterNameDiscipline));
+        // No registry on disk: the lint is inert rather than noisy.
+        assert!(lints_of(LIB, src)
+            .iter()
+            .all(|(l, _)| *l != Lint::CounterNameDiscipline));
+    }
+
+    #[test]
+    fn counter_name_discipline_honours_allow_comments() {
+        let src = "pub fn f() {\n    // hetero-check: allow(counter-name-discipline) — migration shim\n    hetero_obs::count(\"legacy.name\", 1);\n}";
+        let reg: Vec<String> = Vec::new();
+        let scan = scan_file_with_registry(LIB, src, Some(&reg));
+        assert!(scan
+            .diagnostics
+            .iter()
+            .all(|d| d.lint != Lint::CounterNameDiscipline));
+        assert!(scan
+            .suppressed
+            .iter()
+            .any(|s| s.diag.lint == Lint::CounterNameDiscipline));
     }
 }

@@ -183,7 +183,21 @@ fn violations_fixture_fires_every_deny_lint() {
         .count();
     assert_eq!(panics, 1, "{d:?}");
 
-    assert_eq!(summary_num(&r, "violations"), 26);
+    // Metric-name discipline: the rogue name fires once, the registered
+    // recorder call on line 5 stays silent.
+    assert!(has(
+        &d,
+        "counter-name-discipline",
+        "crates/demo/src/metrics.rs",
+        10
+    ));
+    let names = d
+        .iter()
+        .filter(|(l, _, _, _)| l == "counter-name-discipline")
+        .count();
+    assert_eq!(names, 1, "{d:?}");
+
+    assert_eq!(summary_num(&r, "violations"), 27);
     assert_eq!(summary_num(&r, "warnings"), 1);
     assert_eq!(summary_num(&r, "exit_code"), 1);
 }

@@ -1,0 +1,6 @@
+//! Metric recording through a registered name stays silent.
+
+/// Records a registered metric: counter-name-discipline must not fire.
+pub fn good(n: u64) {
+    hetero_obs::count("demo.registered", n);
+}

@@ -1,0 +1,4 @@
+//! Mini metric registry for the clean fixture.
+
+/// Every metric name the clean fixture records.
+pub const REGISTRY: &[&str] = &["demo.registered"];

@@ -1,0 +1,11 @@
+//! Metric recording: one registered name, one rogue name.
+
+/// Silent: `demo.registered` is in the fixture REGISTRY.
+pub fn good(n: u64) {
+    hetero_obs::count("demo.registered", n);
+}
+
+/// Fires: `demo.rogue` is not registered.
+pub fn bad(n: u64) {
+    hetero_obs::count("demo.rogue", n);
+}

@@ -1,0 +1,5 @@
+//! Mini metric registry for the fixture workspace: the names the
+//! counter-name-discipline lint accepts.
+
+/// Every metric name the fixture recorders may use.
+pub const REGISTRY: &[&str] = &["demo.registered"];

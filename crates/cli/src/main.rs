@@ -39,7 +39,20 @@
 //!                           10^6-worker compression demo; --exact solves
 //!                           one (n, k) instance — any n, far past the
 //!                           n = 63 walk cap
+//!   critpath [--csv]        extension: E21 causal critical paths —
+//!                           oblivious FIFO vs adaptive replanning on the
+//!                           E18 fault grid, one seeded trial per cell
 //!   all                     everything above with default settings
+//!
+//!   obsdiff <run-a> <run-b> [--rel R] [--span-rel R] [--quantile-rel R]
+//!           [--ignore PREFIX]... [--json]
+//!                           perf-regression observatory: diff two
+//!                           `--obs-json` streams (or BENCH json
+//!                           documents), exit nonzero when any span mean
+//!                           or sketch quantile regresses past the noise
+//!                           thresholds (counters drift two-sided);
+//!                           `--ignore` drops metrics by name prefix
+//!                           (e.g. scheduling-dependent pool counters)
 //! ```
 //!
 //! Add `--csv` to any table-producing command to print CSV instead of the
@@ -70,9 +83,9 @@ use std::process::ExitCode;
 
 use hetero_core::Params;
 use hetero_experiments::{
-    examples42, fault_sweep, fifo_lifo, fig34, fleet, gantt, granularity, majorization_ext,
-    moments_ext, obs_export, protocol_check, robustness, scaling, selection_sweep, sensitivity,
-    table3, table4, threshold, variance,
+    critpath, examples42, fault_sweep, fifo_lifo, fig34, fleet, gantt, granularity,
+    majorization_ext, moments_ext, obs_export, protocol_check, robustness, scaling,
+    selection_sweep, sensitivity, table3, table4, threshold, variance,
 };
 
 /// Parsed command-line options.
@@ -389,6 +402,15 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             print_table(&fault_sweep::run(&cfg).table(), opts.csv);
             println!("(adaptive replanning vs oblivious FIFO vs equal split under seeded crash/straggler injection)");
         }
+        "critpath" => {
+            let e = if opts.smoke {
+                critpath::run_smoke()
+            } else {
+                critpath::run_paper()
+            };
+            print_table(&e.table(), opts.csv);
+            println!("(heaviest result-delivering causal chain per arm; a missed deadline is a chain ending past L)");
+        }
         "sensitivity" => print_table(&sensitivity::run_paper().table(), opts.csv),
         "scaling" => {
             if opts.bench_scaling {
@@ -435,6 +457,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
                 "faults",
                 "fleet",
                 "select",
+                "critpath",
             ] {
                 println!("──────────────────────────────────────── {c}");
                 run_command(c, opts)?;
@@ -465,6 +488,56 @@ fn obs_trace_document(cmd: &str, snapshot: &hetero_obs::Snapshot) -> String {
     }
 }
 
+/// The causal critical path of the command's canonical execution as a
+/// `spantree` JSONL event (`protocol` → the Figure 1 run, `gantt` → the
+/// Figure 2 run; other commands execute no protocol run, so no line).
+/// The folded rendering names entities like the Chrome export
+/// (`C0`…`Cn`, `net`).
+fn obs_spantree_line(cmd: &str) -> Option<String> {
+    use hetero_obs::json::Value;
+    let p = Params::paper_table1();
+    let (run, n) = match cmd {
+        "protocol" => (obs_export::fig1_execution(&p), 1),
+        "gantt" => {
+            let profile = hetero_core::Profile::new(vec![1.0, 0.5, 1.0 / 3.0]).expect("valid");
+            let n = profile.n();
+            (obs_export::fig2_execution(&p, &profile, 100.0), n)
+        }
+        _ => return None,
+    };
+    let path = hetero_obs::causal::critical_path(&run.trace)?;
+    // Entity layout of `exec`: 0 = server (`C0`), 1..=n = remote
+    // computers, n + 1 = the channel (`net`) — same as the Chrome export.
+    let names: Vec<String> = (0..=n + 1)
+        .map(|entity| {
+            if entity == n + 1 {
+                "net".to_string()
+            } else {
+                format!("C{entity}")
+            }
+        })
+        .collect();
+    let obj = Value::Obj(vec![
+        ("event".into(), Value::Str("spantree".into())),
+        ("name".into(), Value::Str(cmd.into())),
+        (
+            "value".into(),
+            Value::Obj(vec![
+                ("weight".into(), Value::Num(path.weight)),
+                ("start".into(), Value::Num(path.start)),
+                ("end".into(), Value::Num(path.end)),
+                ("slack".into(), Value::Num(path.slack)),
+                ("frames".into(), Value::Str(path.folded_frames(&run.trace))),
+                (
+                    "folded".into(),
+                    Value::Str(hetero_obs::folded::trace_to_folded(&run.trace, &names)),
+                ),
+            ]),
+        ),
+    ]);
+    Some(obj.render())
+}
+
 /// Drains the collector into the requested sinks after an instrumented run.
 fn obs_finalize(cmd: &str, opts: &Opts, wall_ms: f64) -> Result<(), String> {
     let snapshot = hetero_obs::snapshot();
@@ -484,6 +557,8 @@ fn obs_finalize(cmd: &str, opts: &Opts, wall_ms: f64) -> Result<(), String> {
         ],
         wall_ms,
         counters,
+        sketches: snapshot.sketches.clone(),
+        host: hetero_obs::HostContext::detect(),
     };
     if opts.obs {
         println!();
@@ -492,6 +567,10 @@ fn obs_finalize(cmd: &str, opts: &Opts, wall_ms: f64) -> Result<(), String> {
     }
     if let Some(path) = &opts.obs_json {
         let mut stream = snapshot.to_jsonl();
+        if let Some(line) = obs_spantree_line(cmd) {
+            stream.push_str(&line);
+            stream.push('\n');
+        }
         stream.push_str(&manifest.to_jsonl_line());
         stream.push('\n');
         std::fs::write(path, stream).map_err(|e| format!("writing {path}: {e}"))?;
@@ -501,6 +580,64 @@ fn obs_finalize(cmd: &str, opts: &Opts, wall_ms: f64) -> Result<(), String> {
         std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
     }
     Ok(())
+}
+
+/// `hetero-cli obsdiff <run-a> <run-b>` — the perf-regression
+/// observatory. Loads two runs (`--obs-json` streams or BENCH json
+/// documents, auto-detected), diffs them under the noise thresholds,
+/// prints the report, and exits nonzero iff any metric *regressed*
+/// (slower span/quantile, or a counter drifting either way past the
+/// counter threshold).
+fn cmd_obsdiff(args: &[String]) -> Result<bool, String> {
+    let mut thr = hetero_obs::diff::DiffThresholds::default();
+    let mut json = false;
+    let mut ignore: Vec<String> = Vec::new();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--ignore" => {
+                let v = it.next().ok_or("--ignore needs a metric-name prefix")?;
+                ignore.push(v.clone());
+            }
+            "--rel" => {
+                let v = it.next().ok_or("--rel needs a value")?;
+                let r: f64 = v.parse().map_err(|_| format!("bad --rel {v}"))?;
+                thr.counter_rel = r;
+                thr.span_rel = r;
+                thr.quantile_rel = r;
+            }
+            "--span-rel" => {
+                let v = it.next().ok_or("--span-rel needs a value")?;
+                thr.span_rel = v.parse().map_err(|_| format!("bad --span-rel {v}"))?;
+            }
+            "--quantile-rel" => {
+                let v = it.next().ok_or("--quantile-rel needs a value")?;
+                thr.quantile_rel = v.parse().map_err(|_| format!("bad --quantile-rel {v}"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown obsdiff option {other}"));
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [path_a, path_b] = paths[..] else {
+        return Err("obsdiff needs exactly two run files: obsdiff <run-a> <run-b>".to_string());
+    };
+    let text_a = std::fs::read_to_string(path_a).map_err(|e| format!("reading {path_a}: {e}"))?;
+    let text_b = std::fs::read_to_string(path_b).map_err(|e| format!("reading {path_b}: {e}"))?;
+    let mut a = hetero_obs::diff::load_run(&text_a).map_err(|e| format!("{path_a}: {e}"))?;
+    let mut b = hetero_obs::diff::load_run(&text_b).map_err(|e| format!("{path_b}: {e}"))?;
+    a.strip_prefixes(&ignore);
+    b.strip_prefixes(&ignore);
+    let report = hetero_obs::diff::diff(&a, &b, &thr);
+    if json {
+        println!("{}", report.to_json().render());
+    } else {
+        print!("{}", report.human());
+    }
+    Ok(report.regressions() == 0)
 }
 
 fn main() -> ExitCode {
@@ -513,14 +650,30 @@ fn main() -> ExitCode {
         println!(
             "commands: params table3 table4 fig3 fig4 variance threshold minorize \
              protocol gantt moments lifo sensitivity scaling majorize-ext \
-             granularity robustness faults fleet select all"
+             granularity robustness faults fleet select critpath all"
         );
         println!(
             "options:  --csv --trials N --max-n N --seed S --threads N --hard \
              --bench-scaling --smoke --exact --k K --n N --obs --obs-json PATH \
              --obs-trace PATH"
         );
+        println!(
+            "obsdiff:  hetero-cli obsdiff <run-a> <run-b> [--rel R] [--span-rel R] \
+             [--quantile-rel R] [--ignore PREFIX]... [--json]  (exit 1 = regression detected)"
+        );
         return ExitCode::SUCCESS;
+    }
+    // `obsdiff` takes positional file arguments, which `parse_opts`
+    // rejects by design — handle it before option parsing.
+    if cmd == "obsdiff" {
+        return match cmd_obsdiff(rest) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     let opts = match parse_opts(rest) {
         Ok(o) => o,

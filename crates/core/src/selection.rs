@@ -291,6 +291,10 @@ pub fn best_k_subset_with_stats(
     }
     hetero_obs::counters::SELECT_BNB_NODES_VISITED.add(stats.nodes_visited);
     hetero_obs::counters::SELECT_BNB_NODES_PRUNED.add(stats.nodes_pruned);
+    // Per-call node count as a value observation: paired with the
+    // `select.bnb` wall span, `obsdiff` derives nodes/sec from the two
+    // without the library ever reading a wall clock itself.
+    hetero_obs::observe("select.bnb.nodes", stats.nodes_visited as f64);
     // hetero-check: allow(expect) — with 1 ≤ k ≤ n the forced/leaf paths offer at least one subset
     let (_, indices) = best.expect("k ≥ 1 guarantees a subset");
     let winner: Vec<f64> = indices.iter().map(|&i| rhos[i as usize]).collect();

@@ -314,6 +314,7 @@ impl ChurnScan {
                 value: rho,
             });
         }
+        hetero_obs::counters::XSCAN_REPLACE.bump();
         let seg = &mut self.segs[si];
         seg.rhos[slot] = rho;
         seg.d[slot] = self.b * rho + self.a;

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critpath;
 pub mod examples42;
 pub mod fault_sweep;
 pub mod fifo_lifo;

@@ -18,8 +18,9 @@ use hetero_sim::Trace;
 use crate::collector::WallSpan;
 use crate::json::Value;
 
-/// Microseconds per simulated time unit in the exported trace.
-const SIM_UNIT_US: f64 = 1000.0;
+/// Microseconds per simulated time unit in the exported trace (shared
+/// with the folded-stack exporter so both render the same scale).
+pub const SIM_UNIT_US: f64 = 1000.0;
 
 fn event(name: &str, cat: &str, ts_us: f64, dur_us: f64, tid: usize) -> Value {
     Value::Obj(vec![

@@ -6,8 +6,12 @@
 //! golden-file and same-seed-determinism tests.
 
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 
 use hetero_sim::stats::{FixedHistogram, OnlineStats};
+
+use crate::sketch::QuantileSketch;
 
 /// One completed RAII wall-clock span (microseconds since the process
 /// observability epoch).
@@ -32,8 +36,38 @@ pub struct Collector {
     gauges: BTreeMap<String, u64>,
     values: BTreeMap<String, OnlineStats>,
     hists: BTreeMap<String, FixedHistogram>,
+    sketches: BTreeMap<String, QuantileSketch>,
     spans: Vec<WallSpan>,
 }
+
+/// Typed rejection of a degenerate histogram range: `lo >= hi` (or a
+/// NaN bound) or zero buckets would make `FixedHistogram::new` panic.
+/// The refusal is also recorded on the `obs.error.hist_range` counter so
+/// misconfigured instrumentation is visible in the event stream instead
+/// of silently producing nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRangeError {
+    /// The histogram that was being created.
+    pub name: String,
+    /// The offending lower bound.
+    pub lo: f64,
+    /// The offending upper bound.
+    pub hi: f64,
+    /// The offending bucket count.
+    pub buckets: usize,
+}
+
+impl fmt::Display for HistRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degenerate histogram range for `{}`: [{}, {}) with {} buckets",
+            self.name, self.lo, self.hi, self.buckets
+        )
+    }
+}
+
+impl Error for HistRangeError {}
 
 impl Collector {
     /// An empty collector.
@@ -76,23 +110,76 @@ impl Collector {
 
     /// Buckets one observation into the named fixed-width histogram,
     /// created on first use over `[lo, hi)` with `buckets` bins. Later
-    /// calls keep the first range; NaN and invalid ranges are dropped.
-    pub fn observe_hist(&mut self, name: &str, v: f64, lo: f64, hi: f64, buckets: usize) {
+    /// calls keep the first range; NaN observations are dropped. A
+    /// degenerate creation range (`lo >= hi`, NaN bound, or zero
+    /// buckets) returns a typed [`HistRangeError`] and bumps the
+    /// `obs.error.hist_range` counter — the histogram is not created.
+    pub fn observe_hist(
+        &mut self,
+        name: &str,
+        v: f64,
+        lo: f64,
+        hi: f64,
+        buckets: usize,
+    ) -> Result<(), HistRangeError> {
         if v.is_nan() {
-            return;
+            return Ok(());
         }
         if let Some(h) = self.hists.get_mut(name) {
             h.push(v);
-            return;
+            return Ok(());
         }
         // NaN bounds fall through to the refusal branch.
         let range_ok = matches!(hi.partial_cmp(&lo), Some(std::cmp::Ordering::Greater));
         if !range_ok || buckets == 0 {
-            return; // FixedHistogram::new would panic; refuse quietly
+            self.count("obs.error.hist_range", 1);
+            return Err(HistRangeError {
+                name: name.to_string(),
+                lo,
+                hi,
+                buckets,
+            });
         }
         let mut h = FixedHistogram::new(lo, hi, buckets);
         h.push(v);
         self.hists.insert(name.to_string(), h);
+        Ok(())
+    }
+
+    /// Folds one observation into the named mergeable quantile sketch
+    /// (see [`QuantileSketch`]); NaN is dropped by the sketch itself.
+    pub fn sketch(&mut self, name: &str, v: f64) {
+        if let Some(s) = self.sketches.get_mut(name) {
+            s.record(v);
+        } else {
+            let mut s = QuantileSketch::new();
+            s.record(v);
+            self.sketches.insert(name.to_string(), s);
+        }
+    }
+
+    /// Merges a pre-aggregated Welford accumulator into the named slot —
+    /// the batch hook for sites that fold many observations per run
+    /// (one merge per run instead of one lock per observation).
+    pub fn merge_observations(&mut self, name: &str, other: &OnlineStats) {
+        if other.count() == 0 {
+            return;
+        }
+        if let Some(stats) = self.values.get_mut(name) {
+            stats.merge(other);
+        } else {
+            self.values.insert(name.to_string(), other.clone());
+        }
+    }
+
+    /// Merges another sketch into the named slot — the aggregation hook
+    /// for per-shard collectors.
+    pub fn merge_sketch(&mut self, name: &str, other: &QuantileSketch) {
+        if let Some(s) = self.sketches.get_mut(name) {
+            s.merge(other);
+        } else {
+            self.sketches.insert(name.to_string(), other.clone());
+        }
     }
 
     /// Appends one completed wall-clock span.
@@ -143,6 +230,11 @@ impl Collector {
                     )
                 })
                 .collect(),
+            sketches: self
+                .sketches
+                .iter()
+                .map(|(k, s)| (k.clone(), SketchSnapshot::of(s)))
+                .collect(),
             spans: self.spans.clone(),
         }
     }
@@ -172,6 +264,38 @@ pub struct HistSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+/// Quantile summary of one sketch — the SLO view the JSONL sink and the
+/// run manifest carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchSnapshot {
+    /// Total observations recorded.
+    pub count: u64,
+    /// Exact minimum observation.
+    pub min: f64,
+    /// Exact maximum observation.
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl SketchSnapshot {
+    /// Summarizes a sketch.
+    pub fn of(s: &QuantileSketch) -> Self {
+        SketchSnapshot {
+            count: s.count(),
+            min: s.min(),
+            max: s.max(),
+            p50: s.p50(),
+            p90: s.p90(),
+            p99: s.p99(),
+        }
+    }
+}
+
 /// An immutable, deterministically ordered view of the collector. All
 /// sequences are sorted by metric name (spans stay in recording order).
 #[derive(Debug, Clone, Default)]
@@ -184,6 +308,8 @@ pub struct Snapshot {
     pub values: Vec<(String, ValueStats)>,
     /// Histograms, sorted by name.
     pub hists: Vec<(String, HistSnapshot)>,
+    /// Quantile sketches, sorted by name.
+    pub sketches: Vec<(String, SketchSnapshot)>,
     /// Completed wall-clock spans, in recording order.
     pub spans: Vec<WallSpan>,
 }
@@ -263,15 +389,80 @@ mod tests {
     #[test]
     fn histogram_first_range_wins_and_bad_range_refused() {
         let mut c = Collector::new();
-        c.observe_hist("h", 0.1, 0.0, 1.0, 4);
-        c.observe_hist("h", 0.9, 5.0, 6.0, 2); // later range ignored
-        c.observe_hist("bad", 1.0, 1.0, 1.0, 4); // would panic in new()
+        assert!(c.observe_hist("h", 0.1, 0.0, 1.0, 4).is_ok());
+        // Later range ignored: the first histogram keeps its bounds.
+        assert!(c.observe_hist("h", 0.9, 5.0, 6.0, 2).is_ok());
+        let err = c.observe_hist("bad", 1.0, 1.0, 1.0, 4).unwrap_err();
+        assert_eq!(
+            err,
+            HistRangeError {
+                name: "bad".into(),
+                lo: 1.0,
+                hi: 1.0,
+                buckets: 4
+            }
+        );
+        assert!(err.to_string().contains("degenerate"));
         let snap = c.snapshot(&[]);
         assert_eq!(snap.hists.len(), 1);
         let (name, h) = &snap.hists[0];
         assert_eq!(name, "h");
         assert_eq!(h.total, 2);
         assert_eq!(h.buckets.len(), 4);
+        assert_eq!(
+            snap.counter("obs.error.hist_range"),
+            1,
+            "refusal lands on the error counter"
+        );
+    }
+
+    #[test]
+    fn degenerate_hist_errors_cover_every_cause() {
+        let mut c = Collector::new();
+        assert!(c.observe_hist("a", 0.5, 2.0, 1.0, 4).is_err()); // lo > hi
+        assert!(c.observe_hist("b", 0.5, f64::NAN, 1.0, 4).is_err()); // NaN bound
+        assert!(c.observe_hist("c", 0.5, 0.0, 1.0, 0).is_err()); // zero buckets
+        assert!(c.observe_hist("d", f64::NAN, 2.0, 1.0, 4).is_ok()); // NaN obs dropped first
+        let snap = c.snapshot(&[]);
+        assert_eq!(snap.counter("obs.error.hist_range"), 3);
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn sketches_snapshot_with_quantiles() {
+        let mut c = Collector::new();
+        for i in 1..=100 {
+            c.sketch("lat", i as f64);
+        }
+        let snap = c.snapshot(&[]);
+        assert_eq!(snap.sketches.len(), 1);
+        let (name, s) = &snap.sketches[0];
+        assert_eq!(name, "lat");
+        assert_eq!(s.count, 100);
+        assert_eq!((s.min, s.max), (1.0, 100.0));
+        assert!(
+            (s.p50 - 50.0).abs() / 50.0 < 0.06,
+            "p50 ≈ 50, got {}",
+            s.p50
+        );
+        assert!(
+            (s.p99 - 99.0).abs() / 99.0 < 0.06,
+            "p99 ≈ 99, got {}",
+            s.p99
+        );
+    }
+
+    #[test]
+    fn merge_sketch_aggregates_shards() {
+        let mut shard = crate::sketch::QuantileSketch::new();
+        shard.record(5.0);
+        let mut c = Collector::new();
+        c.sketch("lat", 1.0);
+        c.merge_sketch("lat", &shard);
+        c.merge_sketch("other", &shard);
+        let snap = c.snapshot(&[]);
+        assert_eq!(snap.sketches[0].1.count, 2);
+        assert_eq!(snap.sketches[1].1.count, 1);
     }
 
     #[test]

@@ -91,9 +91,17 @@ pub static SELECT_BNB_NODES_PRUNED: HotCounter = HotCounter::new("select.bnb.nod
 pub static XSCAN_INSERT: HotCounter = HotCounter::new("xscan.insert");
 /// Workers deleted from a streaming churn scan.
 pub static XSCAN_DELETE: HotCounter = HotCounter::new("xscan.delete");
+/// In-place speed rescales applied to a streaming churn scan
+/// (`ChurnScan::replace`) — completes the churn op mix with
+/// `xscan.insert`/`xscan.delete`.
+pub static XSCAN_REPLACE: HotCounter = HotCounter::new("xscan.replace");
+/// Times a parked pool worker was woken by a job becoming available
+/// (condvar wait returning with work) — a high ratio of park-wakes to
+/// jobs means the queue keeps draining dry.
+pub static PAR_POOL_PARK_WAKES: HotCounter = HotCounter::new("par.pool.park_wakes");
 
 /// Every static hot counter, in reporting order.
-pub fn all() -> [&'static HotCounter; 15] {
+pub fn all() -> [&'static HotCounter; 17] {
     [
         &XENGINE_REPLACE,
         &XENGINE_COMMIT,
@@ -110,7 +118,67 @@ pub fn all() -> [&'static HotCounter; 15] {
         &SELECT_BNB_NODES_PRUNED,
         &XSCAN_INSERT,
         &XSCAN_DELETE,
+        &XSCAN_REPLACE,
+        &PAR_POOL_PARK_WAKES,
     ]
+}
+
+/// The metric-name registry: every counter, gauge, value, histogram,
+/// sketch, and span name library code may emit. The `hetero-check`
+/// `counter-name-discipline` lint parses this list straight out of this
+/// source file and rejects any obs call in lib code whose literal name
+/// is not registered — so adding an instrumentation site means adding
+/// its name here, where the dashboards and `obsdiff` baselines can see
+/// it. (Binary crates — the CLI's `cmd.*` spans, the experiments'
+/// `trials.*` counts — are exempt; this is the *library* contract.)
+pub const REGISTRY: &[&str] = &[
+    // Static hot counters (kept in sync by `registry_covers_all_statics`).
+    "xengine.replace",
+    "xengine.commit",
+    "xengine.rebuild",
+    "selection.subset_nodes",
+    "faults.injected",
+    "faults.replans",
+    "faults.lost_messages",
+    "faults.skipped_sends",
+    "xbatch.eval",
+    "xbatch.ragged_fallback",
+    "par.pool.jobs",
+    "select.bnb.nodes_visited",
+    "select.bnb.nodes_pruned",
+    "xscan.insert",
+    "xscan.delete",
+    "xscan.replace",
+    "par.pool.park_wakes",
+    // Simulator and protocol dynamic metrics.
+    "sim.events",
+    "sim.queue_high_water",
+    "protocol.util.server",
+    "protocol.util.channel",
+    "protocol.util.worker",
+    "protocol.send",
+    "protocol.compute",
+    "protocol.receive",
+    "protocol.wait",
+    "protocol.other",
+    // Replanner metrics.
+    "faults.replan",
+    "faults.replan.suffix_depth",
+    // Worker-pool metrics.
+    "par.pool.map",
+    "par.pool.queue_depth",
+    // Subset-selection metrics.
+    "select.bnb",
+    "select.bnb.nodes",
+    // Numeric-kernel diagnostics.
+    "xengine.kahan_comp_log10",
+    // Collector self-diagnostics.
+    "obs.error.hist_range",
+];
+
+/// `true` iff `name` is a registered metric name.
+pub fn is_registered(name: &str) -> bool {
+    REGISTRY.contains(&name)
 }
 
 #[cfg(test)]
@@ -137,9 +205,28 @@ mod tests {
                 "select.bnb.nodes_visited",
                 "select.bnb.nodes_pruned",
                 "xscan.insert",
-                "xscan.delete"
+                "xscan.delete",
+                "xscan.replace",
+                "par.pool.park_wakes"
             ]
         );
+    }
+
+    #[test]
+    fn registry_covers_all_statics() {
+        for c in all() {
+            assert!(
+                is_registered(c.name()),
+                "static counter `{}` missing from REGISTRY",
+                c.name()
+            );
+        }
+        // No duplicates — the registry is also documentation.
+        let mut sorted: Vec<&str> = REGISTRY.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), REGISTRY.len(), "duplicate registry entry");
+        assert!(!is_registered("not.a.metric"));
     }
 
     #[test]

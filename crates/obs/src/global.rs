@@ -89,11 +89,35 @@ pub fn observe(name: &str, v: f64) {
 }
 
 /// Buckets one observation into a named fixed-width histogram created on
-/// first use over `[lo, hi)` (no-op while disabled; NaN and empty ranges
-/// dropped).
+/// first use over `[lo, hi)` (no-op while disabled; NaN dropped). A
+/// degenerate creation range is recorded as a typed error event on the
+/// `obs.error.hist_range` counter by the collector — callers that need
+/// the [`HistRangeError`](crate::collector::HistRangeError) itself
+/// should use [`Collector::observe_hist`](Collector::observe_hist)
+/// directly.
 pub fn observe_hist(name: &str, v: f64, lo: f64, hi: f64, buckets: usize) {
     if enabled() {
-        lock().observe_hist(name, v, lo, hi, buckets);
+        // The refusal is already recorded on the error counter; fire-and-
+        // forget instrumentation sites have nowhere to propagate it.
+        let _ = lock().observe_hist(name, v, lo, hi, buckets);
+    }
+}
+
+/// Folds one observation into a named mergeable quantile sketch (no-op
+/// while disabled; NaN dropped). See [`crate::sketch::QuantileSketch`].
+pub fn sketch(name: &str, v: f64) {
+    if enabled() {
+        lock().sketch(name, v);
+    }
+}
+
+/// Runs `f` against the live collector under a single lock acquisition
+/// (no-op while disabled). Instrumentation sites that fold many metrics
+/// at the end of a run batch them here instead of paying the lock and
+/// the name lookup once per call through the free-function recorders.
+pub fn with_collector(f: impl FnOnce(&mut Collector)) {
+    if enabled() {
+        f(&mut lock());
     }
 }
 

@@ -14,6 +14,14 @@
 //! * [`observe`]/[`observe_hist`] — Welford statistics and fixed-width
 //!   histograms reusing `hetero_sim::stats`,
 //! * [`timed`] — RAII wall-clock spans,
+//! * [`sketch`] — mergeable log-bucketed quantile sketches
+//!   ([`sketch::QuantileSketch`]) with deterministic p50/p90/p99/max,
+//! * [`causal`] — critical-path extraction over the simulator's causal
+//!   span trees, with an inferno-compatible folded-stack exporter
+//!   ([`folded`]) beside the Chrome one,
+//! * [`diff`] — the regression observatory backing `hetero-cli obsdiff`:
+//!   load two runs, diff counters/spans/quantiles under noise
+//!   thresholds, exit nonzero on regression,
 //! * sinks: a human summary table ([`Snapshot::summary`]), a JSON-lines
 //!   event stream ([`Snapshot::to_jsonl`], every line
 //!   `{"event", "name", "value"}`), and a Chrome trace-event exporter
@@ -48,17 +56,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod chrome;
 pub mod collector;
 pub mod counters;
+pub mod diff;
+pub mod folded;
 mod global;
 pub mod json;
 pub mod manifest;
 pub mod sink;
+pub mod sketch;
 
-pub use collector::{Collector, HistSnapshot, Snapshot, ValueStats, WallSpan};
-pub use global::{
-    count, disable, enable, enabled, gauge_max, observe, observe_hist, reset, snapshot, timed,
-    TimedSpan,
+pub use collector::{
+    Collector, HistRangeError, HistSnapshot, SketchSnapshot, Snapshot, ValueStats, WallSpan,
 };
-pub use manifest::RunManifest;
+pub use global::{
+    count, disable, enable, enabled, gauge_max, observe, observe_hist, reset, sketch, snapshot,
+    timed, with_collector, TimedSpan,
+};
+pub use manifest::{HostContext, RunManifest};

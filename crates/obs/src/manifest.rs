@@ -5,7 +5,58 @@
 
 use std::fmt::Write as _;
 
+use crate::collector::SketchSnapshot;
 use crate::json::Value;
+
+/// The host the run executed on — the metadata that distinguishes a
+/// 1-core BENCH json from a 32-core one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostContext {
+    /// Logical core count (`std::thread::available_parallelism`; 0 when
+    /// the query fails).
+    pub logical_cores: usize,
+    /// The raw `HETERO_THREADS` environment override, if set.
+    pub hetero_threads_env: Option<String>,
+    /// The effective `target-cpu` capability the binary was compiled
+    /// with, reported as the compiled-in SIMD feature set (e.g.
+    /// `avx512f+avx2+fma`), or `baseline` when none apply.
+    pub target_cpu: String,
+}
+
+impl HostContext {
+    /// Detects the current host and build configuration.
+    pub fn detect() -> Self {
+        HostContext {
+            logical_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+            hetero_threads_env: std::env::var("HETERO_THREADS").ok(),
+            target_cpu: effective_target_cpu(),
+        }
+    }
+}
+
+/// The compiled-in SIMD capability string — a `cfg!(target_feature)`
+/// probe, so it reflects what `-C target-cpu` actually enabled for this
+/// binary (the flag itself is not observable at run time).
+pub fn effective_target_cpu() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    if cfg!(target_feature = "avx512f") {
+        feats.push("avx512f");
+    }
+    if cfg!(target_feature = "avx2") {
+        feats.push("avx2");
+    }
+    if cfg!(target_feature = "fma") {
+        feats.push("fma");
+    }
+    if cfg!(target_feature = "sse4.2") {
+        feats.push("sse4.2");
+    }
+    if feats.is_empty() {
+        "baseline".to_string()
+    } else {
+        feats.join("+")
+    }
+}
 
 /// One run's provenance record.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +78,10 @@ pub struct RunManifest {
     pub wall_ms: f64,
     /// Counter and gauge totals at the end of the run.
     pub counters: Vec<(String, u64)>,
+    /// Quantile-sketch summaries at the end of the run.
+    pub sketches: Vec<(String, SketchSnapshot)>,
+    /// Host and build metadata.
+    pub host: HostContext,
 }
 
 impl RunManifest {
@@ -57,6 +112,46 @@ impl RunManifest {
                         .collect(),
                 ),
             ),
+            (
+                "sketches".into(),
+                Value::Obj(
+                    self.sketches
+                        .iter()
+                        .map(|(k, s)| {
+                            (
+                                k.clone(),
+                                Value::Obj(vec![
+                                    ("count".into(), Value::Num(s.count as f64)),
+                                    ("p50".into(), Value::Num(s.p50)),
+                                    ("p90".into(), Value::Num(s.p90)),
+                                    ("p99".into(), Value::Num(s.p99)),
+                                    ("max".into(), Value::Num(s.max)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "host".into(),
+                Value::Obj(vec![
+                    (
+                        "logical_cores".into(),
+                        Value::Num(self.host.logical_cores as f64),
+                    ),
+                    (
+                        "hetero_threads".into(),
+                        match &self.host.hetero_threads_env {
+                            Some(v) => Value::Str(v.clone()),
+                            None => Value::Null,
+                        },
+                    ),
+                    (
+                        "target_cpu".into(),
+                        Value::Str(self.host.target_cpu.clone()),
+                    ),
+                ]),
+            ),
         ]);
         Value::Obj(vec![
             ("event".into(), Value::Str("manifest".into())),
@@ -79,8 +174,22 @@ impl RunManifest {
             let _ = writeln!(out, "  param    {k} = {v}");
         }
         let _ = writeln!(out, "  wall     {:.3} ms", self.wall_ms);
+        let _ = writeln!(
+            out,
+            "  host     {} cores, HETERO_THREADS={}, target-cpu {}",
+            self.host.logical_cores,
+            self.host.hetero_threads_env.as_deref().unwrap_or("-"),
+            self.host.target_cpu
+        );
         for (k, v) in &self.counters {
             let _ = writeln!(out, "  counter  {k} = {v}");
+        }
+        for (k, s) in &self.sketches {
+            let _ = writeln!(
+                out,
+                "  sketch   {k}: n={} p50={:.6} p99={:.6} max={:.6}",
+                s.count, s.p50, s.p99, s.max
+            );
         }
         out
     }
@@ -101,6 +210,22 @@ mod tests {
             params: vec![("tau".into(), 2.5), ("delta".into(), 0.1)],
             wall_ms: 12.75,
             counters: vec![("xengine.replace".into(), 57_344)],
+            sketches: vec![(
+                "protocol.send".into(),
+                crate::collector::SketchSnapshot {
+                    count: 10,
+                    min: 1.0,
+                    max: 9.0,
+                    p50: 4.0,
+                    p90: 8.0,
+                    p99: 9.0,
+                },
+            )],
+            host: HostContext {
+                logical_cores: 8,
+                hetero_threads_env: Some("2".into()),
+                target_cpu: "avx2+fma".into(),
+            },
         }
     }
 
@@ -129,6 +254,41 @@ mod tests {
                 .and_then(json::Value::as_f64),
             Some(57_344.0)
         );
+        let host = val.get("host").expect("host block");
+        assert_eq!(
+            host.get("logical_cores").and_then(json::Value::as_f64),
+            Some(8.0)
+        );
+        assert_eq!(
+            host.get("hetero_threads").and_then(json::Value::as_str),
+            Some("2")
+        );
+        assert_eq!(
+            host.get("target_cpu").and_then(json::Value::as_str),
+            Some("avx2+fma")
+        );
+        assert_eq!(
+            val.get("sketches")
+                .and_then(|s| s.get("protocol.send"))
+                .and_then(|s| s.get("p99"))
+                .and_then(json::Value::as_f64),
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn unset_hetero_threads_renders_null() {
+        let mut m = sample();
+        m.host.hetero_threads_env = None;
+        let line = m.to_jsonl_line();
+        assert!(line.contains("\"hetero_threads\":null"), "{line}");
+    }
+
+    #[test]
+    fn host_detection_reports_this_machine() {
+        let h = HostContext::detect();
+        assert!(h.logical_cores >= 1, "at least one core");
+        assert!(!h.target_cpu.is_empty());
     }
 
     #[test]
@@ -140,6 +300,8 @@ mod tests {
             "threads  4",
             "tau = 2.5",
             "xengine.replace = 57344",
+            "8 cores, HETERO_THREADS=2, target-cpu avx2+fma",
+            "sketch   protocol.send",
         ] {
             assert!(f.contains(needle), "footer missing {needle}:\n{f}");
         }

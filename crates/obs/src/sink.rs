@@ -10,8 +10,15 @@
 //! | `gauge`     | number (high-water mark)                            |
 //! | `value`     | `{count, mean, stddev, min, max}`                   |
 //! | `histogram` | `{total, buckets: [[lo, count], …]}`                |
+//! | `sketch`    | `{count, min, max, p50, p90, p99}`                  |
 //! | `span`      | `{start_us, dur_us}`                                |
+//! | `spantree`  | `{weight, start, end, slack, frames, folded}`       |
 //! | `manifest`  | see [`RunManifest`](crate::manifest::RunManifest)   |
+//!
+//! `sketch` lines carry the quantile summaries of the mergeable
+//! log-bucketed sketches ([`crate::sketch`]); `spantree` lines are
+//! emitted by the CLI for commands that execute a protocol run, carrying
+//! the causal critical path ([`crate::causal`]).
 
 use std::fmt::Write as _;
 
@@ -71,6 +78,20 @@ impl Snapshot {
                 ]),
             );
         }
+        for (name, s) in &self.sketches {
+            line(
+                "sketch",
+                name,
+                Value::Obj(vec![
+                    ("count".into(), Value::Num(s.count as f64)),
+                    ("min".into(), Value::Num(s.min)),
+                    ("max".into(), Value::Num(s.max)),
+                    ("p50".into(), Value::Num(s.p50)),
+                    ("p90".into(), Value::Num(s.p90)),
+                    ("p99".into(), Value::Num(s.p99)),
+                ]),
+            );
+        }
         for span in &self.spans {
             line(
                 "span",
@@ -92,6 +113,7 @@ impl Snapshot {
             && self.gauges.is_empty()
             && self.values.is_empty()
             && self.hists.is_empty()
+            && self.sketches.is_empty()
             && self.spans.is_empty()
         {
             let _ = writeln!(out, "  (nothing collected)");
@@ -138,6 +160,16 @@ impl Snapshot {
                     out.push(glyph);
                 }
                 out.push('\n');
+            }
+        }
+        if !self.sketches.is_empty() {
+            let _ = writeln!(out, "sketches");
+            for (name, s) in &self.sketches {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} n={:<8} p50={:<12.6} p90={:<12.6} p99={:<12.6} max={:<12.6}",
+                    s.count, s.p50, s.p90, s.p99, s.max
+                );
             }
         }
         if !self.spans.is_empty() {
@@ -189,7 +221,7 @@ mod tests {
         c.gauge_max("sim.queue_high_water", 5);
         for v in [0.5, 1.5, 2.5] {
             c.observe("protocol.send", v);
-            c.observe_hist("kahan", v, 0.0, 4.0, 4);
+            c.observe_hist("kahan", v, 0.0, 4.0, 4).unwrap();
         }
         c.record_span(crate::collector::WallSpan {
             name: "cli.fig3".into(),
@@ -230,6 +262,38 @@ mod tests {
                 .and_then(crate::json::Value::as_f64),
             Some(250.5)
         );
+    }
+
+    #[test]
+    fn sketch_lines_join_the_stream_when_present() {
+        let mut c = Collector::new();
+        for i in 1..=50 {
+            c.sketch("protocol.lat", i as f64);
+        }
+        let snap = c.snapshot(&[]);
+        let text = snap.to_jsonl();
+        let sketch_line = text
+            .lines()
+            .find(|l| l.contains("\"sketch\""))
+            .expect("sketch line");
+        validate_jsonl_line(sketch_line).unwrap();
+        let v = crate::json::parse(sketch_line).unwrap();
+        assert_eq!(
+            v.get("name").and_then(crate::json::Value::as_str),
+            Some("protocol.lat")
+        );
+        let count = v
+            .get("value")
+            .and_then(|p| p.get("count"))
+            .and_then(crate::json::Value::as_f64);
+        assert_eq!(count, Some(50.0));
+        for key in ["min", "max", "p50", "p90", "p99"] {
+            assert!(
+                v.get("value").and_then(|p| p.get(key)).is_some(),
+                "sketch payload missing {key}"
+            );
+        }
+        assert!(snap.summary().contains("sketches"));
     }
 
     #[test]

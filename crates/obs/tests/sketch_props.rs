@@ -1,0 +1,134 @@
+//! Property tests for the mergeable quantile sketch: the three contracts
+//! the JSONL/manifest pipeline and `obsdiff` lean on.
+//!
+//! * **Merge is exact algebra** — associative and commutative, and a
+//!   merge of disjoint shards is bit-identical to recording the union
+//!   into one sketch (integer bucket counts over a universal grid).
+//! * **Insertion order is irrelevant** — any permutation of the same
+//!   observations yields a bit-identical sketch, so parallel collection
+//!   order can never leak into reported quantiles.
+//! * **Bounded rank error** — against a sorted-oracle nearest-rank
+//!   quantile, every reported in-range quantile is within a factor
+//!   `GAMMA^(1/2)` of the true sample at that rank.
+
+use hetero_obs::sketch::{QuantileSketch, GAMMA};
+use proptest::prelude::*;
+
+/// Positive observations across ~12 decades, inside the finite grid.
+fn in_range_value() -> impl Strategy<Value = f64> {
+    (1.0f64..2.0, -20i32..20).prop_map(|(m, e)| m * (e as f64).exp2())
+}
+
+fn in_range_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(in_range_value(), 1..200)
+}
+
+/// Observations including the awkward cases: non-positive values and
+/// grid under/overflows, which land in the exact-extreme buckets.
+fn any_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        in_range_value(),
+        Just(0.0),
+        Just(-5.0),
+        Just(1e300),
+        Just(1e-300),
+    ]
+}
+
+fn any_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(any_value(), 0..120)
+}
+
+fn sketch_of(values: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(xs in any_values(), ys in any_values()) {
+        let (a, b) = (sketch_of(&xs), sketch_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+    }
+
+    #[test]
+    fn merge_is_associative_and_equals_the_union(
+        xs in any_values(),
+        ys in any_values(),
+        zs in any_values(),
+    ) {
+        let (a, b, c) = (sketch_of(&xs), sketch_of(&ys), sketch_of(&zs));
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // … and both equal one sketch fed every observation directly.
+        let union: Vec<f64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&left, &sketch_of(&union));
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant(xs in any_values(), cut in any::<prop::sample::Index>()) {
+        let baseline = sketch_of(&xs);
+        // Reversal and an arbitrary rotation both reorder every element.
+        let mut reversed = xs.clone();
+        reversed.reverse();
+        prop_assert_eq!(&baseline, &sketch_of(&reversed));
+        if !xs.is_empty() {
+            let k = cut.index(xs.len());
+            let rotated: Vec<f64> = xs[k..].iter().chain(&xs[..k]).copied().collect();
+            prop_assert_eq!(&baseline, &sketch_of(&rotated));
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_half_a_bucket_of_the_sorted_oracle(xs in in_range_values()) {
+        let s = sketch_of(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let half_bucket = GAMMA.sqrt() * (1.0 + 1e-12);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+            let oracle = sorted[rank];
+            let got = s.quantile(q);
+            prop_assert!(
+                got <= oracle * half_bucket && got >= oracle / half_bucket,
+                "q = {}: sketch {} vs oracle {} (ratio {})",
+                q, got, oracle, got / oracle
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact_whatever_the_data(xs in any_values()) {
+        let s = sketch_of(&xs);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        if xs.is_empty() {
+            prop_assert!(s.min().is_nan() && s.max().is_nan());
+        } else {
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(s.min().to_bits(), lo.to_bits());
+            prop_assert_eq!(s.max().to_bits(), hi.to_bits());
+            // Quantiles are bucket midpoints clamped into [min, max], so
+            // they can never escape the observed range.
+            for q in [0.0, 0.5, 1.0] {
+                let v = s.quantile(q);
+                prop_assert!(v >= lo && v <= hi, "quantile({}) = {} outside [{}, {}]", q, v, lo, hi);
+            }
+        }
+    }
+}

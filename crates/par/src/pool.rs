@@ -27,7 +27,7 @@ use std::sync::OnceLock;
 
 use crate::sync::atomic::{AtomicUsize, Ordering};
 use crate::sync::{thread, Arc, Condvar, Mutex};
-use hetero_obs::counters::PAR_POOL_JOBS;
+use hetero_obs::counters::{PAR_POOL_JOBS, PAR_POOL_PARK_WAKES};
 
 /// The worker-thread count in effect for pooled sweeps: the
 /// `HETERO_THREADS` environment variable when it parses as a positive
@@ -230,6 +230,9 @@ impl Pool {
                 // hetero-check: allow(expect) — the queue mutex is only held for push/pop and cannot be poisoned by jobs
                 .expect("pool queue poisoned");
             q.jobs.push_back(job);
+            // Queue depth at its high-water mark: sustained depth near
+            // the job count means workers lag the submitter.
+            hetero_obs::gauge_max("par.pool.queue_depth", q.jobs.len() as u64);
         }
         self.shared.available.notify_one();
     }
@@ -281,13 +284,21 @@ fn worker_loop(shared: &Shared) {
                 .lock()
                 // hetero-check: allow(expect) — the queue mutex is only held for push/pop and cannot be poisoned by jobs
                 .expect("pool queue poisoned");
+            let mut parked = false;
             loop {
                 if let Some(job) = q.jobs.pop_front() {
+                    if parked {
+                        // A condvar wait actually ended with work: the
+                        // park-wake count over `par.pool.jobs` shows how
+                        // often the queue drains dry between jobs.
+                        PAR_POOL_PARK_WAKES.bump();
+                    }
                     break Some(job);
                 }
                 if q.shutdown {
                     break None;
                 }
+                parked = true;
                 q = shared
                     .available
                     .wait(q)

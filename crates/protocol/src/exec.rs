@@ -18,6 +18,8 @@
 //! [`UnitResource`]: hetero_sim::UnitResource
 
 use hetero_core::{Params, Profile};
+use hetero_obs::sketch::QuantileSketch;
+use hetero_sim::stats::OnlineStats;
 use hetero_sim::{EventQueue, SimTime, Trace, UnitResource};
 
 use crate::alloc::Plan;
@@ -35,17 +37,20 @@ pub fn channel_entity(n: usize) -> usize {
     n + 1
 }
 
-/// The protocol's events, keyed by startup position.
+/// The protocol's events, keyed by startup position. Each event carries
+/// the span id of the activity that caused it (`cause`), so the trace
+/// records the full causality DAG: every span's parent is the span
+/// whose completion triggered it.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// Server starts packaging the work for `pos`.
-    StartSend { pos: usize },
+    StartSend { pos: usize, cause: Option<usize> },
     /// Work for `pos` finished its network transit; worker begins.
-    WorkArrived { pos: usize },
+    WorkArrived { pos: usize, cause: usize },
     /// Worker at `pos` finished packaging its results.
-    ResultsReady { pos: usize },
+    ResultsReady { pos: usize, cause: usize },
     /// Results of `pos` arrived back at the server.
-    TransitDone { pos: usize },
+    TransitDone { pos: usize, cause: usize },
 }
 
 struct ExecState {
@@ -121,39 +126,59 @@ pub fn execute(params: &Params, profile: &Profile, plan: &Plan) -> Execution {
         arrivals: vec![None; n],
     };
     let mut queue: EventQueue<Event> = EventQueue::new();
-    queue.schedule_at(SimTime::ZERO, Event::StartSend { pos: 0 });
+    queue.schedule_at(
+        SimTime::ZERO,
+        Event::StartSend {
+            pos: 0,
+            cause: None,
+        },
+    );
 
     hetero_sim::run(&mut state, &mut queue, |st, q, now, ev| {
         let (pi, tau, delta) = (st.params.pi(), st.params.tau(), st.params.delta());
         match ev {
-            Event::StartSend { pos } => {
+            Event::StartSend { pos, cause } => {
                 let w = st.work[pos];
                 let target = st.order[pos];
                 // Server packages (πw), then the message transits (τw);
                 // the channel is claimed as soon as packaging ends.
                 let pack = st.server.acquire(now, pi * w);
-                st.trace.record(
+                let pack_id = st.trace.record_caused(
                     SERVER,
                     format!("pack→C{}", target + 1),
                     pack.start,
                     pack.end,
+                    cause,
                 );
                 let transit = st.channel.acquire(pack.end, tau * w);
-                st.trace.record(
+                let xmit_id = st.trace.record_caused(
                     channel_entity(st.order.len()),
                     format!("xmit:work:C{}", target + 1),
                     transit.start,
                     transit.end,
+                    Some(pack_id),
                 );
-                q.schedule_at(transit.end, Event::WorkArrived { pos });
+                q.schedule_at(
+                    transit.end,
+                    Event::WorkArrived {
+                        pos,
+                        cause: xmit_id,
+                    },
+                );
                 if pos + 1 < st.order.len() {
                     // "It immediately prepares and sends w₂ via the same
                     // process": the next (π+τ)w block starts when this
                     // transit ends, keeping the C0 row gap-free.
-                    q.schedule_at(transit.end, Event::StartSend { pos: pos + 1 });
+                    q.schedule_at(
+                        transit.end,
+                        Event::StartSend {
+                            pos: pos + 1,
+                            cause: Some(xmit_id),
+                        },
+                    );
                 }
             }
-            Event::WorkArrived { pos } => {
+            Event::WorkArrived { pos, cause } => {
                 let w = st.work[pos];
                 let rho = st.rhos[pos];
                 let target = st.order[pos];
@@ -161,12 +186,28 @@ pub fn execute(params: &Params, profile: &Profile, plan: &Plan) -> Execution {
                 let unpack_end = now + pi * rho * w;
                 let compute_end = unpack_end + rho * w;
                 let pack_end = compute_end + pi * rho * delta * w;
-                st.trace.record(ent, "unpack", now, unpack_end);
-                st.trace.record(ent, "compute", unpack_end, compute_end);
-                st.trace.record(ent, "pack", compute_end, pack_end);
-                q.schedule_at(pack_end, Event::ResultsReady { pos });
+                let unpack_id = st
+                    .trace
+                    .record_caused(ent, "unpack", now, unpack_end, Some(cause));
+                let compute_id = st.trace.record_caused(
+                    ent,
+                    "compute",
+                    unpack_end,
+                    compute_end,
+                    Some(unpack_id),
+                );
+                let pack_id =
+                    st.trace
+                        .record_caused(ent, "pack", compute_end, pack_end, Some(compute_id));
+                q.schedule_at(
+                    pack_end,
+                    Event::ResultsReady {
+                        pos,
+                        cause: pack_id,
+                    },
+                );
             }
-            Event::ResultsReady { pos } => {
+            Event::ResultsReady { pos, cause } => {
                 let w = st.work[pos];
                 let target = st.order[pos];
                 let transit = st.channel.acquire(now, tau * delta * w);
@@ -175,28 +216,42 @@ pub fn execute(params: &Params, profile: &Profile, plan: &Plan) -> Execution {
                 // that is not a real wait, so only genuine stalls are
                 // recorded.
                 let wait_threshold = 1e-9 * (1.0 + now.get().abs());
+                let mut xmit_cause = cause;
                 if transit.start - now > wait_threshold {
-                    st.trace
-                        .record(worker_entity(target), "wait:channel", now, transit.start);
+                    xmit_cause = st.trace.record_caused(
+                        worker_entity(target),
+                        "wait:channel",
+                        now,
+                        transit.start,
+                        Some(cause),
+                    );
                 }
-                st.trace.record(
+                let xmit_id = st.trace.record_caused(
                     channel_entity(st.order.len()),
                     format!("xmit:result:C{}", target + 1),
                     transit.start,
                     transit.end,
+                    Some(xmit_cause),
                 );
-                q.schedule_at(transit.end, Event::TransitDone { pos });
+                q.schedule_at(
+                    transit.end,
+                    Event::TransitDone {
+                        pos,
+                        cause: xmit_id,
+                    },
+                );
             }
-            Event::TransitDone { pos } => {
+            Event::TransitDone { pos, cause } => {
                 let w = st.work[pos];
                 let target = st.order[pos];
                 st.arrivals[pos] = Some(now);
                 let unpack = st.server.acquire(now, pi * delta * w);
-                st.trace.record(
+                st.trace.record_caused(
                     SERVER,
                     format!("recv←C{}", target + 1),
                     unpack.start,
                     unpack.end,
+                    Some(cause),
                 );
             }
         }
@@ -254,11 +309,26 @@ pub fn try_execute(
 /// (send = server packaging + work transit; compute = the worker's
 /// `Bρw` block; receive = result transit + server unpackaging).
 fn observe_execution(state: &ExecState, queue: &EventQueue<Event>, n: usize) {
-    hetero_obs::count("sim.events", queue.dispatched());
-    hetero_obs::gauge_max("sim.queue_high_water", queue.high_water() as u64);
+    if !hetero_obs::enabled() {
+        // One atomic load while disabled — the span walk below is O(n)
+        // and must not run when nobody is listening.
+        return;
+    }
     let horizon = state.trace.makespan();
-    hetero_obs::observe("protocol.util.server", state.server.utilization(horizon));
-    hetero_obs::observe("protocol.util.channel", state.channel.utilization(horizon));
+    // Fold the per-span phase timings into local accumulators first: a
+    // sweep lands here once per trial, and paying the collector lock
+    // plus a name lookup per span made full recording cost more than
+    // the execution itself. One trace pass, five local accumulators
+    // (Welford + quantile sketch per phase), one lock at the end.
+    const PHASES: [&str; 5] = [
+        "protocol.compute",
+        "protocol.wait",
+        "protocol.send",
+        "protocol.receive",
+        "protocol.other",
+    ];
+    let mut stats: [OnlineStats; 5] = Default::default();
+    let mut sketches: [QuantileSketch; 5] = std::array::from_fn(|_| QuantileSketch::new());
     // Workers are not UnitResources (their schedule is closed-form), so
     // their utilization is busy time over the makespan, read off the trace.
     let mut worker_busy = vec![0.0f64; n];
@@ -269,20 +339,35 @@ fn observe_execution(state: &ExecState, queue: &EventQueue<Event>, n: usize) {
                 if let Some(busy) = worker_busy.get_mut(idx) {
                     *busy += span.duration();
                 }
-                "protocol.compute"
+                0
             }
-            "wait:channel" => "protocol.wait",
-            l if l.starts_with("pack→") || l.starts_with("xmit:work") => "protocol.send",
-            l if l.starts_with("xmit:result") || l.starts_with("recv←") => "protocol.receive",
-            _ => "protocol.other",
+            "wait:channel" => 1,
+            l if l.starts_with("pack→") || l.starts_with("xmit:work") => 2,
+            l if l.starts_with("xmit:result") || l.starts_with("recv←") => 3,
+            _ => 4,
         };
-        hetero_obs::observe(phase, span.duration());
+        let d = span.duration();
+        stats[phase].push(d);
+        // The same phase durations also feed the mergeable quantile
+        // sketches, so the JSONL stream and manifest can report
+        // p50/p90/p99 latencies instead of just Welford moments.
+        sketches[phase].record(d);
     }
-    if horizon.get() > 0.0 {
-        for busy in worker_busy {
-            hetero_obs::observe("protocol.util.worker", busy / horizon.get());
+    hetero_obs::with_collector(|c| {
+        c.count("sim.events", queue.dispatched());
+        c.gauge_max("sim.queue_high_water", queue.high_water() as u64);
+        c.observe("protocol.util.server", state.server.utilization(horizon));
+        c.observe("protocol.util.channel", state.channel.utilization(horizon));
+        for (i, phase) in PHASES.iter().enumerate() {
+            c.merge_observations(phase, &stats[i]);
+            c.merge_sketch(phase, &sketches[i]);
         }
-    }
+        if horizon.get() > 0.0 {
+            for busy in &worker_busy {
+                c.observe("protocol.util.worker", busy / horizon.get());
+            }
+        }
+    });
 }
 
 #[cfg(test)]

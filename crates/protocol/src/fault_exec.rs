@@ -113,18 +113,25 @@ impl From<BackwardsSpan> for ExecError {
     }
 }
 
-/// The faulted protocol's events, keyed by startup position.
+/// The faulted protocol's events, keyed by startup position. As in the
+/// pristine executor, each event carries the span id that caused it so
+/// the trace records the causality DAG — retransmissions chain off the
+/// lost transit, making recovery paths visible in the span tree.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// Server starts packaging the work for `pos`.
-    StartSend { pos: usize },
+    StartSend { pos: usize, cause: Option<usize> },
     /// Work for `pos` finished its network transit; worker begins.
-    WorkArrived { pos: usize },
+    WorkArrived { pos: usize, cause: usize },
     /// Worker at `pos` has packaged results ready to transmit (initial
     /// send and retransmissions alike).
-    ResultsReady { pos: usize },
+    ResultsReady { pos: usize, cause: usize },
     /// A result transit for `pos` ended — delivered, or vanished.
-    TransitDone { pos: usize, lost: bool },
+    TransitDone {
+        pos: usize,
+        lost: bool,
+        cause: usize,
+    },
 }
 
 struct FExecState<'f> {
@@ -267,7 +274,13 @@ pub fn execute_with_faults(
         }
     }
     let mut queue: EventQueue<Event> = EventQueue::new();
-    queue.schedule_at(SimTime::ZERO, Event::StartSend { pos: 0 });
+    queue.schedule_at(
+        SimTime::ZERO,
+        Event::StartSend {
+            pos: 0,
+            cause: None,
+        },
+    );
 
     hetero_sim::run(&mut state, &mut queue, |st, q, now, ev| {
         if st.error.is_some() {
@@ -334,32 +347,46 @@ fn handle_event(
 ) -> Result<(), ExecError> {
     let (pi, tau, delta) = (st.params.pi(), st.params.tau(), st.params.delta());
     match ev {
-        Event::StartSend { pos } => {
+        Event::StartSend { pos, cause } => {
             let w = st.work[pos];
             let target = st.order[pos];
             // Oblivious by construction: the server packages and sends to
             // `target` even if it has already crashed — it has no way to
             // know. Skipping doomed sends is the replanner's edge.
             let pack = st.server.try_acquire(now, pi * w)?;
-            st.trace.try_record(
+            let pack_id = st.trace.try_record_caused(
                 SERVER,
                 format!("pack→C{}", target + 1),
                 pack.start,
                 pack.end,
+                cause,
             )?;
             let transit = jittered_transit(st, pack.end, tau * w)?;
-            st.trace.try_record(
+            let xmit_id = st.trace.try_record_caused(
                 channel_entity(st.order.len()),
                 format!("xmit:work:C{}", target + 1),
                 transit.start,
                 transit.end,
+                Some(pack_id),
             )?;
-            q.schedule_at(transit.end, Event::WorkArrived { pos });
+            q.schedule_at(
+                transit.end,
+                Event::WorkArrived {
+                    pos,
+                    cause: xmit_id,
+                },
+            );
             if pos + 1 < st.order.len() {
-                q.schedule_at(transit.end, Event::StartSend { pos: pos + 1 });
+                q.schedule_at(
+                    transit.end,
+                    Event::StartSend {
+                        pos: pos + 1,
+                        cause: Some(xmit_id),
+                    },
+                );
             }
         }
-        Event::WorkArrived { pos } => {
+        Event::WorkArrived { pos, cause } => {
             let w = st.work[pos];
             let rho = st.rhos[pos];
             let target = st.order[pos];
@@ -375,35 +402,48 @@ fn handle_event(
             ];
             let mut t = now;
             let mut died = false;
+            let mut prev = cause;
             for (label, base) in phases {
                 let end = t.try_add(scaled_phase(st, target, t, base))?;
                 if let Some(tc) = crash {
                     if tc < end.get() {
                         let cut = SimTime::try_new(tc)?;
                         if cut > t {
-                            st.trace.try_record(ent, format!("{label}†crash"), t, cut)?;
+                            st.trace.try_record_caused(
+                                ent,
+                                format!("{label}†crash"),
+                                t,
+                                cut,
+                                Some(prev),
+                            )?;
                             st.realized_service[pos] += cut - t;
                         }
                         died = true;
                         break;
                     }
                 }
-                st.trace.try_record(ent, label, t, end)?;
+                prev = st.trace.try_record_caused(ent, label, t, end, Some(prev))?;
                 st.realized_service[pos] += end - t;
                 t = end;
             }
             if !died {
-                q.schedule_at(t, Event::ResultsReady { pos });
+                q.schedule_at(t, Event::ResultsReady { pos, cause: prev });
             }
         }
-        Event::ResultsReady { pos } => {
+        Event::ResultsReady { pos, cause } => {
             let w = st.work[pos];
             let target = st.order[pos];
             let transit = jittered_transit(st, now, tau * delta * w)?;
             let wait_threshold = 1e-9 * (1.0 + now.get().abs());
+            let mut xmit_cause = cause;
             if transit.start - now > wait_threshold {
-                st.trace
-                    .try_record(worker_entity(target), "wait:channel", now, transit.start)?;
+                xmit_cause = st.trace.try_record_caused(
+                    worker_entity(target),
+                    "wait:channel",
+                    now,
+                    transit.start,
+                    Some(cause),
+                )?;
             }
             // Whether *this* transmission vanishes is decided at send
             // time: the worker's first `losses_left` messages are doomed.
@@ -414,35 +454,46 @@ fn handle_event(
             } else {
                 format!("xmit:result:C{}", target + 1)
             };
-            st.trace.try_record(
+            let xmit_id = st.trace.try_record_caused(
                 channel_entity(st.order.len()),
                 label,
                 transit.start,
                 transit.end,
+                Some(xmit_cause),
             )?;
-            q.schedule_at(transit.end, Event::TransitDone { pos, lost });
+            q.schedule_at(
+                transit.end,
+                Event::TransitDone {
+                    pos,
+                    lost,
+                    cause: xmit_id,
+                },
+            );
         }
-        Event::TransitDone { pos, lost } => {
+        Event::TransitDone { pos, lost, cause } => {
             let w = st.work[pos];
             let target = st.order[pos];
             if lost {
                 st.lost_messages += 1;
                 // The package is stored at the worker, so a live worker
                 // retransmits the moment the loss is discovered; a crashed
-                // one cannot, and the results are gone for good.
+                // one cannot, and the results are gone for good. The
+                // retransmission chains off the lost transit, so recovery
+                // shows up as a longer causal path through `†lost`.
                 let alive = st.crash_by_pos[pos].is_none_or(|tc| tc > now.get());
                 if alive {
                     st.retransmits += 1;
-                    q.schedule_at(now, Event::ResultsReady { pos });
+                    q.schedule_at(now, Event::ResultsReady { pos, cause });
                 }
             } else {
                 st.arrivals[pos] = Some(now);
                 let unpack = st.server.try_acquire(now, pi * delta * w)?;
-                st.trace.try_record(
+                st.trace.try_record_caused(
                     SERVER,
                     format!("recv←C{}", target + 1),
                     unpack.start,
                     unpack.end,
+                    Some(cause),
                 )?;
             }
         }

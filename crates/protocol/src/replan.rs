@@ -192,13 +192,29 @@ impl AdaptiveExecution {
     }
 }
 
-/// The adaptive protocol's events, keyed by (possibly extended) position.
+/// The adaptive protocol's events, keyed by (possibly extended)
+/// position. `cause` carries the span id whose completion scheduled the
+/// event, so adaptive traces record the same causality DAG as the other
+/// executors (top-up rounds start fresh causal roots).
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    StartSend { pos: usize },
-    WorkArrived { pos: usize },
-    ResultsReady { pos: usize },
-    TransitDone { pos: usize, lost: bool },
+    StartSend {
+        pos: usize,
+        cause: Option<usize>,
+    },
+    WorkArrived {
+        pos: usize,
+        cause: usize,
+    },
+    ResultsReady {
+        pos: usize,
+        cause: usize,
+    },
+    TransitDone {
+        pos: usize,
+        lost: bool,
+        cause: usize,
+    },
 }
 
 struct AdaptState<'f> {
@@ -289,7 +305,13 @@ pub fn execute_adaptive(
         }
     }
     let mut queue: EventQueue<Event> = EventQueue::new();
-    queue.schedule_at(SimTime::ZERO, Event::StartSend { pos: 0 });
+    queue.schedule_at(
+        SimTime::ZERO,
+        Event::StartSend {
+            pos: 0,
+            cause: None,
+        },
+    );
 
     hetero_sim::run(&mut state, &mut queue, |st, q, now, ev| {
         if st.error.is_some() {
@@ -372,6 +394,9 @@ fn resolve_suffix(st: &mut AdaptState<'_>, pos: usize, now: SimTime) -> Result<(
     }
     let _span = hetero_obs::timed("faults.replan");
     hetero_obs::counters::FAULTS_REPLANS.bump();
+    // Suffix re-solve depth: how many surviving positions each boundary
+    // re-optimization spans (the `obsdiff` observatory tracks its mean).
+    hetero_obs::observe("faults.replan.suffix_depth", survivors.len() as f64);
     st.replans += 1;
     // Streaming X-measure maintenance: sync the churn scan to the
     // surviving suffix by diff. Sent and newly crashed positions leave
@@ -473,7 +498,15 @@ fn mark_resolved(
         st.scan_ids.push(None);
     }
     if st.order.len() > first_new {
-        q.schedule_at(start, Event::StartSend { pos: first_new });
+        // The bonus round is a fresh causal root: no single span caused
+        // it — it starts when *everything* planned has resolved.
+        q.schedule_at(
+            start,
+            Event::StartSend {
+                pos: first_new,
+                cause: None,
+            },
+        );
     }
     Ok(())
 }
@@ -486,7 +519,7 @@ fn handle_event(
 ) -> Result<(), ExecError> {
     let (pi, tau, delta) = (st.params.pi(), st.params.tau(), st.params.delta());
     match ev {
-        Event::StartSend { pos } => {
+        Event::StartSend { pos, cause } => {
             if detect(st, pos, now) {
                 st.dirty = true;
             }
@@ -495,9 +528,15 @@ fn handle_event(
                 st.dirty = false;
             }
             let target = st.order[pos];
-            let chain_next = |q: &mut EventQueue<Event>, at: SimTime| {
+            let chain_next = |q: &mut EventQueue<Event>, at: SimTime, from: Option<usize>| {
                 if pos + 1 < st.order.len() {
-                    q.schedule_at(at, Event::StartSend { pos: pos + 1 });
+                    q.schedule_at(
+                        at,
+                        Event::StartSend {
+                            pos: pos + 1,
+                            cause: from,
+                        },
+                    );
                 }
             };
             let skip = if st.known_crashed[pos] {
@@ -515,19 +554,25 @@ fn handle_event(
             if skip {
                 st.skipped_sends += 1;
                 hetero_obs::counters::FAULTS_SKIPPED_SENDS.bump();
-                st.trace
-                    .try_record(SERVER, format!("skip→C{}", target + 1), now, now)?;
-                chain_next(q, now);
+                let skip_id = st.trace.try_record_caused(
+                    SERVER,
+                    format!("skip→C{}", target + 1),
+                    now,
+                    now,
+                    cause,
+                )?;
+                chain_next(q, now, Some(skip_id));
                 mark_resolved(st, q, now)?;
                 return Ok(());
             }
             let w = st.work[pos];
             let pack = st.server.try_acquire(now, pi * w)?;
-            st.trace.try_record(
+            let pack_id = st.trace.try_record_caused(
                 SERVER,
                 format!("pack→C{}", target + 1),
                 pack.start,
                 pack.end,
+                cause,
             )?;
             let transit = {
                 let prospective = pack.end.max(st.channel.next_free());
@@ -538,16 +583,23 @@ fn handle_event(
                 };
                 st.channel.try_acquire(pack.end, dur)?
             };
-            st.trace.try_record(
+            let xmit_id = st.trace.try_record_caused(
                 channel_entity(st.original_n),
                 format!("xmit:work:C{}", target + 1),
                 transit.start,
                 transit.end,
+                Some(pack_id),
             )?;
-            q.schedule_at(transit.end, Event::WorkArrived { pos });
-            chain_next(q, transit.end);
+            q.schedule_at(
+                transit.end,
+                Event::WorkArrived {
+                    pos,
+                    cause: xmit_id,
+                },
+            );
+            chain_next(q, transit.end, Some(xmit_id));
         }
-        Event::WorkArrived { pos } => {
+        Event::WorkArrived { pos, cause } => {
             let w = st.work[pos];
             let rho = st.rhos[pos];
             let target = st.order[pos];
@@ -560,6 +612,7 @@ fn handle_event(
             ];
             let mut t = now;
             let mut died = false;
+            let mut prev = cause;
             for (label, base) in phases {
                 let dur = match st.faults.slowdown_factor(target, t.get()) {
                     Some(f) => f * base,
@@ -570,22 +623,28 @@ fn handle_event(
                     if tc < end.get() {
                         let cut = SimTime::try_new(tc)?;
                         if cut > t {
-                            st.trace.try_record(ent, format!("{label}†crash"), t, cut)?;
+                            st.trace.try_record_caused(
+                                ent,
+                                format!("{label}†crash"),
+                                t,
+                                cut,
+                                Some(prev),
+                            )?;
                         }
                         died = true;
                         break;
                     }
                 }
-                st.trace.try_record(ent, label, t, end)?;
+                prev = st.trace.try_record_caused(ent, label, t, end, Some(prev))?;
                 t = end;
             }
             if died {
                 mark_resolved(st, q, t)?;
             } else {
-                q.schedule_at(t, Event::ResultsReady { pos });
+                q.schedule_at(t, Event::ResultsReady { pos, cause: prev });
             }
         }
-        Event::ResultsReady { pos } => {
+        Event::ResultsReady { pos, cause } => {
             let w = st.work[pos];
             let target = st.order[pos];
             let base = tau * delta * w;
@@ -598,9 +657,15 @@ fn handle_event(
                 st.channel.try_acquire(now, dur)?
             };
             let wait_threshold = 1e-9 * (1.0 + now.get().abs());
+            let mut xmit_cause = cause;
             if transit.start - now > wait_threshold {
-                st.trace
-                    .try_record(worker_entity(target), "wait:channel", now, transit.start)?;
+                xmit_cause = st.trace.try_record_caused(
+                    worker_entity(target),
+                    "wait:channel",
+                    now,
+                    transit.start,
+                    Some(cause),
+                )?;
             }
             let lost = st.losses_left[target] > 0;
             let label = if lost {
@@ -609,15 +674,23 @@ fn handle_event(
             } else {
                 format!("xmit:result:C{}", target + 1)
             };
-            st.trace.try_record(
+            let xmit_id = st.trace.try_record_caused(
                 channel_entity(st.original_n),
                 label,
                 transit.start,
                 transit.end,
+                Some(xmit_cause),
             )?;
-            q.schedule_at(transit.end, Event::TransitDone { pos, lost });
+            q.schedule_at(
+                transit.end,
+                Event::TransitDone {
+                    pos,
+                    lost,
+                    cause: xmit_id,
+                },
+            );
         }
-        Event::TransitDone { pos, lost } => {
+        Event::TransitDone { pos, lost, cause } => {
             let w = st.work[pos];
             let target = st.order[pos];
             if lost {
@@ -633,18 +706,20 @@ fn handle_event(
                     } else {
                         now
                     };
-                    q.schedule_at(at, Event::ResultsReady { pos });
+                    // The recovery chains off the lost transit.
+                    q.schedule_at(at, Event::ResultsReady { pos, cause });
                 } else {
                     mark_resolved(st, q, now)?;
                 }
             } else {
                 st.arrivals[pos] = Some(now);
                 let unpack = st.server.try_acquire(now, pi * delta * w)?;
-                st.trace.try_record(
+                st.trace.try_record_caused(
                     SERVER,
                     format!("recv←C{}", target + 1),
                     unpack.start,
                     unpack.end,
+                    Some(cause),
                 )?;
                 mark_resolved(st, q, now)?;
             }

@@ -4,6 +4,14 @@
 //! one row per entity, one labelled box per activity. [`Trace`] records
 //! those boxes during a simulation; `hetero-experiments` renders them as an
 //! ASCII Gantt chart.
+//!
+//! Spans optionally carry a *causal parent*: the span whose completion
+//! enabled this one (the message that triggered a computation, the pack
+//! that fed a transmission). Parent links live in a parallel vector —
+//! [`Span`] itself stays the plain interval record the Gantt renderers
+//! and byte-pinned Chrome goldens compare — and turn a trace into a
+//! causality forest that `hetero-obs` walks for critical-path
+//! extraction.
 
 use std::error::Error;
 use std::fmt;
@@ -59,9 +67,15 @@ impl fmt::Display for BackwardsSpan {
 impl Error for BackwardsSpan {}
 
 /// An append-only recording of activity spans.
+///
+/// Each span is identified by its recording index; `parents[i]` is the
+/// id of the span whose completion causally enabled span `i`, or `None`
+/// for a causal root (the spontaneous first action of an entity). The
+/// two vectors always have equal length.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     spans: Vec<Span>,
+    parents: Vec<Option<usize>>,
 }
 
 impl Trace {
@@ -78,16 +92,64 @@ impl Trace {
         start: SimTime,
         end: SimTime,
     ) -> Result<(), BackwardsSpan> {
+        self.try_record_caused(entity, label, start, end, None)
+            .map(|_| ())
+    }
+
+    /// Records one activity with an explicit causal parent, returning
+    /// the new span's id (its recording index). `parent` must refer to
+    /// an already-recorded span, which makes parent ids strictly smaller
+    /// than child ids — the invariant the critical-path walk relies on.
+    pub fn try_record_caused(
+        &mut self,
+        entity: usize,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        parent: Option<usize>,
+    ) -> Result<usize, BackwardsSpan> {
         if end < start {
             return Err(BackwardsSpan { entity, start, end });
         }
+        if let Some(p) = parent {
+            assert!(
+                p < self.spans.len(),
+                "causal parent {p} not yet recorded (trace has {} spans)",
+                self.spans.len()
+            );
+        }
+        let id = self.spans.len();
         self.spans.push(Span {
             entity,
             label: label.into(),
             start,
             end,
         });
-        Ok(())
+        self.parents.push(parent);
+        Ok(id)
+    }
+
+    /// Records one activity with a causal parent, returning its id.
+    /// Convenience wrapper over [`try_record_caused`] with the same
+    /// documented-panic contract as [`record`].
+    ///
+    /// # Panics
+    /// Panics when `end < start` or when `parent` names a span that has
+    /// not been recorded yet — both are protocol-logic bugs.
+    ///
+    /// [`try_record_caused`]: Trace::try_record_caused
+    /// [`record`]: Trace::record
+    pub fn record_caused(
+        &mut self,
+        entity: usize,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        parent: Option<usize>,
+    ) -> usize {
+        self.try_record_caused(entity, label, start, end, parent)
+            // hetero-check: allow(expect) — documented-panic wrapper; the fallible form is try_record_caused
+            .expect("span ends before it starts")
     }
 
     /// Records one activity. Convenience wrapper over [`try_record`] for
@@ -115,6 +177,18 @@ impl Trace {
     /// All recorded spans, in recording order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
+    }
+
+    /// The causal parent of span `id`, if any. Returns `None` both for
+    /// causal roots and for out-of-range ids.
+    pub fn parent(&self, id: usize) -> Option<usize> {
+        self.parents.get(id).copied().flatten()
+    }
+
+    /// Causal parent links, parallel to [`spans`](Trace::spans):
+    /// `parents()[i]` is the id of the span that enabled span `i`.
+    pub fn parents(&self) -> &[Option<usize>] {
+        &self.parents
     }
 
     /// Spans belonging to one entity, in recording order.
@@ -242,6 +316,39 @@ mod tests {
     fn backwards_span_panics() {
         let mut tr = Trace::new();
         tr.record(0, "bad", t(2.0), t(1.0));
+    }
+
+    #[test]
+    fn causal_parents_are_tracked_in_parallel() {
+        let mut tr = Trace::new();
+        let root = tr.record_caused(0, "pack", t(0.0), t(1.0), None);
+        let xmit = tr.record_caused(2, "xmit", t(1.0), t(2.0), Some(root));
+        tr.record(1, "idle", t(0.0), t(2.0)); // plain record: no parent
+        let comp = tr.record_caused(1, "compute", t(2.0), t(5.0), Some(xmit));
+        assert_eq!(tr.parent(root), None);
+        assert_eq!(tr.parent(xmit), Some(root));
+        assert_eq!(tr.parent(2), None);
+        assert_eq!(tr.parent(comp), Some(xmit));
+        assert_eq!(tr.parent(99), None, "out of range is None");
+        assert_eq!(tr.parents().len(), tr.spans().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "causal parent")]
+    fn forward_parent_reference_panics() {
+        let mut tr = Trace::new();
+        tr.record_caused(0, "a", t(0.0), t(1.0), Some(0));
+    }
+
+    #[test]
+    fn rejected_span_leaves_parents_aligned() {
+        let mut tr = Trace::new();
+        tr.record(0, "ok", t(0.0), t(1.0));
+        assert!(tr
+            .try_record_caused(0, "bad", t(2.0), t(1.0), Some(0))
+            .is_err());
+        assert_eq!(tr.spans().len(), 1);
+        assert_eq!(tr.parents().len(), 1);
     }
 
     #[test]

@@ -110,6 +110,102 @@ fn every_jsonl_line_honours_the_event_name_value_contract() {
     }
 }
 
+/// PR 8 acceptance: the causal chain ending at the pinned FIFO run's
+/// last result transmission reproduces the analytic lifespan bound. The
+/// plan is sized for L = 100, so Theorem 1 makes the chain to the last
+/// arrival temporally contiguous from t = 0 — its weight *is* L and its
+/// end *is* the last arrival, bit for bit.
+#[test]
+fn critical_path_of_the_pinned_fifo2_run_reproduces_the_lifespan_bound() {
+    let params = Params::paper_table1();
+    let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+    let run = obs_export::fig2_execution(&params, &profile, 100.0);
+    let path = hetero_obs::causal::critical_path_where(&run.trace, |i| {
+        run.trace.spans()[i].label.starts_with("xmit:result")
+    })
+    .expect("the run transmits results");
+    let last_arrival = run.last_arrival().expect("results arrived").get();
+    assert_eq!(
+        path.end.to_bits(),
+        last_arrival.to_bits(),
+        "the heaviest result chain must end at the last arrival"
+    );
+    assert!(
+        (path.weight - 100.0).abs() <= 1e-9 * 100.0,
+        "contiguous chain weight {} must equal the lifespan bound 100",
+        path.weight
+    );
+    assert!(
+        path.slack.abs() <= 1e-9 * 100.0,
+        "Theorem 1 chain must be gap-free, got slack {}",
+        path.slack
+    );
+    assert_eq!(path.start, 0.0, "the chain is anchored at t = 0");
+    // The folded rendering of the same trace carries every frame the
+    // chain names, so flamegraph width agrees with the extractor.
+    let names: Vec<String> = vec!["C0".into(), "C1".into(), "C2".into(), "net".into()];
+    let folded = hetero_obs::folded::trace_to_folded(&run.trace, &names);
+    for label in path.span_ids.iter().map(|&i| &run.trace.spans()[i].label) {
+        assert!(
+            folded.contains(label.as_str()),
+            "folded output lost {label}"
+        );
+    }
+}
+
+/// Causal parents never change the spans themselves: the parent-id
+/// vector rides alongside, so the golden Chrome trace (which renders
+/// spans only) is untouched by PR 8's causality threading — and every
+/// span's parent is recorded before it.
+#[test]
+fn causal_parents_are_well_formed_on_the_pinned_run() {
+    let params = Params::paper_table1();
+    let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+    let run = obs_export::fig2_execution(&params, &profile, 100.0);
+    let n = run.trace.spans().len();
+    assert_eq!(run.trace.parents().len(), n);
+    let mut roots = 0;
+    for i in 0..n {
+        match run.trace.parent(i) {
+            None => roots += 1,
+            Some(p) => assert!(p < i, "parent {p} of span {i} must be recorded first"),
+        }
+    }
+    assert_eq!(roots, 1, "one FIFO run grows from a single causal root");
+}
+
+/// An instrumented protocol execution now also feeds the mergeable
+/// quantile sketches; their lines validate under the stream contract.
+#[test]
+fn sketch_events_join_the_instrumented_stream() {
+    let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    hetero_obs::reset();
+    hetero_obs::enable();
+    let params = Params::paper_table1();
+    let profile = Profile::new(vec![1.0, 0.5]).unwrap();
+    let _ = obs_export::fig2_execution(&params, &profile, 100.0);
+    let snapshot = hetero_obs::snapshot();
+    hetero_obs::disable();
+    hetero_obs::reset();
+
+    let stream = snapshot.to_jsonl();
+    let sketch_lines: Vec<&str> = stream
+        .lines()
+        .filter(|l| l.contains("\"sketch\""))
+        .collect();
+    assert!(
+        !sketch_lines.is_empty(),
+        "protocol phases must feed the sketches"
+    );
+    for line in stream.lines() {
+        validate_jsonl_line(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+    }
+    assert!(
+        !snapshot.sketches.is_empty(),
+        "snapshot must expose the sketches for the manifest"
+    );
+}
+
 /// CI hook: when `OBS_JSONL` names a file (written by
 /// `hetero-cli all --obs-json`), every line of it must parse and carry
 /// the `{event, name, value}` keys. Without the variable the test is a
