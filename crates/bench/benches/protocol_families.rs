@@ -1,0 +1,127 @@
+//! Bench — the per-execution DES cost of the four protocol families on
+//! identical fault plans.
+//!
+//! The PR 9 resilience sweep (E22) replays every sampled fault plan
+//! through all four families, so the sweep's wall-clock is the sum of
+//! these per-family costs. The interesting ratios: the oblivious
+//! executor is the floor; adaptive replanning adds boundary-time
+//! detection plus suffix re-solves; work exchange adds the parcel
+//! lifecycle (extra DES events and trace spans per trade); MDS coding
+//! pays the assignment up front and then runs the oblivious replay minus
+//! retransmission. The empty-plan group pins the fault machinery's
+//! zero-cost claim on the happy path against the pristine executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_core::{Params, Profile};
+use hetero_faults::{FaultConfig, FaultPlan};
+use hetero_protocol::coded::{execute_coded, mds_assignment};
+use hetero_protocol::exchange::{execute_exchange, ExchangePolicy};
+use hetero_protocol::replan::{execute_adaptive, HedgePolicy};
+use hetero_protocol::{alloc, exec, fault_exec};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [8, 32, 128];
+const LIFESPAN: f64 = 600.0;
+
+/// One straggler, one crash, and a couple of losses — the mixed-vocabulary
+/// plan shape every E22 cell replays (seeded, so every run and every
+/// family sees the same specs).
+fn sweep_plan(n: usize) -> FaultPlan {
+    FaultPlan::sample(
+        &FaultConfig {
+            crash_p: 0.1,
+            straggler_count: 1,
+            straggler_factor: 3.0,
+            loss_p: 0.2,
+            loss_max: 1,
+            ..FaultConfig::default()
+        },
+        n,
+        LIFESPAN,
+        0x9E22,
+    )
+    .expect("sweep config is valid")
+}
+
+fn bench_families(c: &mut Criterion) {
+    let params = Params::paper_table1();
+
+    let mut group = c.benchmark_group("protocol_families/faulted");
+    for n in SIZES {
+        let profile = Profile::harmonic(n);
+        let plan = alloc::fifo_plan(&params, &profile, LIFESPAN).unwrap();
+        let coded = mds_assignment(&params, &profile, LIFESPAN, n / 2).unwrap();
+        let faults = sweep_plan(n);
+        let hedge = HedgePolicy {
+            margin: 0.1,
+            ..HedgePolicy::default()
+        };
+        let xpolicy = ExchangePolicy {
+            fallback: hedge,
+            ..ExchangePolicy::default()
+        };
+
+        group.bench_with_input(BenchmarkId::new("oblivious", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    fault_exec::execute_with_faults(&params, &profile, &plan, &faults).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(execute_adaptive(&params, &profile, &plan, &faults, &hedge).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exchange", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(execute_exchange(&params, &profile, &plan, &faults, &xpolicy).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("coded", n), &n, |b, _| {
+            b.iter(|| black_box(execute_coded(&params, &profile, &coded, &faults).unwrap()))
+        });
+    }
+    group.finish();
+
+    // The empty-plan claim: the fault-aware executors add nothing on the
+    // happy path, so each family should track the pristine DES within
+    // noise (coded additionally clones its assignment into the result).
+    let mut group = c.benchmark_group("protocol_families/empty_plan");
+    for n in SIZES {
+        let profile = Profile::harmonic(n);
+        let plan = alloc::fifo_plan(&params, &profile, LIFESPAN).unwrap();
+        let coded = mds_assignment(&params, &profile, LIFESPAN, n / 2).unwrap();
+        let empty = FaultPlan::empty();
+        let xpolicy = ExchangePolicy::default();
+
+        group.bench_with_input(BenchmarkId::new("pristine", n), &n, |b, _| {
+            b.iter(|| black_box(exec::execute(&params, &profile, &plan)))
+        });
+        group.bench_with_input(BenchmarkId::new("exchange", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(execute_exchange(&params, &profile, &plan, &empty, &xpolicy).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("coded", n), &n, |b, _| {
+            b.iter(|| black_box(execute_coded(&params, &profile, &coded, &empty).unwrap()))
+        });
+    }
+    group.finish();
+
+    // The assignment itself: fifo_plan plus a sort — the up-front price
+    // coding pays before any execution.
+    let mut group = c.benchmark_group("protocol_families/mds_assignment");
+    for n in SIZES {
+        let profile = Profile::harmonic(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(mds_assignment(&params, &profile, LIFESPAN, black_box(n / 2)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

@@ -55,6 +55,10 @@ pub enum Lint {
     /// A literal metric name passed to a `hetero_obs` recorder that is
     /// not listed in `hetero_obs::counters::REGISTRY`.
     CounterNameDiscipline,
+    /// A `loop`/`while` in library code whose body retransmits or
+    /// retries without a compile-visible bound (no `max`/`remaining`/
+    /// `budget`-style identifier in the condition or body).
+    UnboundedRetry,
 }
 
 /// Every lint, in reporting order.
@@ -79,6 +83,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::AtomicOrdering,
     Lint::PanicPropagation,
     Lint::CounterNameDiscipline,
+    Lint::UnboundedRetry,
 ];
 
 impl Lint {
@@ -105,6 +110,7 @@ impl Lint {
             Lint::AtomicOrdering => "atomic-ordering",
             Lint::PanicPropagation => "panic-propagation",
             Lint::CounterNameDiscipline => "counter-name-discipline",
+            Lint::UnboundedRetry => "unbounded-retry",
         }
     }
 

@@ -233,6 +233,27 @@ pub const PAGES: &[Page] = &[
               existing registered name.",
         anchor: None,
     },
+    Page {
+        lint: Lint::UnboundedRetry,
+        what: "A `loop`/`while` in library code whose body calls a \
+               retransmit/retry routine with no compile-visible bound \
+               (no `max`/`remaining`/`budget`-style identifier in the \
+               condition or body).",
+        why: "Under injected result loss a retransmit loop with no budget \
+              turns one persistent fault into a livelock; the simulator \
+              then spins forever instead of reporting a missed deadline. \
+              Every retry in the workspace is budgeted as data \
+              (`losses_left`, `max_retries`), and loops must show the \
+              same shape.",
+        fix: "Thread the budget through the loop (`while left > 0`, \
+              `for _ in 0..max_rounds`), or justify a by-construction \
+              termination argument with an allow comment.",
+        anchor: Some(
+            "The PR 9 resilience sweep compares protocol families under \
+             identical fault plans; an unbounded retry loop in any family \
+             would hang the sweep rather than lose the comparison.",
+        ),
+    },
 ];
 
 /// Renders the page for `name`, or `None` if the lint is unknown.

@@ -151,6 +151,9 @@ pub fn scan_file_with_registry(rel: &str, src: &str, registry: Option<&[String]>
             if !rel.starts_with("crates/obs/src/") {
                 cx.wall_clock(&mut raw);
             }
+            // Retry loops must carry a compile-visible bound; one
+            // persistent fault must never become a livelock.
+            cx.unbounded_retry(&mut raw);
             // Literal metric names in library code must come from the
             // registry, so `obsdiff` baselines never silently fork.
             if let Some(reg) = registry {
@@ -667,6 +670,86 @@ impl<'a> Cx<'a> {
                 format!(
                     "`{}::now()` makes library behaviour wall-clock dependent; take \
                      time as a parameter, use SimTime, or measure through hetero-obs",
+                    tok.text
+                ),
+            );
+        }
+    }
+
+    /// A `loop` / `while` in library code whose body issues a
+    /// retransmit/retry call with no compile-visible bound. The fault
+    /// executor keeps its losses finite as *data* (`losses_left`
+    /// budgets); every retry loop must show the same shape — a
+    /// `max`/`remaining`/`budget`-style identifier in the condition or
+    /// body — or carry a justified allow naming the termination
+    /// argument. An unbounded retransmit loop turns one persistent
+    /// fault into a livelock that no deadline test can catch.
+    fn unbounded_retry(&self, out: &mut Vec<Diagnostic>) {
+        const RETRYISH: &[&str] = &["retry", "retries", "retransmit", "resend"];
+        const BOUNDISH: &[&str] = &[
+            "max",
+            "budget",
+            "limit",
+            "bound",
+            "remaining",
+            "left",
+            "attempts",
+        ];
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i)
+                || tok.kind != TokenKind::Ident
+                || !matches!(tok.text.as_str(), "loop" | "while")
+            {
+                continue;
+            }
+            // A preceding `.` means a method/field named `loop`-ish,
+            // not the keyword.
+            if i > 0 && self.text(i - 1) == "." {
+                continue;
+            }
+            // Condition tokens run from the keyword to the body's `{`;
+            // the body is the brace-matched block after it.
+            let Some(open) = (i + 1..self.tokens.len()).find(|&j| self.text(j) == "{") else {
+                continue;
+            };
+            let mut depth = 0i32;
+            let mut close = open;
+            while close < self.tokens.len() {
+                match self.text(close) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                close += 1;
+            }
+            let lower = |j: usize| self.text(j).to_ascii_lowercase();
+            let retries = (open + 1..close).any(|j| {
+                self.is_ident(j)
+                    && self.text(j + 1) == "("
+                    && RETRYISH.iter().any(|r| lower(j).contains(r))
+            });
+            if !retries {
+                continue;
+            }
+            let bounded = (i + 1..close)
+                .any(|j| self.is_ident(j) && BOUNDISH.iter().any(|b| lower(j).contains(b)));
+            if bounded {
+                continue;
+            }
+            self.emit(
+                out,
+                Lint::UnboundedRetry,
+                tok,
+                format!(
+                    "`{}` retransmits with no compile-visible bound; thread a \
+                     max/remaining budget through the condition or body, or justify \
+                     the termination argument with \
+                     `// hetero-check: allow(unbounded-retry)` — <why it drains>",
                     tok.text
                 ),
             );

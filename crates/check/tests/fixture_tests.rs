@@ -197,7 +197,16 @@ fn violations_fixture_fires_every_deny_lint() {
         .count();
     assert_eq!(names, 1, "{d:?}");
 
-    assert_eq!(summary_num(&r, "violations"), 27);
+    // The unbounded retransmit loop fires; the budgeted one below it
+    // stays silent.
+    assert!(has(&d, "unbounded-retry", "crates/demo/src/retry.rs", 5));
+    let retries = d
+        .iter()
+        .filter(|(l, _, _, _)| l == "unbounded-retry")
+        .count();
+    assert_eq!(retries, 1, "{d:?}");
+
+    assert_eq!(summary_num(&r, "violations"), 28);
     assert_eq!(summary_num(&r, "warnings"), 1);
     assert_eq!(summary_num(&r, "exit_code"), 1);
 }
@@ -287,6 +296,13 @@ fn clean_fixture_passes_with_zero_findings() {
         "wall-clock-in-lib",
         "crates/demo/src/hygiene.rs",
         63
+    ));
+    // The by-construction retry loop is on record with its reason.
+    assert!(has(
+        &suppressed,
+        "unbounded-retry",
+        "crates/demo/src/retry.rs",
+        15
     ));
 }
 

@@ -1,0 +1,21 @@
+//! Bounded retry loops: the budget is visible in the loop itself.
+
+/// Silent: `max_rounds` bounds the retransmit loop.
+pub fn drain(mut max_rounds: u32) {
+    while max_rounds > 0 {
+        retransmit();
+        max_rounds -= 1;
+    }
+}
+
+/// Silent under a justified allow: the queue drains by construction,
+/// but the bound is not visible to the token walk.
+pub fn pump(mut pending: u32) {
+    // hetero-check: allow(unbounded-retry) — pending strictly decreases each round
+    while pending > 0 {
+        retransmit();
+        pending -= 1;
+    }
+}
+
+fn retransmit() {}

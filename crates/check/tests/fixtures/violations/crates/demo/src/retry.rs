@@ -1,0 +1,21 @@
+//! Retry loops without compile-visible bounds.
+
+/// Fires: the loop retransmits until a data-dependent break.
+pub fn drain(ok: &mut bool) {
+    loop {
+        retransmit();
+        if *ok {
+            break;
+        }
+    }
+}
+
+/// Silent: the condition carries the remaining budget.
+pub fn drain_bounded(mut retries_left: u32) {
+    while retries_left > 0 {
+        retransmit();
+        retries_left -= 1;
+    }
+}
+
+fn retransmit() {}

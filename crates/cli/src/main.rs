@@ -27,10 +27,18 @@
 //!                           extension: majorization explains the bad pairs
 //!   granularity             extension: integral-task quantization cost
 //!   robustness [--trials N] extension: planning under estimation error
-//!   faults [--smoke] [--trials N] [--seed S]
+//!   faults [--smoke] [--trials N] [--seed S] [--plan FILE]
 //!                           extension: fault injection vs adaptive
 //!                           replanning (E18); --smoke runs a small,
-//!                           CI-sized sweep
+//!                           CI-sized sweep; --plan replays one pinned
+//!                           JSON fault plan through all four protocol
+//!                           families instead of sweeping
+//!   protocols [--smoke] [--trials N] [--seed S]
+//!                           extension: protocol families under faults
+//!                           (E22) — oblivious vs adaptive vs work
+//!                           exchange vs MDS coding on identical fault
+//!                           plans, with per-cell dominance frontiers;
+//!                           --smoke runs a small, CI-sized grid
 //!   fleet                   extension: fleet sizing vs X saturation
 //!   select [--smoke] [--exact --k K --n N]
 //!                           extension: exact best-k selection by
@@ -84,7 +92,7 @@ use std::process::ExitCode;
 use hetero_core::Params;
 use hetero_experiments::{
     critpath, examples42, fault_sweep, fifo_lifo, fig34, fleet, gantt, granularity,
-    majorization_ext, moments_ext, obs_export, protocol_check, robustness, scaling,
+    majorization_ext, moments_ext, obs_export, protocol_check, protocol_sweep, robustness, scaling,
     selection_sweep, sensitivity, table3, table4, threshold, variance,
 };
 
@@ -104,6 +112,7 @@ struct Opts {
     obs: bool,
     obs_json: Option<String>,
     obs_trace: Option<String>,
+    plan: Option<String>,
 }
 
 impl Opts {
@@ -130,6 +139,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         obs: false,
         obs_json: None,
         obs_trace: None,
+        plan: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -155,6 +165,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--obs-trace" => {
                 let v = it.next().ok_or("--obs-trace needs a path")?;
                 opts.obs_trace = Some(v.clone());
+            }
+            "--plan" => {
+                let v = it.next().ok_or("--plan needs a path")?;
+                opts.plan = Some(v.clone());
             }
             "--trials" => {
                 let v = it.next().ok_or("--trials needs a value")?;
@@ -341,6 +355,109 @@ fn cmd_select(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `faults --plan FILE` — replays one pinned JSON fault plan through
+/// all four protocol families on a canonical harmonic cluster, so a
+/// failure scenario found by a sweep can be pinned to disk and
+/// re-examined protocol by protocol.
+fn cmd_faults_plan(path: &str, opts: &Opts) -> Result<(), String> {
+    use hetero_protocol::{alloc, coded, exchange, fault_exec, replan, ExchangePolicy};
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let faults = hetero_faults::FaultPlan::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let params = Params::paper_table1();
+    let n = 8;
+    let lifespan = 600.0;
+    let margin = 0.1;
+    let profile = hetero_core::Profile::harmonic(n);
+    let optimum = hetero_core::xmeasure::work(&params, &profile, lifespan);
+
+    let plan = alloc::fifo_plan(&params, &profile, lifespan).map_err(|e| format!("plan: {e}"))?;
+    let hedge = replan::HedgePolicy {
+        margin,
+        ..replan::HedgePolicy::default()
+    };
+    let hedged_plan = alloc::fifo_plan(&params, &profile, lifespan / (1.0 + margin))
+        .map_err(|e| format!("plan: {e}"))?;
+    let oblivious = fault_exec::execute_with_faults(&params, &profile, &plan, &faults)
+        .map_err(|e| format!("oblivious: {e}"))?;
+    let adaptive = replan::execute_adaptive(&params, &profile, &plan, &faults, &hedge)
+        .map_err(|e| format!("adaptive: {e}"))?;
+    let xchg = exchange::execute_exchange(
+        &params,
+        &profile,
+        &hedged_plan,
+        &faults,
+        &ExchangePolicy {
+            fallback: hedge,
+            ..ExchangePolicy::default()
+        },
+    )
+    .map_err(|e| format!("exchange: {e}"))?;
+    let assignment = coded::mds_assignment(&params, &profile, lifespan, n / 2)
+        .map_err(|e| format!("coded: {e}"))?;
+    let mds = coded::execute_coded(&params, &profile, &assignment, &faults)
+        .map_err(|e| format!("coded: {e}"))?;
+
+    let mut t = hetero_experiments::render::Table::new(
+        format!(
+            "fault-plan replay — {} specs, harmonic n = {}, L = {}",
+            faults.specs().len(),
+            n,
+            lifespan
+        ),
+        &["family", "work by L", "fraction %", "missed", "notes"],
+    );
+    let fmt = hetero_experiments::render::fmt_f;
+    let mut row = |family: &str, work: f64, missed: bool, notes: String| {
+        t.row(vec![
+            family.to_string(),
+            fmt(work, 2),
+            fmt(100.0 * work / optimum, 2),
+            if missed { "yes" } else { "no" }.to_string(),
+            notes,
+        ]);
+    };
+    row(
+        "oblivious",
+        oblivious.work_completed_by(lifespan),
+        oblivious.missed_deadline(lifespan),
+        format!("{} lost msgs", oblivious.lost_messages),
+    );
+    row(
+        "adaptive",
+        adaptive.work_completed_by(lifespan),
+        adaptive.missed_deadline(lifespan),
+        format!(
+            "{} replans, {} topups",
+            adaptive.replans,
+            adaptive.topups.len()
+        ),
+    );
+    row(
+        "exchange",
+        xchg.work_completed_by(lifespan),
+        xchg.missed_deadline(lifespan),
+        if xchg.degraded() {
+            "degraded to adaptive".to_string()
+        } else {
+            format!("{} transfers", xchg.exchanges.len())
+        },
+    );
+    row(
+        "coded",
+        mds.work_completed_by(lifespan),
+        mds.missed_deadline(lifespan),
+        match mds.decode() {
+            Ok(d) => format!("decoded from {} shares", d.shares_used),
+            Err(e) => format!("{} of {} shares survived", e.arrived, e.needed),
+        },
+    );
+    print_table(&t, opts.csv);
+    println!("plan fingerprint: {:#018x}", faults.fingerprint());
+    Ok(())
+}
+
 fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
     match cmd {
         "params" => cmd_params(opts),
@@ -385,6 +502,10 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             };
             print_table(&robustness::run(&cfg).table(), opts.csv);
         }
+        "faults" if opts.plan.is_some() => {
+            let path = opts.plan.clone().expect("guarded by match arm");
+            cmd_faults_plan(&path, opts)?;
+        }
         "faults" => {
             let mut cfg = fault_sweep::FaultSweepConfig {
                 trials: opts.trials.unwrap_or(100),
@@ -401,6 +522,25 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             }
             print_table(&fault_sweep::run(&cfg).table(), opts.csv);
             println!("(adaptive replanning vs oblivious FIFO vs equal split under seeded crash/straggler injection)");
+        }
+        "protocols" => {
+            let mut cfg = protocol_sweep::ProtocolSweepConfig {
+                trials: opts.trials.unwrap_or(60),
+                seed: opts.seed.unwrap_or(0x9E22),
+                threads: opts.threads,
+                ..protocol_sweep::ProtocolSweepConfig::default()
+            };
+            if opts.smoke {
+                cfg.n = 6;
+                cfg.crash_ps = vec![0.0, 0.2];
+                cfg.straggler_factors = vec![3.0];
+                cfg.spreads = vec![0.5];
+                cfg.margins = vec![0.0, 0.1];
+                cfg.k_slack = 3;
+                cfg.trials = opts.trials.unwrap_or(25);
+            }
+            print_table(&protocol_sweep::run(&cfg).table(), opts.csv);
+            println!("(four protocol families on identical seeded fault plans; frontier = not dominated on miss rate + throughput)");
         }
         "critpath" => {
             let e = if opts.smoke {
@@ -455,6 +595,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
                 "granularity",
                 "robustness",
                 "faults",
+                "protocols",
                 "fleet",
                 "select",
                 "critpath",
@@ -650,12 +791,12 @@ fn main() -> ExitCode {
         println!(
             "commands: params table3 table4 fig3 fig4 variance threshold minorize \
              protocol gantt moments lifo sensitivity scaling majorize-ext \
-             granularity robustness faults fleet select critpath all"
+             granularity robustness faults protocols fleet select critpath all"
         );
         println!(
             "options:  --csv --trials N --max-n N --seed S --threads N --hard \
              --bench-scaling --smoke --exact --k K --n N --obs --obs-json PATH \
-             --obs-trace PATH"
+             --obs-trace PATH --plan FILE"
         );
         println!(
             "obsdiff:  hetero-cli obsdiff <run-a> <run-b> [--rel R] [--span-rel R] \
@@ -806,6 +947,7 @@ mod tests {
             obs: false,
             obs_json: None,
             obs_trace: None,
+            plan: None,
         };
         run_command("scaling", &opts).unwrap();
     }
@@ -827,6 +969,7 @@ mod tests {
             obs: false,
             obs_json: None,
             obs_trace: None,
+            plan: None,
         };
         run_command("faults", &opts).unwrap();
     }
@@ -848,6 +991,7 @@ mod tests {
             obs: false,
             obs_json: None,
             obs_trace: None,
+            plan: None,
         };
         run_command("select", &opts).unwrap();
         // --exact solves a single instance well past the n = 63 walk cap.
@@ -860,6 +1004,75 @@ mod tests {
         opts.k = Some(4);
         opts.n = None;
         assert!(run_command("select", &opts).is_err());
+    }
+
+    #[test]
+    fn protocols_smoke_command_runs() {
+        let opts = Opts {
+            csv: true,
+            trials: Some(5),
+            max_n: None,
+            seed: Some(42),
+            hard: false,
+            threads: 2,
+            bench_scaling: false,
+            smoke: true,
+            exact: false,
+            k: None,
+            n: None,
+            obs: false,
+            obs_json: None,
+            obs_trace: None,
+            plan: None,
+        };
+        run_command("protocols", &opts).unwrap();
+    }
+
+    #[test]
+    fn faults_replays_a_pinned_plan_and_rejects_malformed_ones() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("hetero_cli_plan_ok.json");
+        let plan = hetero_faults::FaultPlan::new(vec![
+            hetero_faults::FaultSpec::Slowdown {
+                worker: 1,
+                factor: 4.0,
+                from: 0.0,
+                until: 600.0,
+            },
+            hetero_faults::FaultSpec::ResultLoss {
+                worker: 2,
+                count: 1,
+            },
+        ])
+        .unwrap();
+        std::fs::write(&good, plan.to_json()).unwrap();
+        let mut opts = Opts {
+            csv: true,
+            trials: None,
+            max_n: None,
+            seed: None,
+            hard: false,
+            threads: 1,
+            bench_scaling: false,
+            smoke: false,
+            exact: false,
+            k: None,
+            n: None,
+            obs: false,
+            obs_json: None,
+            obs_trace: None,
+            plan: Some(good.to_string_lossy().into_owned()),
+        };
+        run_command("faults", &opts).unwrap();
+
+        // A malformed plan surfaces the typed JSON error, not a panic.
+        let bad = dir.join("hetero_cli_plan_bad.json");
+        std::fs::write(&bad, "{\"faults\":[{\"kind\":\"meteor\"}]}").unwrap();
+        opts.plan = Some(bad.to_string_lossy().into_owned());
+        let err = run_command("faults", &opts).unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+        let _ = std::fs::remove_file(&good);
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]
@@ -892,6 +1105,7 @@ mod tests {
             obs: false,
             obs_json: None,
             obs_trace: None,
+            plan: None,
         };
         for c in [
             "params",

@@ -22,6 +22,7 @@
 //! | [`granularity`] | extension: integral-task quantization cost |
 //! | [`robustness`] | extension: planning under speed-estimation error |
 //! | [`fault_sweep`] | extension: fault injection vs adaptive replanning |
+//! | [`protocol_sweep`] | extension: work exchange + MDS coding vs replanning |
 //! | [`fleet`] | extension: fleet sizing against X-measure saturation |
 //! | [`selection_sweep`] | extension: branch-and-bound exact selection at fleet scale |
 //!
@@ -45,6 +46,7 @@ pub mod majorization_ext;
 pub mod moments_ext;
 pub mod obs_export;
 pub mod protocol_check;
+pub mod protocol_sweep;
 pub mod render;
 pub mod robustness;
 pub mod scaling;

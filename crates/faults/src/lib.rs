@@ -39,8 +39,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod json;
 mod plan;
 mod spec;
 
+pub use json::PlanJsonError;
 pub use plan::{FaultConfig, FaultPlan};
 pub use spec::{FaultError, FaultSpec};

@@ -99,9 +99,20 @@ pub static XSCAN_REPLACE: HotCounter = HotCounter::new("xscan.replace");
 /// (condvar wait returning with work) — a high ratio of park-wakes to
 /// jobs means the queue keeps draining dry.
 pub static PAR_POOL_PARK_WAKES: HotCounter = HotCounter::new("par.pool.park_wakes");
+/// Residual-load transfers committed by the work-exchange executor.
+pub static PROTOCOL_EXCHANGE_TRANSFERS: HotCounter = HotCounter::new("protocol.exchange.transfers");
+/// Work-exchange runs that degraded to adaptive replanning because a
+/// straggler found no donor.
+pub static PROTOCOL_EXCHANGE_DEGRADED: HotCounter = HotCounter::new("protocol.exchange.degraded");
+/// Coded executions whose surviving shares reached the decode threshold.
+pub static PROTOCOL_CODED_DECODES: HotCounter = HotCounter::new("protocol.coded.decodes");
+/// Coded executions where fewer than k shares survived — the job was
+/// undecodable and every returned share stranded.
+pub static PROTOCOL_CODED_DECODE_FAILURES: HotCounter =
+    HotCounter::new("protocol.coded.decode_failures");
 
 /// Every static hot counter, in reporting order.
-pub fn all() -> [&'static HotCounter; 17] {
+pub fn all() -> [&'static HotCounter; 21] {
     [
         &XENGINE_REPLACE,
         &XENGINE_COMMIT,
@@ -120,6 +131,10 @@ pub fn all() -> [&'static HotCounter; 17] {
         &XSCAN_DELETE,
         &XSCAN_REPLACE,
         &PAR_POOL_PARK_WAKES,
+        &PROTOCOL_EXCHANGE_TRANSFERS,
+        &PROTOCOL_EXCHANGE_DEGRADED,
+        &PROTOCOL_CODED_DECODES,
+        &PROTOCOL_CODED_DECODE_FAILURES,
     ]
 }
 
@@ -150,6 +165,10 @@ pub const REGISTRY: &[&str] = &[
     "xscan.delete",
     "xscan.replace",
     "par.pool.park_wakes",
+    "protocol.exchange.transfers",
+    "protocol.exchange.degraded",
+    "protocol.coded.decodes",
+    "protocol.coded.decode_failures",
     // Simulator and protocol dynamic metrics.
     "sim.events",
     "sim.queue_high_water",
@@ -164,6 +183,9 @@ pub const REGISTRY: &[&str] = &[
     // Replanner metrics.
     "faults.replan",
     "faults.replan.suffix_depth",
+    // Protocol-family metrics (work exchange, MDS coding).
+    "protocol.exchange.transfer_work",
+    "protocol.coded.overhead",
     // Worker-pool metrics.
     "par.pool.map",
     "par.pool.queue_depth",
@@ -207,7 +229,11 @@ mod tests {
                 "xscan.insert",
                 "xscan.delete",
                 "xscan.replace",
-                "par.pool.park_wakes"
+                "par.pool.park_wakes",
+                "protocol.exchange.transfers",
+                "protocol.exchange.degraded",
+                "protocol.coded.decodes",
+                "protocol.coded.decode_failures"
             ]
         );
     }

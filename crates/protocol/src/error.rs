@@ -26,6 +26,14 @@ pub enum ProtocolError {
         /// The offending `A·X(P)` value.
         a_times_x: f64,
     },
+    /// The MDS decode threshold is outside `1 ..= n`: with `k = 0` the
+    /// job is empty, with `k > n` no completion set can ever decode.
+    InvalidK {
+        /// The requested decode threshold.
+        k: usize,
+        /// The cluster size it was requested against.
+        n: usize,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -51,6 +59,12 @@ impl fmt::Display for ProtocolError {
                 write!(
                     f,
                     "communication-bound regime: A·X(P) = {a_times_x} > 1, the server cannot feed the cluster"
+                )
+            }
+            ProtocolError::InvalidK { k, n } => {
+                write!(
+                    f,
+                    "MDS decode threshold k = {k} must satisfy 1 ≤ k ≤ n = {n}"
                 )
             }
         }

@@ -309,12 +309,34 @@ pub fn try_execute(
 /// (send = server packaging + work transit; compute = the worker's
 /// `Bρw` block; receive = result transit + server unpackaging).
 fn observe_execution(state: &ExecState, queue: &EventQueue<Event>, n: usize) {
+    observe_trace(
+        &state.trace,
+        &state.server,
+        &state.channel,
+        queue.dispatched(),
+        queue.high_water(),
+        n,
+    );
+}
+
+/// Executor-agnostic form of the fold above, shared with the
+/// fault-aware protocol families ([`crate::exchange`], [`crate::coded`])
+/// so every family feeds the same per-phase sketches and utilization
+/// series regardless of which extra span labels it mints.
+pub(crate) fn observe_trace(
+    trace: &Trace,
+    server: &UnitResource,
+    channel: &UnitResource,
+    dispatched: u64,
+    high_water: usize,
+    n: usize,
+) {
     if !hetero_obs::enabled() {
         // One atomic load while disabled — the span walk below is O(n)
         // and must not run when nobody is listening.
         return;
     }
-    let horizon = state.trace.makespan();
+    let horizon = trace.makespan();
     // Fold the per-span phase timings into local accumulators first: a
     // sweep lands here once per trial, and paying the collector lock
     // plus a name lookup per span made full recording cost more than
@@ -332,7 +354,7 @@ fn observe_execution(state: &ExecState, queue: &EventQueue<Event>, n: usize) {
     // Workers are not UnitResources (their schedule is closed-form), so
     // their utilization is busy time over the makespan, read off the trace.
     let mut worker_busy = vec![0.0f64; n];
-    for span in state.trace.spans() {
+    for span in trace.spans() {
         let phase = match span.label.as_str() {
             "unpack" | "compute" | "pack" => {
                 let idx = span.entity.wrapping_sub(1);
@@ -342,7 +364,13 @@ fn observe_execution(state: &ExecState, queue: &EventQueue<Event>, n: usize) {
                 0
             }
             "wait:channel" => 1,
-            l if l.starts_with("pack→") || l.starts_with("xmit:work") => 2,
+            l if l.starts_with("pack→")
+                || l.starts_with("xpack→")
+                || l.starts_with("xmit:work")
+                || l.starts_with("xmit:xchg") =>
+            {
+                2
+            }
             l if l.starts_with("xmit:result") || l.starts_with("recv←") => 3,
             _ => 4,
         };
@@ -354,10 +382,10 @@ fn observe_execution(state: &ExecState, queue: &EventQueue<Event>, n: usize) {
         sketches[phase].record(d);
     }
     hetero_obs::with_collector(|c| {
-        c.count("sim.events", queue.dispatched());
-        c.gauge_max("sim.queue_high_water", queue.high_water() as u64);
-        c.observe("protocol.util.server", state.server.utilization(horizon));
-        c.observe("protocol.util.channel", state.channel.utilization(horizon));
+        c.count("sim.events", dispatched);
+        c.gauge_max("sim.queue_high_water", high_water as u64);
+        c.observe("protocol.util.server", server.utilization(horizon));
+        c.observe("protocol.util.channel", channel.utilization(horizon));
         for (i, phase) in PHASES.iter().enumerate() {
             c.merge_observations(phase, &stats[i]);
             c.merge_sketch(phase, &sketches[i]);

@@ -39,6 +39,8 @@
 
 pub mod alloc;
 pub mod baseline;
+pub mod coded;
+pub mod exchange;
 pub mod exec;
 pub mod fault_exec;
 pub mod general;
@@ -50,6 +52,8 @@ pub mod validate;
 
 mod error;
 
+pub use coded::{CodedExecution, CodedPlan, DecodeFailed};
 pub use error::ProtocolError;
+pub use exchange::{ExchangeExecution, ExchangePolicy};
 pub use fault_exec::{ExecError, FaultedExecution};
 pub use hetero_sim::{Span, Trace};
