@@ -1,0 +1,73 @@
+//! Bench — the certified fast numeric mode against the strict kernels
+//! (DESIGN.md §17): does breaking the divider dependency actually break
+//! the divider ceiling?
+//!
+//! Scalar, n = 1024: the strict kernel issues two dependent divisions
+//! per element; the 1-div reform halves that to one; the scalar
+//! reciprocal-Newton chain is benched to *document* that on a
+//! latency-bound evaluation it loses to one hardware divide (which is
+//! why `NumericMode::Fast` picks the 1-div reform for scalars).
+//!
+//! Batch, n = 1024 over 4096 profiles: the strict lockstep kernel is
+//! throughput-bound on the divider port; the fast lockstep kernel
+//! replaces every `vdivpd` with `vrcp14pd` + two FMA Newton steps
+//! (portable magic-seed Newton off AVX-512), so the port-bound
+//! recurrence becomes FMA-bound. The strict-vs-fast batch pair is the
+//! headline `BENCH_pr10.json` number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetero_core::xbatch::{self, ProfileBatch};
+use hetero_core::{fastnum, xmeasure, NumericMode, Params};
+use std::hint::black_box;
+
+const N: usize = 1024;
+const BATCH: usize = 4096;
+
+/// Same deterministic speed spread as `xbatch_throughput`, so the
+/// strict numbers stay comparable across BENCH documents.
+fn row(n: usize, r: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 / (1.0 + i as f64 + (r % 7) as f64 / 7.0))
+        .collect()
+}
+
+fn bench_scalar(c: &mut Criterion) {
+    let params = Params::paper_table1();
+    let rhos = row(N, 0);
+    let mut group = c.benchmark_group("fastnum/scalar");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_with_input(BenchmarkId::new("strict", N), &rhos, |b, r| {
+        b.iter(|| black_box(xmeasure::x_measure_of_rhos(&params, black_box(r))))
+    });
+    group.bench_with_input(BenchmarkId::new("fast_1div", N), &rhos, |b, r| {
+        b.iter(|| black_box(fastnum::x_fast_1div(&params, black_box(r))))
+    });
+    group.bench_with_input(BenchmarkId::new("fast_rcp", N), &rhos, |b, r| {
+        b.iter(|| black_box(fastnum::x_fast_rcp(&params, black_box(r))))
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let params = Params::paper_table1();
+    let mut batch = ProfileBatch::with_capacity(BATCH, BATCH * N);
+    for r in 0..BATCH {
+        batch.push(&row(N, r));
+    }
+    let mut group = c.benchmark_group("fastnum/batch");
+    group.throughput(Throughput::Elements((BATCH * N) as u64));
+    group.sample_size(10);
+    for (label, mode) in [("strict", NumericMode::Strict), ("fast", NumericMode::Fast)] {
+        group.bench_with_input(BenchmarkId::new(label, N), &batch, |b, batch| {
+            let mut out = Vec::with_capacity(BATCH);
+            b.iter(|| {
+                xbatch::x_measures_into_mode(&params, black_box(batch), mode, &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar, bench_batch);
+criterion_main!(benches);

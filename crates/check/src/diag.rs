@@ -59,6 +59,11 @@ pub enum Lint {
     /// retries without a compile-visible bound (no `max`/`remaining`/
     /// `budget`-style identifier in the condition or body).
     UnboundedRetry,
+    /// Approximate-math primitives (reciprocal seeds, Newton refinement,
+    /// raw SIMD intrinsics) outside the certified fast-kernel modules
+    /// (`crates/simd`, `crates/core/src/fastnum.rs`). Approximation is
+    /// only legal where an error budget is stated and proptest-certified.
+    ApproxMathOutsideKernel,
 }
 
 /// Every lint, in reporting order.
@@ -84,6 +89,7 @@ pub const ALL_LINTS: &[Lint] = &[
     Lint::PanicPropagation,
     Lint::CounterNameDiscipline,
     Lint::UnboundedRetry,
+    Lint::ApproxMathOutsideKernel,
 ];
 
 impl Lint {
@@ -111,6 +117,7 @@ impl Lint {
             Lint::PanicPropagation => "panic-propagation",
             Lint::CounterNameDiscipline => "counter-name-discipline",
             Lint::UnboundedRetry => "unbounded-retry",
+            Lint::ApproxMathOutsideKernel => "approx-math-outside-kernel",
         }
     }
 

@@ -254,6 +254,29 @@ pub const PAGES: &[Page] = &[
              would hang the sweep rather than lose the comparison.",
         ),
     },
+    Page {
+        lint: Lint::ApproxMathOutsideKernel,
+        what: "An approximate-math primitive in library code outside the \
+               certified fast-kernel modules: a raw SIMD intrinsic \
+               (`_mm*`/`__m*`), a reciprocal-approximation call or \
+               constant (`rcp*`), or a Newton-refinement identifier.",
+        why: "Strict mode promises a bit-reproducible evaluation order; \
+              fast mode is legal only where an analytic error budget is \
+              stated and proptest-certified against the exact oracle. \
+              Approximation smuggled into any other module erodes both \
+              contracts at once: goldens drift and no certificate covers \
+              the error.",
+        fix: "Move the kernel into `crates/simd` or \
+              `crates/core/src/fastnum.rs` with a documented budget \
+              (DESIGN.md \u{a7}17), or call the strict kernels / a \
+              `NumericMode` entry point instead.",
+        anchor: Some(
+            "The PR 10 fast numeric mode breaks the Theorem 2 divider \
+             ceiling with reciprocal-Newton kernels; the certificates \
+             only hold because every approximation site lives inside the \
+             two audited modules.",
+        ),
+    },
 ];
 
 /// Renders the page for `name`, or `None` if the lint is unknown.

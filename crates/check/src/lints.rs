@@ -151,6 +151,12 @@ pub fn scan_file_with_registry(rel: &str, src: &str, registry: Option<&[String]>
             if !rel.starts_with("crates/obs/src/") {
                 cx.wall_clock(&mut raw);
             }
+            // The certified fast-kernel modules own approximation; the
+            // rest of the library keeps the strict, bit-reproducible
+            // evaluation order.
+            if !rel.starts_with("crates/simd/src/") && rel != "crates/core/src/fastnum.rs" {
+                cx.approx_math_outside_kernel(&mut raw);
+            }
             // Retry loops must carry a compile-visible bound; one
             // persistent fault must never become a livelock.
             cx.unbounded_retry(&mut raw);
@@ -646,6 +652,52 @@ impl<'a> Cx<'a> {
                         .to_string(),
                 );
             }
+        }
+    }
+
+    /// Approximate-math primitives outside the certified fast-kernel
+    /// modules. Raw SIMD intrinsics (`_mm*` / `__m*`), reciprocal
+    /// approximations (`rcp*`-named calls and constants), and Newton
+    /// refinement loops are only legal in `crates/simd` and
+    /// `crates/core/src/fastnum.rs`, where every kernel states an
+    /// analytic error budget and is proptest-certified against the
+    /// exact oracle (DESIGN.md §17). Anywhere else, an unannounced
+    /// approximation silently erodes the strict mode's bit-reproducible
+    /// contract.
+    fn approx_math_outside_kernel(&self, out: &mut Vec<Diagnostic>) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !self.live(i) || tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let t = tok.text.as_str();
+            let lower = t.to_ascii_lowercase();
+            let simd = t.starts_with("_mm") || t.starts_with("__m");
+            let rcp = lower == "rcp"
+                || lower.starts_with("rcp_")
+                || lower.ends_with("_rcp")
+                || lower.contains("_rcp_");
+            let newton = lower.contains("newton");
+            if !(simd || rcp || newton) {
+                continue;
+            }
+            let what = if simd {
+                "raw SIMD intrinsics"
+            } else if rcp {
+                "reciprocal approximation"
+            } else {
+                "Newton refinement"
+            };
+            self.emit(
+                out,
+                Lint::ApproxMathOutsideKernel,
+                tok,
+                format!(
+                    "{what} (`{t}`) belongs in the certified fast-kernel modules \
+                     (crates/simd, crates/core/src/fastnum.rs), where an error \
+                     budget is stated and proptest-certified; call the strict \
+                     kernels or `NumericMode::Fast` entry points instead"
+                ),
+            );
         }
     }
 
@@ -1538,6 +1590,44 @@ mod tests {
         assert!(lints_of("crates/core/src/m.rs", test)
             .iter()
             .all(|(l, _)| *l != Lint::ThreadSpawnOutsidePar));
+    }
+
+    #[test]
+    fn approx_math_gated_to_the_kernel_modules() {
+        let rcp = "pub fn f(d: f64) -> f64 { rcp_seed(d) }";
+        assert!(lints_of("crates/core/src/m.rs", rcp)
+            .iter()
+            .any(|(l, _)| *l == Lint::ApproxMathOutsideKernel));
+        let newton = "pub fn f(r: f64, d: f64) -> f64 { newton_refine(r, d) }";
+        assert!(lints_of("crates/protocol/src/m.rs", newton)
+            .iter()
+            .any(|(l, _)| *l == Lint::ApproxMathOutsideKernel));
+        let simd = "pub fn f(d: __m512d) -> __m512d { _mm512_rcp14_pd(d) }";
+        assert!(
+            lints_of("crates/obs/src/m.rs", simd)
+                .iter()
+                .filter(|(l, _)| *l == Lint::ApproxMathOutsideKernel)
+                .count()
+                >= 3,
+            "type and intrinsic idents all fire"
+        );
+        // The two designated modules are exempt.
+        assert!(lints_of("crates/simd/src/lib.rs", rcp)
+            .iter()
+            .all(|(l, _)| *l != Lint::ApproxMathOutsideKernel));
+        assert!(lints_of("crates/core/src/fastnum.rs", rcp)
+            .iter()
+            .all(|(l, _)| *l != Lint::ApproxMathOutsideKernel));
+        // Benign identifiers that merely contain the letters stay legal.
+        let benign = "pub fn f(percept: f64) -> f64 { intercept(percept) }";
+        assert!(lints_of("crates/core/src/m.rs", benign)
+            .iter()
+            .all(|(l, _)| *l != Lint::ApproxMathOutsideKernel));
+        // Test modules are exempt, as for every lint.
+        let test = "#[cfg(test)]\nmod tests {\n fn f() { rcp_seed(1.0); }\n}";
+        assert!(lints_of("crates/core/src/m.rs", test)
+            .iter()
+            .all(|(l, _)| *l != Lint::ApproxMathOutsideKernel));
     }
 
     #[test]

@@ -206,7 +206,33 @@ fn violations_fixture_fires_every_deny_lint() {
         .count();
     assert_eq!(retries, 1, "{d:?}");
 
-    assert_eq!(summary_num(&r, "violations"), 28);
+    // Approximation outside the certified kernels: all three shapes fire
+    // (reciprocal call, Newton step, raw SIMD intrinsic).
+    assert!(has(
+        &d,
+        "approx-math-outside-kernel",
+        "crates/demo/src/approx.rs",
+        6
+    ));
+    assert!(has(
+        &d,
+        "approx-math-outside-kernel",
+        "crates/demo/src/approx.rs",
+        7
+    ));
+    assert!(has(
+        &d,
+        "approx-math-outside-kernel",
+        "crates/demo/src/approx.rs",
+        8
+    ));
+    let approx = d
+        .iter()
+        .filter(|(l, _, _, _)| l == "approx-math-outside-kernel")
+        .count();
+    assert_eq!(approx, 3, "{d:?}");
+
+    assert_eq!(summary_num(&r, "violations"), 31);
     assert_eq!(summary_num(&r, "warnings"), 1);
     assert_eq!(summary_num(&r, "exit_code"), 1);
 }

@@ -1,0 +1,13 @@
+//! The certified home of approximation: `crates/simd` is designated,
+//! so reciprocal seeds and Newton refinement stay silent here.
+
+/// Magic bit-trick seed for the reciprocal approximation.
+pub const RCP_MAGIC: u64 = 0x7FDE_6238_22FC_16E6;
+
+/// Silent: a reciprocal seed plus one Newton step is exactly what this
+/// module exists to certify.
+pub fn rcp_newton(d: f64) -> f64 {
+    let mut r = f64::from_bits(RCP_MAGIC.wrapping_sub(d.to_bits()));
+    r *= 2.0 - d * r;
+    r
+}

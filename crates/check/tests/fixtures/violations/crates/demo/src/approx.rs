@@ -1,0 +1,9 @@
+//! Approximate math planted outside the certified fast-kernel modules.
+
+/// Fires three times: a reciprocal-approximation call, a Newton
+/// refinement step, and a raw SIMD intrinsic — none are legal here.
+pub fn inverse(d: f64) -> f64 {
+    let seed = hetero_simd::rcp_portable(d);
+    let refined = crate::newton_step(seed, d);
+    unsafe { core::arch::x86_64::_mm512_rcp14_pd(refined) }
+}

@@ -86,10 +86,17 @@
 //! ```
 //!
 //! `--obs-json` and `--obs-trace` imply `--obs` collection.
+//!
+//! `--numeric {strict|fast}` selects the numeric mode of the batched
+//! X-measure kernels (DESIGN.md §17). `strict` (the default) is the
+//! bit-reproducible reference; `fast` is the certified divide-free
+//! mode, accurate within its documented ulp budget. The chosen mode is
+//! recorded in the `--obs` run manifest. Commands built on incremental
+//! scans (`protocol`, `select`, …) are strict-only and ignore the flag.
 
 use std::process::ExitCode;
 
-use hetero_core::Params;
+use hetero_core::{NumericMode, Params};
 use hetero_experiments::{
     critpath, examples42, fault_sweep, fifo_lifo, fig34, fleet, gantt, granularity,
     majorization_ext, moments_ext, obs_export, protocol_check, protocol_sweep, robustness, scaling,
@@ -113,6 +120,7 @@ struct Opts {
     obs_json: Option<String>,
     obs_trace: Option<String>,
     plan: Option<String>,
+    numeric: NumericMode,
 }
 
 impl Opts {
@@ -140,6 +148,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         obs_json: None,
         obs_trace: None,
         plan: None,
+        numeric: NumericMode::Strict,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -169,6 +178,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--plan" => {
                 let v = it.next().ok_or("--plan needs a path")?;
                 opts.plan = Some(v.clone());
+            }
+            "--numeric" => {
+                let v = it.next().ok_or("--numeric needs strict or fast")?;
+                opts.numeric = NumericMode::parse(v)?;
             }
             "--trials" => {
                 let v = it.next().ok_or("--trials needs a value")?;
@@ -256,6 +269,7 @@ fn cmd_variance(opts: &Opts) {
             variance::PairGenerator::DiverseShapes
         },
         threads: opts.threads,
+        numeric: opts.numeric,
         ..variance::VarianceConfig::default()
     };
     print_table(&variance::run(&cfg).table(), opts.csv);
@@ -269,6 +283,7 @@ fn cmd_threshold(opts: &Opts) {
         trials_per_combo: opts.trials.unwrap_or(1500),
         seed: opts.seed.unwrap_or(0xBEEF),
         threads: opts.threads,
+        numeric: opts.numeric,
         ..threshold::ThresholdConfig::default()
     };
     let e = threshold::run(&cfg);
@@ -464,11 +479,11 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
         "table3" => print_table(&table3::run_paper().table(), opts.csv),
         "table4" => print_table(&table4::run_paper().table(), opts.csv),
         "fig3" => {
-            let f = fig34::run_paper();
+            let f = fig34::run_paper_mode(opts.numeric);
             print!("{}", f.render_phase(&f.phase1, 1.0));
         }
         "fig4" => {
-            let f = fig34::run_paper();
+            let f = fig34::run_paper_mode(opts.numeric);
             print!("{}", f.render_phase(&f.phase2, 1.0 / 16.0));
         }
         "variance" => cmd_variance(opts),
@@ -556,7 +571,7 @@ fn run_command(cmd: &str, opts: &Opts) -> Result<(), String> {
             if opts.bench_scaling {
                 cmd_bench_scaling(opts);
             } else {
-                print_table(&scaling::run_paper().table(), opts.csv)
+                print_table(&scaling::run_paper_mode(opts.numeric).table(), opts.csv)
             }
         }
         "majorize-ext" => {
@@ -691,6 +706,7 @@ fn obs_finalize(cmd: &str, opts: &Opts, wall_ms: f64) -> Result<(), String> {
         trials: opts.trials.unwrap_or(0),
         max_n: opts.max_n.unwrap_or(0),
         threads: opts.threads,
+        numeric: opts.numeric.as_str().to_string(),
         params: vec![
             ("tau".to_string(), p.tau()),
             ("pi".to_string(), p.pi()),
@@ -795,8 +811,8 @@ fn main() -> ExitCode {
         );
         println!(
             "options:  --csv --trials N --max-n N --seed S --threads N --hard \
-             --bench-scaling --smoke --exact --k K --n N --obs --obs-json PATH \
-             --obs-trace PATH --plan FILE"
+             --bench-scaling --smoke --exact --k K --n N --numeric strict|fast \
+             --obs --obs-json PATH --obs-trace PATH --plan FILE"
         );
         println!(
             "obsdiff:  hetero-cli obsdiff <run-a> <run-b> [--rel R] [--span-rel R] \
@@ -946,6 +962,7 @@ mod tests {
             n: None,
             obs: false,
             obs_json: None,
+            numeric: NumericMode::Strict,
             obs_trace: None,
             plan: None,
         };
@@ -968,6 +985,7 @@ mod tests {
             n: None,
             obs: false,
             obs_json: None,
+            numeric: NumericMode::Strict,
             obs_trace: None,
             plan: None,
         };
@@ -990,6 +1008,7 @@ mod tests {
             n: None,
             obs: false,
             obs_json: None,
+            numeric: NumericMode::Strict,
             obs_trace: None,
             plan: None,
         };
@@ -1022,6 +1041,7 @@ mod tests {
             n: None,
             obs: false,
             obs_json: None,
+            numeric: NumericMode::Strict,
             obs_trace: None,
             plan: None,
         };
@@ -1060,6 +1080,7 @@ mod tests {
             n: None,
             obs: false,
             obs_json: None,
+            numeric: NumericMode::Strict,
             obs_trace: None,
             plan: Some(good.to_string_lossy().into_owned()),
         };
@@ -1080,6 +1101,17 @@ mod tests {
         assert!(parse_opts(&["--bogus".into()]).is_err());
         assert!(parse_opts(&["--trials".into()]).is_err());
         assert!(parse_opts(&["--trials".into(), "abc".into()]).is_err());
+    }
+
+    #[test]
+    fn numeric_mode_parses_and_defaults_to_strict() {
+        assert_eq!(parse_opts(&[]).unwrap().numeric, NumericMode::Strict);
+        let o = parse_opts(&["--numeric".into(), "fast".into()]).unwrap();
+        assert_eq!(o.numeric, NumericMode::Fast);
+        let o = parse_opts(&["--numeric".into(), "strict".into()]).unwrap();
+        assert_eq!(o.numeric, NumericMode::Strict);
+        assert!(parse_opts(&["--numeric".into()]).is_err());
+        assert!(parse_opts(&["--numeric".into(), "sloppy".into()]).is_err());
     }
 
     #[test]
@@ -1104,6 +1136,7 @@ mod tests {
             n: None,
             obs: false,
             obs_json: None,
+            numeric: NumericMode::Strict,
             obs_trace: None,
             plan: None,
         };

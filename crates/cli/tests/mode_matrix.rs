@@ -1,0 +1,106 @@
+//! The `--numeric` mode matrix against pre-PR goldens: the default run
+//! and an explicit `--numeric strict` must reproduce the pinned outputs
+//! byte for byte (the strict mode's golden contract), and `--numeric
+//! fast` must run every mode-aware command cleanly. The goldens under
+//! `tests/golden/pr10_*.txt` were captured from the build immediately
+//! before the fast numeric mode landed.
+
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hetero-cli")
+}
+
+const FLAGS: &[&str] = &[
+    "--trials",
+    "20",
+    "--max-n",
+    "16",
+    "--seed",
+    "5",
+    "--threads",
+    "2",
+];
+
+fn run(cmd: &str, extra: &[&str]) -> Output {
+    Command::new(bin())
+        .arg(cmd)
+        .args(FLAGS)
+        .args(extra)
+        .env("HETERO_THREADS", "2")
+        .output()
+        .expect("spawn CLI")
+}
+
+fn golden(name: &str) -> String {
+    let path = format!(
+        "{}/tests/golden/pr10_{name}_t20_n16_s5.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+const COMMANDS: &[&str] = &["variance", "threshold", "scaling", "fig3", "fig4", "all"];
+
+#[test]
+fn default_mode_is_byte_identical_to_the_pre_fastnum_goldens() {
+    for cmd in COMMANDS {
+        let out = run(cmd, &[]);
+        assert!(out.status.success(), "{cmd} failed");
+        let got = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            got,
+            golden(cmd),
+            "{cmd}: default output drifted from golden"
+        );
+    }
+}
+
+#[test]
+fn explicit_strict_matches_the_goldens_too() {
+    for cmd in COMMANDS {
+        let out = run(cmd, &["--numeric", "strict"]);
+        assert!(out.status.success(), "{cmd} --numeric strict failed");
+        let got = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            got,
+            golden(cmd),
+            "{cmd}: --numeric strict drifted from golden"
+        );
+    }
+}
+
+#[test]
+fn fast_mode_runs_every_mode_aware_command() {
+    for cmd in &["variance", "threshold", "scaling", "fig3", "fig4"] {
+        let out = run(cmd, &["--numeric", "fast"]);
+        assert!(
+            out.status.success(),
+            "{cmd} --numeric fast failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "{cmd} --numeric fast printed nothing"
+        );
+    }
+}
+
+#[test]
+fn fast_mode_is_recorded_in_the_obs_manifest() {
+    let out = run("scaling", &["--numeric", "fast", "--obs"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("numeric  fast"),
+        "manifest footer must record the mode:\n{text}"
+    );
+}
+
+#[test]
+fn bad_numeric_mode_is_rejected() {
+    let out = run("scaling", &["--numeric", "sloppy"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("numeric"), "{err}");
+}

@@ -1,0 +1,368 @@
+//! The certified fast numeric mode: divide-light and divide-free
+//! evaluations of the Theorem 2 recurrence (DESIGN.md §17).
+//!
+//! BENCH_pr5's `hardware_ceiling` analysis shows the strict kernel is
+//! bound by two `divsd`-throughput divisions per ρ-element. This module
+//! holds the two certified ways around that ceiling:
+//!
+//! 1. **Single-division reform** ([`x_fast_1div`]) — hoist
+//!    `inv = 1/(Bρ + A)` once per element; the summand becomes
+//!    `product·inv` and the product update `(Bρ + τδ)·inv`, halving
+//!    division pressure for ≤ a-few-ulp drift per element.
+//! 2. **Reciprocal approximation + Newton refinement**
+//!    ([`x_fast_rcp`] and the lockstep batch kernels) — `inv` comes
+//!    from `hetero-simd` (`vrcp14pd` + 2 FMA Newton steps under
+//!    AVX-512, magic-seed + 4 plain Newton steps portably), removing
+//!    hardware divide from the inner loop entirely.
+//!
+//! Every kernel here ships a *certificate*: the analytic per-element
+//! relative-error bounds [`x_budget_1div`] / [`x_budget_rcp`] derived
+//! in DESIGN.md §17, enforced against the exact `crates/exact::Ratio`
+//! oracle by the `fastnum_oracle` proptest suite. [`NumericMode`]
+//! selects between the strict (bit-identical, golden-baseline) kernels
+//! and these fast ones; `Strict` is the default everywhere, and the
+//! incremental engines (`XScan`, `ChurnScan`) are strict-only because
+//! their ≤ 1e-12-of-a-rebuild invariants are certified against the
+//! strict evaluation order.
+//!
+//! This module and `crates/simd` are the only places approximate math
+//! is allowed — the `approx-math-outside-kernel` hetero-check lint
+//! keeps reciprocal intrinsics and Newton helpers from leaking
+//! anywhere else.
+
+use crate::numeric::KahanSum;
+use crate::{ModelError, Params};
+
+/// Which numeric contract an evaluation honors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumericMode {
+    /// Bit-identical to the scalar reference kernels — the golden
+    /// baseline behind every pinned figure, table, and byte-diffed
+    /// trace.
+    #[default]
+    Strict,
+    /// The certified fast kernels: results drift from strict by at
+    /// most the documented ulp budgets ([`x_budget_1div`] /
+    /// [`x_budget_rcp`]), in exchange for breaking the divider
+    /// throughput ceiling.
+    Fast,
+}
+
+impl NumericMode {
+    /// Stable lowercase name (CLI flag value, obs-manifest field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NumericMode::Strict => "strict",
+            NumericMode::Fast => "fast",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Result<NumericMode, String> {
+        match s {
+            "strict" => Ok(NumericMode::Strict),
+            "fast" => Ok(NumericMode::Fast),
+            other => Err(format!("unknown numeric mode `{other}` (strict|fast)")),
+        }
+    }
+
+    /// `true` for [`NumericMode::Fast`].
+    pub fn is_fast(self) -> bool {
+        self == NumericMode::Fast
+    }
+}
+
+/// Unit roundoff u = 2⁻⁵³ of IEEE-754 binary64.
+pub const UNIT_ROUNDOFF: f64 = f64::EPSILON / 2.0;
+
+/// Worst-case relative error of [`x_fast_1div`] against exact
+/// arithmetic for an `n`-element profile: `(6n + 12)·u`.
+///
+/// Derivation sketch (full version in DESIGN.md §17): per element the
+/// reform performs one correctly rounded division (≤ u), one summand
+/// multiply (≤ u), and a product update of two roundings (numerator
+/// fused as mul+add ≤ 2u, multiply ≤ u); the running product therefore
+/// accumulates ≤ 4u of drift per factor, each term adds ≤ 2u of its
+/// own, and the Neumaier sum of positive terms contributes ≤ 2u.
+/// `6n + 12` covers that with margin.
+pub fn x_budget_1div(n: usize) -> f64 {
+    (6.0 * n as f64 + 12.0) * UNIT_ROUNDOFF
+}
+
+/// Worst-case relative error of [`x_fast_rcp`] (and the fast lockstep
+/// batch kernels) for an `n`-element profile: `(10n + 20)·u`.
+///
+/// Same accumulation argument as [`x_budget_1div`] with the correctly
+/// rounded division replaced by the refined reciprocal, whose relative
+/// error η ≤ 4u covers both `hetero-simd` paths (≤ 3u for
+/// `vrcp14pd` + 2 Newton steps, ≤ 4u portable); per element the drift
+/// is ≤ (η + 3)u ≤ 7u on the product chain plus (η + 1)u on the term.
+/// `10n + 20` covers that with margin.
+pub fn x_budget_rcp(n: usize) -> f64 {
+    (10.0 * n as f64 + 20.0) * UNIT_ROUNDOFF
+}
+
+/// `X(P)` via the single-division reform (Theorem 2; DESIGN.md §17).
+///
+/// One division per element instead of two: `inv = 1/(Bρ + A)` serves
+/// both the summand `product·inv` and the product update
+/// `(Bρ + τδ)·inv`. Certified within [`x_budget_1div`] of exact.
+pub fn x_fast_1div(params: &Params, rhos: &[f64]) -> f64 {
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let mut product = 1.0f64;
+    let mut sum = KahanSum::new();
+    for &rho in rhos {
+        let inv = 1.0 / (b * rho + a);
+        sum.add(product * inv);
+        product *= (b * rho + td) * inv;
+    }
+    sum.value()
+}
+
+/// `X(P)` with no hardware divide at all (Theorem 2; DESIGN.md §17):
+/// the reciprocal comes from the portable magic-seed + Newton kernel
+/// of `hetero-simd`. Certified within [`x_budget_rcp`] of exact.
+///
+/// This is the scalar reference for the divide-free path; batches go
+/// through the lockstep kernel, which uses `vrcp14pd` when available.
+pub fn x_fast_rcp(params: &Params, rhos: &[f64]) -> f64 {
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let mut product = 1.0f64;
+    let mut sum = KahanSum::new();
+    for &rho in rhos {
+        let inv = hetero_simd::rcp_portable(b * rho + a);
+        sum.add(product * inv);
+        product *= (b * rho + td) * inv;
+    }
+    sum.value()
+}
+
+/// The fast lockstep Theorem 2 kernel over a uniform-length batch —
+/// the divide-free twin of `xbatch::lockstep_x`, same LANES/TILE
+/// shape, with the per-element divisions replaced by one batched
+/// [`hetero_simd::rcp_in_place`] call per tile. Tail rows narrower
+/// than a lane block fall back to [`x_fast_1div`].
+pub(crate) fn lockstep_x_fast(
+    params: &Params,
+    batch: &crate::xbatch::ProfileBatch,
+    n: usize,
+    out: &mut [f64],
+) {
+    use crate::xbatch::LANES;
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let m = batch.len();
+    const TILE: usize = 64;
+    let mut scratch = [0.0f64; TILE * LANES];
+    let mut invs = [0.0f64; TILE * LANES];
+    let mut base = 0;
+    while base + LANES <= m {
+        let mut sum = [0.0f64; LANES];
+        let mut comp = [0.0f64; LANES];
+        let mut prod = [1.0f64; LANES];
+        let mut start = 0;
+        while start < n {
+            let len = TILE.min(n - start);
+            for l in 0..LANES {
+                let row = batch.rhos_of(base + l);
+                for (i, &rho) in row[start..start + len].iter().enumerate() {
+                    scratch[i * LANES + l] = rho;
+                }
+            }
+            // One reciprocal sweep per tile: denominators Bρ + A for
+            // all lanes and elements, refined in place (vrcp14pd + 2
+            // Newton steps under AVX-512, magic-seed + 4 portably).
+            for (inv, &rho) in invs[..len * LANES].iter_mut().zip(&scratch[..len * LANES]) {
+                *inv = b * rho + a;
+            }
+            hetero_simd::rcp_in_place(&mut invs[..len * LANES]);
+            for i in 0..len {
+                let rhos = &scratch[i * LANES..(i + 1) * LANES];
+                let inv_row = &invs[i * LANES..(i + 1) * LANES];
+                for l in 0..LANES {
+                    let rho = rhos[l];
+                    let inv = inv_row[l];
+                    let term = prod[l] * inv;
+                    // Inlined KahanSum::add, exactly as in the strict
+                    // lockstep kernel — compensation is kept in fast
+                    // mode too (pure mul/add, and it confines the
+                    // certificate to the product-chain drift).
+                    let t = sum[l] + term;
+                    // hetero-check: allow(float-accum) — this IS the Kahan compensation update (inlined KahanSum::add)
+                    comp[l] += if sum[l].abs() >= term.abs() {
+                        (sum[l] - t) + term
+                    } else {
+                        (term - t) + sum[l]
+                    };
+                    sum[l] = t;
+                    prod[l] *= (b * rho + td) * inv;
+                }
+            }
+            start += len;
+        }
+        for l in 0..LANES {
+            out[base + l] = sum[l] + comp[l];
+        }
+        base += LANES;
+    }
+    for (i, slot) in out.iter_mut().enumerate().skip(base) {
+        *slot = x_fast_1div(params, batch.rhos_of(i));
+    }
+}
+
+/// The fast lockstep HECR log-residual kernel — divide-free twin of
+/// `xbatch::lockstep_hecr`: the per-element `(τδ − A)/(Bρ + A)` goes
+/// through the refined reciprocal, the `ln_1p` and the shared
+/// Proposition 1 inversion stay exactly as in the strict path. Tail
+/// rows fall back to the strict scalar closed form (never *less*
+/// accurate than the lockstep path).
+pub(crate) fn lockstep_hecr_fast(
+    params: &Params,
+    batch: &crate::xbatch::ProfileBatch,
+    n: usize,
+    out: &mut Vec<Result<f64, ModelError>>,
+) {
+    use crate::xbatch::LANES;
+    let (a, b, td) = (params.a(), params.b(), params.tau_delta());
+    let m = batch.len();
+    const TILE: usize = 64;
+    let mut scratch = [0.0f64; TILE * LANES];
+    let mut base = 0;
+    while base + LANES <= m {
+        let mut sum = [0.0f64; LANES];
+        let mut comp = [0.0f64; LANES];
+        let mut start = 0;
+        while start < n {
+            let len = TILE.min(n - start);
+            for l in 0..LANES {
+                let row = batch.rhos_of(base + l);
+                for (i, &rho) in row[start..start + len].iter().enumerate() {
+                    scratch[i * LANES + l] = rho;
+                }
+            }
+            for x in &mut scratch[..len * LANES] {
+                *x = b * *x + a;
+            }
+            hetero_simd::rcp_in_place(&mut scratch[..len * LANES]);
+            for i in 0..len {
+                let inv_row = &scratch[i * LANES..(i + 1) * LANES];
+                for l in 0..LANES {
+                    let term = ((td - a) * inv_row[l]).ln_1p();
+                    let t = sum[l] + term;
+                    // hetero-check: allow(float-accum) — inlined KahanSum::add compensation, as in the strict hecr kernel
+                    comp[l] += if sum[l].abs() >= term.abs() {
+                        (sum[l] - t) + term
+                    } else {
+                        (term - t) + sum[l]
+                    };
+                    sum[l] = t;
+                }
+            }
+            start += len;
+        }
+        for l in 0..LANES {
+            out.push(crate::hecr::hecr_from_log_residual(
+                params,
+                sum[l] + comp[l],
+                n,
+            ));
+        }
+        base += LANES;
+    }
+    for i in base..m {
+        out.push(crate::hecr::hecr_of_rhos(params, batch.rhos_of(i)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmeasure::x_measure_of_rhos;
+    use crate::Profile;
+
+    fn params() -> Params {
+        Params::paper_table1()
+    }
+
+    #[test]
+    fn mode_round_trips_and_defaults_strict() {
+        assert_eq!(NumericMode::default(), NumericMode::Strict);
+        for m in [NumericMode::Strict, NumericMode::Fast] {
+            assert_eq!(NumericMode::parse(m.as_str()), Ok(m));
+        }
+        assert!(NumericMode::parse("fastish").is_err());
+        assert!(NumericMode::Fast.is_fast() && !NumericMode::Strict.is_fast());
+    }
+
+    #[test]
+    fn fast_kernels_track_strict_within_budget() {
+        let p = params();
+        for n in [1usize, 7, 64, 1024] {
+            let rhos: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
+            let strict = x_measure_of_rhos(&p, &rhos);
+            let d1 = ((x_fast_1div(&p, &rhos) - strict) / strict).abs();
+            let dr = ((x_fast_rcp(&p, &rhos) - strict) / strict).abs();
+            // Strict itself is within ~the same envelope of exact, so
+            // fast-vs-strict stays inside twice the budget.
+            assert!(d1 <= 2.0 * x_budget_1div(n), "n={n}: 1div drift {d1:e}");
+            assert!(dr <= 2.0 * x_budget_rcp(n), "n={n}: rcp drift {dr:e}");
+        }
+    }
+
+    #[test]
+    fn budgets_grow_linearly_and_stay_tiny() {
+        assert!(x_budget_1div(1024) < 1e-12);
+        assert!(x_budget_rcp(1024) < 2e-12);
+        assert!(x_budget_rcp(65_536) < 1e-10);
+        assert!(x_budget_1div(8) < x_budget_1div(9));
+        assert!(x_budget_1div(64) < x_budget_rcp(64));
+    }
+
+    #[test]
+    fn fast_batch_kernels_track_strict_within_budget() {
+        let p = params();
+        // Non-multiple-of-LANES row count exercises the scalar tail.
+        let n = 33;
+        let mut batch = crate::xbatch::ProfileBatch::new();
+        let mut rows = Vec::new();
+        for r in 0..(crate::xbatch::LANES + 3) {
+            let row: Vec<f64> = (0..n)
+                .map(|i| 1.0 / ((1 + i) as f64).powf(1.0 + r as f64 / 3.0))
+                .collect();
+            batch.push(&row);
+            rows.push(row);
+        }
+        let mut out = vec![0.0; batch.len()];
+        lockstep_x_fast(&p, &batch, n, &mut out);
+        for (x, row) in out.iter().zip(&rows) {
+            let strict = x_measure_of_rhos(&p, row);
+            let rel = ((x - strict) / strict).abs();
+            assert!(rel <= 2.0 * x_budget_rcp(n), "drift {rel:e}");
+        }
+    }
+
+    #[test]
+    fn fast_hecr_tracks_strict_within_budget() {
+        let p = params();
+        let mut batch = crate::xbatch::ProfileBatch::new();
+        let mut profs = Vec::new();
+        for r in 0..(crate::xbatch::LANES + 1) {
+            let rhos: Vec<f64> = (1..=9).map(|i| 1.0 / (i as f64 + r as f64 / 7.0)).collect();
+            let prof = Profile::new(rhos).expect("valid");
+            batch.push_profile(&prof);
+            profs.push(prof);
+        }
+        let mut out = Vec::new();
+        lockstep_hecr_fast(&p, &batch, 9, &mut out);
+        for (got, prof) in out.iter().zip(&profs) {
+            let want = crate::hecr::hecr(&p, prof).expect("valid");
+            let got = *got.as_ref().expect("valid");
+            // The log-residual is an n-term sum of ln_1p factors; the
+            // rcp drift enters each factor once, so the X budget is a
+            // comfortable envelope for the inverted ρ_C as well.
+            assert!(
+                ((got - want) / want).abs() <= x_budget_rcp(9),
+                "{got} vs {want}"
+            );
+        }
+    }
+}

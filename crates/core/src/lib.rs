@@ -40,6 +40,11 @@
 //! * [`xbatch`] — structure-of-arrays batched evaluation: a lockstep
 //!   kernel advancing the Theorem 2 recurrence for whole blocks of
 //!   same-length profiles at once, bit-identical to the scalar path.
+//! * [`fastnum`] — the certified fast numeric mode: a single-division
+//!   reform and a divide-free reciprocal-Newton path for the Theorem 2
+//!   recurrence, each with an analytic ulp budget certified against
+//!   the exact rational oracle ([`NumericMode`] selects; strict stays
+//!   the default and the golden baseline).
 //! * [`xstream`] — streaming X-measure maintenance under fleet churn:
 //!   segmented Neumaier scans behind a summary tree for amortized
 //!   O(log n) `insert`/`delete`/`replace`, exploiting Theorem 1(2)
@@ -77,6 +82,7 @@ mod error;
 mod params;
 mod profile;
 
+pub mod fastnum;
 pub mod hcompress;
 pub mod hecr;
 pub mod numeric;
@@ -88,5 +94,6 @@ pub mod xmeasure;
 pub mod xstream;
 
 pub use error::ModelError;
+pub use fastnum::NumericMode;
 pub use params::Params;
 pub use profile::Profile;

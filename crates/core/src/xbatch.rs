@@ -23,7 +23,7 @@
 //! per profile, so callers never need to pre-sort by length to stay
 //! correct — only to go fast.
 
-use crate::{ModelError, Params, Profile};
+use crate::{ModelError, NumericMode, Params, Profile};
 use hetero_obs::counters::{XBATCH_EVAL, XBATCH_RAGGED_FALLBACK};
 
 /// Lanes advanced simultaneously by the lockstep kernel. Eight f64
@@ -144,9 +144,30 @@ pub fn x_measures(params: &Params, batch: &ProfileBatch) -> Vec<f64> {
     out
 }
 
+/// [`x_measures`] under an explicit [`NumericMode`]: `Strict` is the
+/// bit-identical lockstep kernel; `Fast` is the divide-free
+/// reciprocal-Newton kernel of [`crate::fastnum`], certified within
+/// [`crate::fastnum::x_budget_rcp`] of exact (ragged rows fall back to
+/// the certified single-division scalar reform).
+pub fn x_measures_mode(params: &Params, batch: &ProfileBatch, mode: NumericMode) -> Vec<f64> {
+    let mut out = Vec::new();
+    x_measures_into_mode(params, batch, mode, &mut out);
+    out
+}
+
 /// [`x_measures`] writing into a caller-owned buffer (cleared first), so
 /// block-structured sweeps reuse one allocation per worker.
 pub fn x_measures_into(params: &Params, batch: &ProfileBatch, out: &mut Vec<f64>) {
+    x_measures_into_mode(params, batch, NumericMode::Strict, out);
+}
+
+/// [`x_measures_into`] under an explicit [`NumericMode`].
+pub fn x_measures_into_mode(
+    params: &Params,
+    batch: &ProfileBatch,
+    mode: NumericMode,
+    out: &mut Vec<f64>,
+) {
     out.clear();
     if batch.is_empty() {
         return;
@@ -154,12 +175,15 @@ pub fn x_measures_into(params: &Params, batch: &ProfileBatch, out: &mut Vec<f64>
     XBATCH_EVAL.add(batch.len() as u64);
     out.resize(batch.len(), 0.0);
     match batch.uniform_len() {
-        Some(n) if n > 0 => lockstep_x(params, batch, n, out),
+        Some(n) if n > 0 => match mode {
+            NumericMode::Strict => lockstep_x(params, batch, n, out),
+            NumericMode::Fast => crate::fastnum::lockstep_x_fast(params, batch, n, out),
+        },
         _ => {
             // Mixed lengths (or degenerate empty rows): scalar per profile.
             XBATCH_RAGGED_FALLBACK.add(batch.len() as u64);
             for (i, slot) in out.iter_mut().enumerate() {
-                *slot = crate::xmeasure::x_measure_of_rhos(params, batch.rhos_of(i));
+                *slot = crate::xmeasure::x_measure_of_rhos_mode(params, batch.rhos_of(i), mode);
             }
         }
     }
@@ -239,6 +263,18 @@ fn lockstep_x(params: &Params, batch: &ProfileBatch, n: usize, out: &mut [f64]) 
 /// [`crate::hecr::log_residual`]); ragged batches fall back to the
 /// scalar closed form.
 pub fn hecrs(params: &Params, batch: &ProfileBatch) -> Vec<Result<f64, ModelError>> {
+    hecrs_mode(params, batch, NumericMode::Strict)
+}
+
+/// [`hecrs`] under an explicit [`NumericMode`]: `Fast` routes the
+/// per-element `1/(Bρ + A)` of the log-residual through the refined
+/// reciprocal (`ln_1p` and the Proposition 1 inversion are unchanged);
+/// ragged rows stay on the strict scalar closed form.
+pub fn hecrs_mode(
+    params: &Params,
+    batch: &ProfileBatch,
+    mode: NumericMode,
+) -> Vec<Result<f64, ModelError>> {
     if batch.is_empty() {
         return Vec::new();
     }
@@ -246,7 +282,10 @@ pub fn hecrs(params: &Params, batch: &ProfileBatch) -> Vec<Result<f64, ModelErro
     match batch.uniform_len() {
         Some(n) if n > 0 => {
             let mut out = Vec::with_capacity(batch.len());
-            lockstep_hecr(params, batch, n, &mut out);
+            match mode {
+                NumericMode::Strict => lockstep_hecr(params, batch, n, &mut out),
+                NumericMode::Fast => crate::fastnum::lockstep_hecr_fast(params, batch, n, &mut out),
+            }
             out
         }
         _ => {
@@ -317,8 +356,15 @@ fn lockstep_hecr(
 /// `1/(τδ + 1/X)`), in order; bit-identical to
 /// [`crate::xmeasure::work_rate`] per profile.
 pub fn work_rates(params: &Params, batch: &ProfileBatch) -> Vec<f64> {
+    work_rates_mode(params, batch, NumericMode::Strict)
+}
+
+/// [`work_rates`] under an explicit [`NumericMode`]; the `1/(τδ + 1/X)`
+/// transform stays on hardware divide in both modes (two divisions per
+/// *profile* are noise next to the per-element recurrence).
+pub fn work_rates_mode(params: &Params, batch: &ProfileBatch, mode: NumericMode) -> Vec<f64> {
     let td = params.tau_delta();
-    let mut out = x_measures(params, batch);
+    let mut out = x_measures_mode(params, batch, mode);
     for x in &mut out {
         *x = 1.0 / (td + 1.0 / *x);
     }

@@ -19,7 +19,7 @@
 //! `hetero-symfunc`).
 
 use crate::numeric::KahanSum;
-use crate::{Params, Profile};
+use crate::{NumericMode, Params, Profile};
 
 /// `X(P)` — the paper's power measure (§2.2, Theorem 1) — evaluated in a
 /// single fused pass with Neumaier-compensated summation.
@@ -47,6 +47,20 @@ pub fn x_measure_of_rhos(params: &Params, rhos: &[f64]) -> f64 {
     sum.value()
 }
 
+/// [`x_measure_of_rhos`] (the Theorem 2 / §2.2 recurrence) under an
+/// explicit [`NumericMode`]: `Strict` is the bit-identical reference
+/// kernel above; `Fast` is the single-division reform
+/// [`crate::fastnum::x_fast_1div`] — on a scalar (latency-bound)
+/// evaluation the divide-free reciprocal chain is *slower* than one
+/// hardware divide, so the scalar fast path is the 1-div kernel,
+/// certified within [`crate::fastnum::x_budget_1div`].
+pub fn x_measure_of_rhos_mode(params: &Params, rhos: &[f64], mode: NumericMode) -> f64 {
+    match mode {
+        NumericMode::Strict => x_measure_of_rhos(params, rhos),
+        NumericMode::Fast => crate::fastnum::x_fast_1div(params, rhos),
+    }
+}
+
 /// Naive (uncompensated) evaluation of `X(P)` (§2.2) — kept for the
 /// accuracy and performance ablation in `hetero-bench`; prefer
 /// [`x_measure`].
@@ -68,10 +82,15 @@ pub fn x_measure_naive(params: &Params, rhos: &[f64]) -> f64 {
 /// ```text
 /// X(P^(ρ)) = (1/(A−τδ)) · (1 − ((Bρ + τδ)/(Bρ + A))^n)
 /// ```
+/// Under Table 1 parameters `ratio ≈ 1 − 10⁻⁵`, so the naive
+/// `1 − ratio^n` cancels ~5 digits. The form below goes through the
+/// log: `1 − ratio^n = −expm1(n · ln_1p((τδ − A)/(Bρ + A)))`, where
+/// both `ln_1p` and `exp_m1` are accurate near zero, keeping full
+/// relative precision for every `n`.
 pub fn x_homogeneous(params: &Params, rho: f64, n: usize) -> f64 {
     let (a, b, td) = (params.a(), params.b(), params.tau_delta());
-    let ratio = (b * rho + td) / (b * rho + a);
-    (1.0 - ratio.powi(n as i32)) / (a - td)
+    let z = (td - a) / (b * rho + a); // ratio = 1 + z with |z| small
+    -((n as f64) * z.ln_1p()).exp_m1() / (a - td)
 }
 
 /// The asymptotic work-completion *rate* `W(L;P)/L = 1/(τδ + 1/X(P))`
@@ -121,11 +140,11 @@ mod tests {
                 let p = Profile::homogeneous(n, rho).unwrap();
                 let general = x_measure(&params(), &p);
                 let closed = x_homogeneous(&params(), rho, n);
-                // The closed form computes 1 − ratio^n with ratio ≈ 1 − 1e-5
-                // under Table 1 parameters, so cancellation costs ~5 digits;
-                // 1e-9 relative agreement is the honest expectation.
+                // The log-form closed expression keeps full relative
+                // precision (no 1 − ratio^n cancellation), so the two
+                // evaluations agree to near roundoff.
                 assert!(
-                    (general - closed).abs() / closed < 1e-9,
+                    (general - closed).abs() / closed < 1e-13,
                     "n={n} rho={rho}: {general} vs {closed}"
                 );
             }

@@ -17,7 +17,7 @@
 
 use hetero_core::speedup::{greedy_multiplicative, theorem4_choice, GreedyStep, Theorem4Choice};
 use hetero_core::xbatch::{self, ProfileBatch};
-use hetero_core::Params;
+use hetero_core::{fastnum, NumericMode, Params};
 
 use crate::render::bar_chart;
 
@@ -79,13 +79,30 @@ fn classify(params: &Params, before: &[f64], chosen: usize, psi: f64) -> Regime 
 /// Runs the two-phase experiment: `rounds1` greedy rounds from a
 /// homogeneous start, then `rounds2` more (the paper uses 16 + 4).
 pub fn run(params: &Params, n: usize, psi: f64, rounds1: usize, rounds2: usize) -> Fig34 {
+    run_mode(params, n, psi, rounds1, rounds2, NumericMode::Strict)
+}
+
+/// [`run`] under an explicit [`NumericMode`]. The greedy engine's
+/// candidate scan stays strict in both modes (the incremental xengine
+/// is certified against the strict evaluation order); only the
+/// trajectory's batched X re-derivation switches kernels.
+pub fn run_mode(
+    params: &Params,
+    n: usize,
+    psi: f64,
+    rounds1: usize,
+    rounds2: usize,
+    mode: NumericMode,
+) -> Fig34 {
     let mut steps = greedy_multiplicative(params, &vec![1.0; n], psi, rounds1 + rounds2)
         .expect("valid configuration");
     // Re-derive every reported X through the lockstep batch kernel: all
     // rounds share length n, so the whole trajectory is one uniform
-    // [`ProfileBatch`] pass. The kernel is bit-identical to the
-    // incremental scan's from-scratch contract, which the debug_assert
-    // pins on every figure regeneration.
+    // [`ProfileBatch`] pass. In strict mode the kernel is bit-identical
+    // to the incremental scan's from-scratch contract, which the
+    // debug_assert pins on every figure regeneration; in fast mode the
+    // divide-free kernel must stay within its certified ulp budget of
+    // the scan's value instead.
     let mut batch = ProfileBatch::with_capacity(steps.len(), steps.len() * n);
     let mut sorted = vec![0.0; n];
     for step in &steps {
@@ -93,8 +110,23 @@ pub fn run(params: &Params, n: usize, psi: f64, rounds1: usize, rounds2: usize) 
         sorted.sort_by(|a, b| b.total_cmp(a));
         batch.push(&sorted);
     }
-    for (step, x) in steps.iter_mut().zip(xbatch::x_measures(params, &batch)) {
-        debug_assert_eq!(step.x.to_bits(), x.to_bits(), "round {}", step.round);
+    for (step, x) in steps
+        .iter_mut()
+        .zip(xbatch::x_measures_mode(params, &batch, mode))
+    {
+        match mode {
+            NumericMode::Strict => {
+                debug_assert_eq!(step.x.to_bits(), x.to_bits(), "round {}", step.round);
+            }
+            NumericMode::Fast => {
+                debug_assert!(
+                    ((x - step.x) / step.x).abs() <= 2.0 * fastnum::x_budget_rcp(n),
+                    "round {}: fast X {x} drifted past budget from {}",
+                    step.round,
+                    step.x
+                );
+            }
+        }
         step.x = x;
     }
     let mut snaps = Vec::with_capacity(steps.len());
@@ -116,6 +148,11 @@ pub fn run(params: &Params, n: usize, psi: f64, rounds1: usize, rounds2: usize) 
 /// The paper's exact configuration: 4 computers, ψ = 1/2, 16 + 4 rounds.
 pub fn run_paper() -> Fig34 {
     run(&Params::fig34(), 4, 0.5, 16, 4)
+}
+
+/// [`run_paper`] under an explicit [`NumericMode`].
+pub fn run_paper_mode(mode: NumericMode) -> Fig34 {
+    run_mode(&Params::fig34(), 4, 0.5, 16, 4, mode)
 }
 
 impl Fig34 {

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use hetero_core::xbatch::{self, ProfileBatch};
 use hetero_core::xengine::XScan;
-use hetero_core::{speedup, xmeasure, Params, Profile};
+use hetero_core::{speedup, xmeasure, NumericMode, Params, Profile};
 
 use crate::render::{fmt_f, Table};
 
@@ -44,6 +44,19 @@ pub struct Scaling {
 
 /// Runs the sweep over the given sizes.
 pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
+    run_mode(params, sizes, NumericMode::Strict)
+}
+
+/// [`run`] under an explicit [`NumericMode`]. The C1 X column switches
+/// to the certified fast scalar kernel in `Fast` mode (the rows are
+/// ragged, so the batch takes its per-row fallback); the C2 column
+/// stays on the strict incremental prefix scan in both modes (the
+/// engine's O(1) update algebra is certified only against the strict
+/// evaluation order), as do both HECR columns' closed forms. Every
+/// row's values are recorded as quantile sketches when observability is
+/// on, which is what lets CI diff a strict run against a fast run at
+/// the certified tolerance (`obsdiff --quantile-rel`).
+pub fn run_mode(params: &Params, sizes: &[usize], mode: NumericMode) -> Scaling {
     let sup = xmeasure::x_supremum(params);
     // The harmonic family is nested — ⟨1, 1/2, …, 1/n⟩ is a prefix of
     // ⟨1, 1/2, …, 1/2n⟩ — so one xengine scan over the largest size
@@ -82,10 +95,10 @@ pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
         c1_batch.push_profile(&Profile::uniform_spread(n));
         c2_batch.push_profile(&Profile::harmonic(n));
     }
-    let x1s = xbatch::x_measures(params, &c1_batch);
-    let hecr1s = xbatch::hecrs(params, &c1_batch);
-    let hecr2s = xbatch::hecrs(params, &c2_batch);
-    let rows = sizes
+    let x1s = xbatch::x_measures_mode(params, &c1_batch, mode);
+    let hecr1s = xbatch::hecrs_mode(params, &c1_batch, mode);
+    let hecr2s = xbatch::hecrs_mode(params, &c2_batch, mode);
+    let rows: Vec<ScalingRow> = sizes
         .iter()
         .enumerate()
         .map(|(i, &n)| {
@@ -103,6 +116,14 @@ pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
             }
         })
         .collect();
+    if hetero_obs::enabled() {
+        for r in &rows {
+            hetero_obs::sketch("scaling.x_c1", r.x_c1);
+            hetero_obs::sketch("scaling.x_c2", r.x_c2);
+            hetero_obs::sketch("scaling.hecr_c1", r.hecr_c1);
+            hetero_obs::sketch("scaling.hecr_c2", r.hecr_c2);
+        }
+    }
     Scaling {
         params: *params,
         rows,
@@ -114,6 +135,12 @@ pub fn run(params: &Params, sizes: &[usize]) -> Scaling {
 pub fn run_paper() -> Scaling {
     let sizes: Vec<usize> = (3..=16).map(|k| 1usize << k).collect();
     run(&Params::paper_table1(), &sizes)
+}
+
+/// [`run_paper`] under an explicit [`NumericMode`].
+pub fn run_paper_mode(mode: NumericMode) -> Scaling {
+    let sizes: Vec<usize> = (3..=16).map(|k| 1usize << k).collect();
+    run_mode(&Params::paper_table1(), &sizes, mode)
 }
 
 /// One row of the `--bench-scaling` greedy-round timing comparison.

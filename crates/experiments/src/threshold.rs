@@ -13,7 +13,7 @@
 
 use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, PairBatcher, Shape};
 use hetero_core::xbatch::{self, ProfileBatch};
-use hetero_core::Params;
+use hetero_core::{NumericMode, Params};
 use hetero_par::{seed, Pool};
 
 use crate::render::{fmt_f, Table};
@@ -42,6 +42,8 @@ pub struct ThresholdConfig {
     pub threads: usize,
     /// Histogram bucket width (in variance units).
     pub bucket_width: f64,
+    /// Numeric mode for the batched X pass (`Strict` by default).
+    pub numeric: NumericMode,
 }
 
 impl Default for ThresholdConfig {
@@ -53,6 +55,7 @@ impl Default for ThresholdConfig {
             seed: 0xBEEF,
             threads: hetero_par::default_threads(),
             bucket_width: 0.02,
+            numeric: NumericMode::Strict,
         }
     }
 }
@@ -90,6 +93,7 @@ fn block_samples(
     params: &Params,
     n: usize,
     shapes: (Shape, Shape),
+    numeric: NumericMode,
     combo_seed: u64,
     lo: usize,
     hi: usize,
@@ -114,7 +118,7 @@ fn block_samples(
             }
         }
     }
-    let xs = xbatch::x_measures(params, &batch);
+    let xs = xbatch::x_measures_mode(params, &batch, numeric);
     let mut next = 0usize;
     gaps.into_iter()
         .map(|gap| {
@@ -145,10 +149,11 @@ pub fn run(config: &ThresholdConfig) -> ThresholdExperiment {
             let combo_seed = seed::derive(config.seed, (n as u64) << 8 | combo_idx as u64);
             let blocks = config.trials_per_combo.div_ceil(TRIAL_BLOCK);
             let (params, trials) = (config.params, config.trials_per_combo);
+            let numeric = config.numeric;
             let cell = pool.map(blocks, config.threads, move |b| {
                 let lo = b * TRIAL_BLOCK;
                 let hi = ((b + 1) * TRIAL_BLOCK).min(trials);
-                block_samples(&params, n, shapes, combo_seed, lo, hi)
+                block_samples(&params, n, shapes, numeric, combo_seed, lo, hi)
             });
             samples.extend(cell.into_iter().flatten().flatten());
         }

@@ -17,7 +17,7 @@
 use hetero_clustergen::{rng_from_seed, EqualMeanPairGen, GenConfig, PairBatcher, Shape};
 use hetero_core::xbatch::{self, ProfileBatch};
 use hetero_core::xengine::x_pair;
-use hetero_core::Params;
+use hetero_core::{NumericMode, Params};
 use hetero_par::{seed, Pool};
 use rand::Rng;
 
@@ -79,6 +79,10 @@ pub struct VarianceConfig {
     pub threads: usize,
     /// Pair-generation strategy.
     pub generator: PairGenerator,
+    /// Numeric mode for the batched X pass (`Strict` by default; `Fast`
+    /// uses the certified divide-free kernel, which may flip trials
+    /// sitting within its ulp budget of the 1e-13 tie threshold).
+    pub numeric: NumericMode,
 }
 
 impl Default for VarianceConfig {
@@ -90,6 +94,7 @@ impl Default for VarianceConfig {
             seed: 0xC0FFEE,
             threads: hetero_par::default_threads(),
             generator: PairGenerator::DiverseShapes,
+            numeric: NumericMode::Strict,
         }
     }
 }
@@ -167,6 +172,7 @@ fn block_outcomes(
     params: &Params,
     n: usize,
     generator: PairGenerator,
+    numeric: NumericMode,
     size_seed: u64,
     lo: usize,
     hi: usize,
@@ -203,7 +209,7 @@ fn block_outcomes(
             }
         }
     }
-    let xs = xbatch::x_measures(params, &batch);
+    let xs = xbatch::x_measures_mode(params, &batch, numeric);
     let mut next = 0usize;
     pending
         .into_iter()
@@ -240,11 +246,12 @@ pub fn run(config: &VarianceConfig) -> VarianceExperiment {
             let size_seed = seed::derive(config.seed, n as u64);
             let blocks = config.trials.div_ceil(TRIAL_BLOCK);
             let (params, generator, trials) = (config.params, config.generator, config.trials);
+            let numeric = config.numeric;
             let outcomes: Vec<TrialOutcome> = pool
                 .map(blocks, config.threads, move |b| {
                     let lo = b * TRIAL_BLOCK;
                     let hi = ((b + 1) * TRIAL_BLOCK).min(trials);
-                    block_outcomes(&params, n, generator, size_seed, lo, hi)
+                    block_outcomes(&params, n, generator, numeric, size_seed, lo, hi)
                 })
                 .into_iter()
                 .flatten()

